@@ -1,0 +1,70 @@
+// Command linearcheck decides linearizability of a recorded history
+// against one of the built-in sequential data types.
+//
+// Input is JSON on stdin (or a file given with -f) in the internal/histio
+// format; produce such files with `lintime run -dump FILE` or by hand
+// (`linearcheck -example` prints one).
+//
+// Exit status: 0 linearizable, 1 not linearizable, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lintime/internal/histio"
+	"lintime/internal/lincheck"
+	"lintime/internal/spec"
+)
+
+func main() {
+	file := flag.String("f", "", "history file (default stdin)")
+	example := flag.Bool("example", false, "print an example history and exit")
+	quiet := flag.Bool("q", false, "suppress the witness linearization")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(`{
+  "type": "queue",
+  "ops": [
+    {"op": "enqueue", "arg": 1, "invoke": 0, "respond": 10},
+    {"op": "enqueue", "arg": 2, "invoke": 0, "respond": 10},
+    {"op": "dequeue", "ret": 2, "invoke": 20, "respond": 30},
+    {"op": "dequeue", "ret": 1, "invoke": 40, "respond": 50}
+  ]
+}`)
+		return
+	}
+
+	in := io.Reader(os.Stdin)
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	dt, ops, err := histio.Read(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	res := lincheck.Check(dt, ops)
+	if res.Linearizable {
+		fmt.Printf("linearizable (%d ops, %d states explored)\n", len(ops), res.Explored)
+		if !*quiet {
+			fmt.Printf("witness: %s\n", spec.FormatSeq(res.Linearization))
+		}
+		return
+	}
+	fmt.Printf("NOT linearizable (%d ops, %d states explored)\n", len(ops), res.Explored)
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "linearcheck: %v\n", err)
+	os.Exit(2)
+}

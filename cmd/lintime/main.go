@@ -1,0 +1,393 @@
+// Command lintime reproduces the paper's results from the command line:
+//
+//	lintime tables              reprint Tables 1-5 (closed-form bounds)
+//	lintime tables -measured    regenerate the tables with measured columns
+//	lintime tables -optimal     measure each op at its per-class optimal X
+//	lintime classify            computed operation classifications
+//	lintime classify -figure11  the computed class diagram (Figure 11)
+//	lintime lowerbound -thm N   run the mechanized lower-bound experiments
+//	lintime run                 run a workload and report latency stats
+//	lintime run -diagram        render the run as a space-time diagram
+//	lintime sweep               the X accessor/mutator tradeoff sweep
+//	lintime sync                the clock-synchronization round (§5's ε)
+//
+// Common flags: -n (processes), -d, -u (delay bound and uncertainty),
+// -eps (clock skew; default optimal (1-1/n)u), -x (tradeoff parameter;
+// default ε).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lintime/internal/adt"
+	"lintime/internal/bounds"
+	"lintime/internal/classify"
+	"lintime/internal/clocksync"
+	"lintime/internal/diagram"
+	"lintime/internal/harness"
+	"lintime/internal/histio"
+	"lintime/internal/lowerbound"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "tables":
+		err = cmdTables(os.Args[2:])
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "lowerbound":
+		err = cmdLowerbound(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "sync":
+		err = cmdSync(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lintime: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintime: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lintime <command> [flags]
+
+commands:
+  tables      print the paper's Tables 1-5 evaluated for the model
+              parameters; -measured adds worst-case latencies measured in
+              the simulator and the centralized baseline
+  classify    print the computed algebraic classification of each data
+              type's operations and the bounds derived from it
+  lowerbound  execute the mechanized Theorem 2/3/4/5 constructions at a
+              latency budget (default: one tick below the bound)
+  run         run a closed-loop workload and report per-op latencies
+  sweep       sweep the X parameter and report the accessor/mutator
+              latency tradeoff
+  sync        run the Lundelius-Lynch clock synchronization round the
+              paper assumes, showing skew before/after vs (1-1/n)u
+
+run 'lintime <command> -h' for command flags`)
+}
+
+// paramFlags registers the shared model-parameter flags.
+func paramFlags(fs *flag.FlagSet) func() (simtime.Params, error) {
+	n := fs.Int("n", 5, "number of processes")
+	d := fs.Int64("d", int64(2*simtime.Quantum), "maximum message delay d")
+	u := fs.Int64("u", -1, "delay uncertainty u (default d/2)")
+	eps := fs.Int64("eps", -1, "clock skew ε (default optimal (1-1/n)u)")
+	x := fs.Int64("x", -1, "tradeoff parameter X (default ε)")
+	return func() (simtime.Params, error) {
+		p := simtime.Params{N: *n, D: simtime.Duration(*d)}
+		p.U = simtime.Duration(*u)
+		if *u < 0 {
+			p.U = p.D / 2
+		}
+		p.Epsilon = simtime.Duration(*eps)
+		if *eps < 0 {
+			p.Epsilon = simtime.OptimalEpsilon(p.N, p.U)
+		}
+		p.X = simtime.Duration(*x)
+		if *x < 0 {
+			p.X = p.Epsilon
+		}
+		return p, p.Validate()
+	}
+}
+
+func cmdTables(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ExitOnError)
+	getParams := paramFlags(fs)
+	table := fs.Int("table", 0, "print only this table (1-5)")
+	measured := fs.Bool("measured", false, "run the simulator and add measured columns")
+	optimal := fs.Bool("optimal", false, "measure each operation at its per-class optimal X (the paper's table entries)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	if *optimal {
+		for _, typeName := range []string{"rmwregister", "queue", "stack", "tree"} {
+			rows, err := harness.MeasureOptimal(typeName, p, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(harness.FormatOptimal(typeName, rows))
+		}
+		return nil
+	}
+	for no := 1; no <= 5; no++ {
+		if *table != 0 && no != *table {
+			continue
+		}
+		if *measured {
+			mt, err := harness.MeasureTable(no, p, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(mt)
+		} else {
+			fmt.Println(bounds.AllTables(p)[no-1])
+		}
+	}
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	getParams := paramFlags(fs)
+	typeName := fs.String("type", "", "classify only this data type")
+	figure := fs.Bool("figure11", false, "print the computed Figure 11 class diagram")
+	witnesses := fs.Bool("witnesses", false, "print the concrete witness sequences behind each property")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	names := adt.Names()
+	if *typeName != "" {
+		names = []string{*typeName}
+	}
+	if *figure {
+		var reports []classify.Report
+		for _, name := range names {
+			dt, err := adt.Lookup(name)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, classify.Classify(dt, classify.DefaultConfig()))
+		}
+		fmt.Print(classify.Figure11(reports))
+		return nil
+	}
+	for _, name := range names {
+		dt, err := adt.Lookup(name)
+		if err != nil {
+			return err
+		}
+		rep := classify.Classify(dt, classify.DefaultConfig())
+		fmt.Print(rep)
+		fmt.Println("  derived bounds:")
+		for _, row := range bounds.GenericTable(p, rep) {
+			fmt.Printf("    %-10s %-4s lower: %-34s upper: %s\n",
+				row.Op, row.Class, row.Lower, row.Upper)
+		}
+		if *witnesses {
+			fmt.Println("  witnesses:")
+			for _, op := range rep.Ops {
+				if op.Mutator {
+					fmt.Printf("    %s is a mutator:        %s\n", op.Op, op.MutatorWitness)
+				}
+				if op.Accessor {
+					fmt.Printf("    %s is an accessor:      %s\n", op.Op, op.AccessorWitness)
+				}
+				if op.PairFree {
+					fmt.Printf("    %s is pair-free:        %s\n", op.Op, op.PairFreeWitness)
+				}
+				if op.LastSensitiveK >= 2 {
+					fmt.Printf("    %s is %d-last-sensitive: %s\n", op.Op, op.LastSensitiveK, op.LastWitness)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdLowerbound(args []string) error {
+	fs := flag.NewFlagSet("lowerbound", flag.ExitOnError)
+	getParams := paramFlags(fs)
+	thm := fs.Int("thm", 0, "theorem to run (2, 3, 4 or 5; 0 = all)")
+	budget := fs.Int64("budget", -1, "forced operation latency (default bound-1)")
+	k := fs.Int("k", 0, "Theorem 3's k (default n)")
+	typeName := fs.String("type", "queue", "data type for theorems 2 and 3 (stock scenarios: queue, stack, register, tree, log, deque, pqueue, counter, bank)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	if *k == 0 {
+		*k = p.N
+	}
+	m := lowerbound.MinPairFree(p)
+	run := func(theorem int) error {
+		var rep *lowerbound.Report
+		var err error
+		switch theorem {
+		case 2:
+			b := simtime.Duration(*budget)
+			if *budget < 0 {
+				b = p.U/4 - 1
+			}
+			rep, err = lowerbound.Theorem2On(p, *typeName, b)
+		case 3:
+			b := simtime.Duration(*budget)
+			if *budget < 0 {
+				b = p.U - p.U/simtime.Duration(*k) - 1
+			}
+			rep, err = lowerbound.Theorem3On(p, *typeName, *k, b)
+		case 4:
+			b := simtime.Duration(*budget)
+			if *budget < 0 {
+				b = p.D + m - 1
+			}
+			rep, err = lowerbound.Theorem4On(p, *typeName, b)
+		case 5:
+			b := simtime.Duration(*budget)
+			if *budget < 0 {
+				b = p.D + m - 1
+			}
+			rep, err = lowerbound.Theorem5On(p, *typeName, p.D-2*m, b-(p.D-2*m))
+		default:
+			return fmt.Errorf("no theorem %d (have 2-5)", theorem)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		return nil
+	}
+	if *thm != 0 {
+		return run(*thm)
+	}
+	for _, theorem := range []int{2, 3, 4, 5} {
+		if err := run(theorem); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	getParams := paramFlags(fs)
+	typeName := fs.String("type", "queue", "data type ("+strings.Join(adt.Names(), ", ")+")")
+	alg := fs.String("alg", harness.AlgCore, "algorithm ("+strings.Join(harness.Algorithms(), ", ")+")")
+	network := fs.String("net", harness.NetUniform, "network (uniform, uniform-min, random, adversarial)")
+	offsets := fs.String("offsets", harness.OffZero, "clock offsets (zero, spread, alternating, random)")
+	ops := fs.Int("ops", 10, "operations per process")
+	seed := fs.Int64("seed", 1, "workload seed")
+	check := fs.Bool("check", true, "verify linearizability of the run")
+	dump := fs.String("dump", "", "write the run's history as JSON to this file (linearcheck format)")
+	diagramFlag := fs.Bool("diagram", false, "print the run as an ASCII space-time diagram (paper Figure 1/3 style)")
+	diagramMsgs := fs.Bool("diagram-msgs", false, "include message sends/receipts in the diagram")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	res, err := harness.Run(
+		harness.Config{Params: p, TypeName: *typeName, Algorithm: *alg,
+			Network: *network, Offsets: *offsets, Seed: *seed},
+		harness.Workload{OpsPerProc: *ops, MaxGap: p.D / 2, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	fmt.Printf("  replicas converged: %v\n", res.Converged())
+	if *check {
+		fmt.Printf("  linearizable: %v\n", res.CheckLinearizable())
+	}
+	if *diagramFlag {
+		fmt.Println()
+		fmt.Print(diagram.Render(res.Trace, diagram.Options{SuppressMessages: !*diagramMsgs}))
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := histio.WriteTrace(f, *typeName, res.Trace); err != nil {
+			return err
+		}
+		fmt.Printf("  history written to %s\n", *dump)
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	getParams := paramFlags(fs)
+	typeName := fs.String("type", "queue", "data type")
+	points := fs.Int("points", 8, "number of sweep intervals")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	pts, err := harness.SweepX(p, *typeName, *points, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("X tradeoff sweep on %s (n=%d d=%v u=%v ε=%v):\n", *typeName, p.N, p.D, p.U, p.Epsilon)
+	fmt.Print(harness.FormatSweep(pts))
+	return nil
+}
+
+func cmdSync(args []string) error {
+	fs := flag.NewFlagSet("sync", flag.ExitOnError)
+	getParams := paramFlags(fs)
+	seed := fs.Int64("seed", 1, "seed for initial offsets and delays")
+	spread := fs.Int64("spread", 0, "initial offsets drawn from [0, spread] (default 50d)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	maxOff := simtime.Duration(*spread)
+	if maxOff <= 0 {
+		maxOff = 50 * p.D
+	}
+	initial := sim.RandomOffsets(p.N, maxOff, *seed)
+	corrected, err := clocksync.Run(p, initial, sim.NewRandomNetwork(p.D, p.U, *seed+1))
+	if err != nil {
+		return err
+	}
+	skew := func(offs []simtime.Duration) simtime.Duration {
+		var max simtime.Duration
+		for i := range offs {
+			for j := range offs {
+				if s := (offs[i] - offs[j]).Abs(); s > max {
+					max = s
+				}
+			}
+		}
+		return max
+	}
+	fmt.Printf("clock synchronization (n=%d, delays in [%v, %v]):\n", p.N, p.MinDelay(), p.D)
+	fmt.Printf("  initial offsets:   %v (skew %v)\n", initial, skew(initial))
+	fmt.Printf("  corrected offsets: %v (skew %v)\n", corrected, skew(corrected))
+	fmt.Printf("  optimal bound (1-1/n)u = %v [Lundelius & Lynch]\n", clocksync.Bound(p))
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The command functions print to stdout; these tests exercise flag
+// parsing, parameter derivation and end-to-end execution of every
+// subcommand (output content is validated by the underlying packages'
+// tests).
+
+func TestCmdTables(t *testing.T) {
+	if err := cmdTables([]string{"-table", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTables([]string{"-table", "5", "-measured", "-n", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTables([]string{"-optimal", "-n", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdClassify(t *testing.T) {
+	if err := cmdClassify([]string{"-type", "register"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdClassify([]string{"-type", "queue", "-figure11"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdClassify([]string{"-type", "queue", "-witnesses"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdClassify([]string{"-type", "bogus"}); err == nil {
+		t.Error("unknown type should error")
+	}
+}
+
+func TestCmdLowerbound(t *testing.T) {
+	for _, thm := range []string{"2", "3", "4", "5"} {
+		if err := cmdLowerbound([]string{"-thm", thm}); err != nil {
+			t.Fatalf("thm %s: %v", thm, err)
+		}
+	}
+	if err := cmdLowerbound([]string{"-thm", "3", "-type", "register", "-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLowerbound([]string{"-thm", "9"}); err == nil {
+		t.Error("unknown theorem should error")
+	}
+}
+
+func TestCmdRunAndDump(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "history.json")
+	if err := cmdRun([]string{"-type", "stack", "-ops", "3", "-dump", dump}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dump); err != nil {
+		t.Errorf("dump file missing: %v", err)
+	}
+	if err := cmdRun([]string{"-alg", "bogus"}); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	if err := cmdSweep([]string{"-points", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdSync(t *testing.T) {
+	if err := cmdSync([]string{"-n", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamDerivation(t *testing.T) {
+	// Defaults: u = d/2, ε optimal, X = ε.
+	if err := cmdTables([]string{"-table", "1", "-n", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid: u > d.
+	if err := cmdTables([]string{"-d", "100", "-u", "200"}); err == nil {
+		t.Error("u > d should error")
+	}
+}

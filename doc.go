@@ -1,0 +1,21 @@
+// Package lintime reproduces "Improved Time Bounds for Linearizable
+// Implementations of Abstract Data Types" (Wang, Talmage, Lee, Welch;
+// IPDPS Workshops 2014) as a runnable Go system.
+//
+// The library implements the paper's Algorithm 1 — a linearizable
+// implementation of arbitrary deterministic data types in a partially
+// synchronous message-passing system — together with every substrate the
+// paper assumes: a deterministic discrete-event simulator of the system
+// model (internal/sim), a sequential-specification framework and a suite
+// of data types (internal/spec, internal/adt), decision procedures for
+// the paper's algebraic operation classes (internal/classify), the
+// folklore baselines (internal/folklore), a linearizability checker
+// (internal/lincheck), the shifting/chopping proof machinery
+// (internal/shift), executable versions of the four lower-bound theorems
+// (internal/lowerbound), the closed-form bounds of Tables 1-5
+// (internal/bounds), and an experiment harness (internal/harness).
+//
+// The benchmarks in this package regenerate every table of the paper's
+// evaluation; see EXPERIMENTS.md for the reproduction report and
+// DESIGN.md for the system inventory.
+package lintime

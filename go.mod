@@ -1,0 +1,3 @@
+module lintime
+
+go 1.22

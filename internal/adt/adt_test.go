@@ -1,0 +1,235 @@
+package adt
+
+import (
+	"math/rand"
+	"testing"
+
+	"lintime/internal/spec"
+)
+
+func TestRegistryContainsAllTypes(t *testing.T) {
+	want := []string{
+		"register", "rmwregister", "queue", "stack", "tree", "treefw",
+		"set", "counter", "dict", "log", "maxregister",
+		"pqueue", "deque", "bank",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Errorf("registry has %d types, want %d", len(reg), len(want))
+	}
+	for _, name := range want {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("registry missing %q", name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	dt, err := Lookup("queue")
+	if err != nil || dt.Name() != "queue" {
+		t.Errorf("Lookup(queue) = %v, %v", dt, err)
+	}
+	if _, err := Lookup("bogus"); err == nil {
+		t.Error("Lookup(bogus) should error")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted: %v", names)
+		}
+	}
+}
+
+// randomSequence builds a random invocation sequence drawn from the
+// declared op/arg samples of dt.
+func randomSequence(dt spec.DataType, rng *rand.Rand, length int) []spec.Invocation {
+	ops := dt.Ops()
+	invs := make([]spec.Invocation, length)
+	for i := range invs {
+		op := ops[rng.Intn(len(ops))]
+		invs[i] = spec.Invocation{Op: op.Name, Arg: op.Args[rng.Intn(len(op.Args))]}
+	}
+	return invs
+}
+
+// TestAllTypesDeterminism replays random invocation sequences twice and
+// checks identical responses — the Determinism axiom.
+func TestAllTypesDeterminism(t *testing.T) {
+	for name, dt := range Registry() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			for trial := 0; trial < 20; trial++ {
+				invs := randomSequence(dt, rng, 15)
+				a := spec.Complete(dt.Initial(), invs)
+				b := spec.Complete(dt.Initial(), invs)
+				for i := range a {
+					if !spec.ValuesEqual(a[i].Ret, b[i].Ret) {
+						t.Fatalf("nondeterministic return at %d: %v vs %v", i, a[i], b[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAllTypesCompleteness checks that completed sequences are legal — the
+// Completeness axiom, including for arguments outside the sample domain.
+func TestAllTypesCompleteness(t *testing.T) {
+	for name, dt := range Registry() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2))
+			for trial := 0; trial < 20; trial++ {
+				invs := randomSequence(dt, rng, 12)
+				seq := spec.Complete(dt.Initial(), invs)
+				if !spec.Legal(dt, seq) {
+					t.Fatalf("completed sequence not legal: %s", spec.FormatSeq(seq))
+				}
+			}
+		})
+	}
+}
+
+// TestAllTypesPrefixClosure checks the Prefix Closure axiom on random
+// legal sequences.
+func TestAllTypesPrefixClosure(t *testing.T) {
+	for name, dt := range Registry() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			seq := spec.Complete(dt.Initial(), randomSequence(dt, rng, 20))
+			for i := 0; i <= len(seq); i++ {
+				if !spec.Legal(dt, seq[:i]) {
+					t.Fatalf("prefix of length %d illegal", i)
+				}
+			}
+		})
+	}
+}
+
+// TestAllTypesImmutability verifies that Apply never mutates the receiver
+// state: applying an operation must not change the original state's
+// fingerprint or the responses it gives.
+func TestAllTypesImmutability(t *testing.T) {
+	for name, dt := range Registry() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(4))
+			for trial := 0; trial < 20; trial++ {
+				s := spec.Replay(dt.Initial(), spec.Complete(dt.Initial(), randomSequence(dt, rng, 8)))
+				before := s.Fingerprint()
+				// Apply every sampled op/arg to s; s must be unaffected.
+				for _, op := range dt.Ops() {
+					for _, arg := range op.Args {
+						s.Apply(op.Name, arg)
+					}
+				}
+				if got := s.Fingerprint(); got != before {
+					t.Fatalf("state mutated in place: %q -> %q", before, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAllTypesFingerprintConsistency: equal fingerprints must imply equal
+// responses to every sampled invocation (fingerprint soundness).
+func TestAllTypesFingerprintConsistency(t *testing.T) {
+	for name, dt := range Registry() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			type entry struct {
+				state spec.State
+				fp    string
+			}
+			var states []entry
+			for trial := 0; trial < 30; trial++ {
+				s := spec.Replay(dt.Initial(), spec.Complete(dt.Initial(), randomSequence(dt, rng, 6)))
+				states = append(states, entry{s, s.Fingerprint()})
+			}
+			for i := range states {
+				for j := i + 1; j < len(states); j++ {
+					if states[i].fp != states[j].fp {
+						continue
+					}
+					for _, op := range dt.Ops() {
+						for _, arg := range op.Args {
+							ri, _ := states[i].state.Apply(op.Name, arg)
+							rj, _ := states[j].state.Apply(op.Name, arg)
+							if !spec.ValuesEqual(ri, rj) {
+								t.Fatalf("states with equal fingerprint %q disagree on %s(%v): %v vs %v",
+									states[i].fp, op.Name, arg, ri, rj)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAllTypesTotalOnBadArgs: Apply must be total even for nonsense
+// arguments (Completeness as a total function).
+func TestAllTypesTotalOnBadArgs(t *testing.T) {
+	bad := []spec.Value{nil, "garbage", 3.14, []int{1}, struct{ X int }{5}}
+	for name, dt := range Registry() {
+		t.Run(name, func(t *testing.T) {
+			s := dt.Initial()
+			for _, op := range dt.Ops() {
+				for _, arg := range bad {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								t.Errorf("Apply(%s, %v) panicked: %v", op.Name, arg, r)
+							}
+						}()
+						_, next := s.Apply(op.Name, arg)
+						if next == nil {
+							t.Errorf("Apply(%s, %v) returned nil state", op.Name, arg)
+						}
+					}()
+				}
+			}
+		})
+	}
+}
+
+// TestAllTypesUnknownOp: unknown operation names must not panic and must
+// leave the state unchanged.
+func TestAllTypesUnknownOp(t *testing.T) {
+	for name, dt := range Registry() {
+		t.Run(name, func(t *testing.T) {
+			s := dt.Initial()
+			before := s.Fingerprint()
+			_, next := s.Apply("no-such-op", 7)
+			if next.Fingerprint() != before {
+				t.Error("unknown op changed state")
+			}
+		})
+	}
+}
+
+// TestAllTypesVerifyAxioms runs the exported axiom verifier over every
+// registered type — the same checker downstream users run on custom
+// types.
+func TestAllTypesVerifyAxioms(t *testing.T) {
+	for name, dt := range Registry() {
+		if err := spec.VerifyAxioms(dt, 11, 30); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestAllTypesArgSamplesNonEmpty: every declared operation needs at least
+// one sample argument for the classifier to work with.
+func TestAllTypesArgSamplesNonEmpty(t *testing.T) {
+	for name, dt := range Registry() {
+		t.Run(name, func(t *testing.T) {
+			for _, op := range dt.Ops() {
+				if len(op.Args) == 0 {
+					t.Errorf("op %s has no sample args", op.Name)
+				}
+			}
+		})
+	}
+}

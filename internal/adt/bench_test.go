@@ -1,0 +1,63 @@
+package adt
+
+import (
+	"testing"
+
+	"lintime/internal/spec"
+)
+
+// BenchmarkQueueApply measures the immutable-state Apply cost that
+// dominates replica execution and linearizability checking.
+func BenchmarkQueueApply(b *testing.B) {
+	s := NewQueue().Initial()
+	for i := 0; i < 64; i++ {
+		_, s = s.Apply(OpEnqueue, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, next := s.Apply(OpEnqueue, i)
+		_, next = next.Apply(OpDequeue, nil)
+		_ = next
+	}
+}
+
+// BenchmarkTreeApply measures the map-cloning tree state.
+func BenchmarkTreeApply(b *testing.B) {
+	s := NewTree().Initial()
+	for i := 1; i <= 32; i++ {
+		_, s = s.Apply(OpInsert, Edge{P: (i - 1) / 2, C: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, next := s.Apply(OpInsert, Edge{P: 0, C: 100})
+		_ = next
+	}
+}
+
+// BenchmarkFingerprint measures canonical fingerprinting, the memo key of
+// the checker and the dedup key of the classifier.
+func BenchmarkFingerprint(b *testing.B) {
+	s := NewQueue().Initial()
+	for i := 0; i < 64; i++ {
+		_, s = s.Apply(OpEnqueue, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Fingerprint() == "" {
+			b.Fatal("empty fingerprint")
+		}
+	}
+}
+
+// BenchmarkReplay measures full-history replay, the executor primitive.
+func BenchmarkReplay(b *testing.B) {
+	dt := NewStack()
+	var seq []spec.Instance
+	for i := 0; i < 100; i++ {
+		seq = append(seq, spec.Instance{Op: OpPush, Arg: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Replay(dt.Initial(), seq)
+	}
+}

@@ -1,0 +1,167 @@
+package adt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lintime/internal/spec"
+)
+
+func TestSetAddRemoveContains(t *testing.T) {
+	s := NewSet().Initial()
+	s = apply(t, s, OpContains, 1, false)
+	s = apply(t, s, OpAdd, 1, nil)
+	s = apply(t, s, OpContains, 1, true)
+	s = apply(t, s, OpSize, nil, 1)
+	s = apply(t, s, OpAdd, 1, nil) // idempotent
+	s = apply(t, s, OpSize, nil, 1)
+	s = apply(t, s, OpRemove, 1, nil)
+	s = apply(t, s, OpContains, 1, false)
+	apply(t, s, OpSize, nil, 0)
+}
+
+func TestSetAddCommutative(t *testing.T) {
+	dt := NewSet()
+	a1 := spec.Instance{Op: OpAdd, Arg: 1}
+	a2 := spec.Instance{Op: OpAdd, Arg: 2}
+	if !spec.Equivalent(dt, []spec.Instance{a1, a2}, []spec.Instance{a2, a1}) {
+		t.Error("set adds should commute")
+	}
+}
+
+func TestSetRemoveAbsentNoOp(t *testing.T) {
+	s := NewSet().Initial()
+	before := s.Fingerprint()
+	_, next := s.Apply(OpRemove, 99)
+	if next.Fingerprint() != before {
+		t.Error("removing an absent element should be a no-op")
+	}
+}
+
+func TestCounterIncRead(t *testing.T) {
+	s := NewCounter().Initial()
+	s = apply(t, s, OpReadCtr, nil, 0)
+	s = apply(t, s, OpInc, nil, nil)
+	s = apply(t, s, OpInc, nil, nil)
+	s = apply(t, s, OpAddN, 5, nil)
+	apply(t, s, OpReadCtr, nil, 7)
+}
+
+func TestCounterCommutative(t *testing.T) {
+	dt := NewCounter()
+	i := spec.Instance{Op: OpInc}
+	a := spec.Instance{Op: OpAddN, Arg: 3}
+	if !spec.Equivalent(dt, []spec.Instance{i, a}, []spec.Instance{a, i}) {
+		t.Error("counter mutators should commute")
+	}
+}
+
+func TestDictPutGetDel(t *testing.T) {
+	s := NewDict().Initial()
+	s = apply(t, s, OpGet, "a", nil)
+	s = apply(t, s, OpPut, KV{K: "a", V: 1}, nil)
+	s = apply(t, s, OpGet, "a", 1)
+	s = apply(t, s, OpLenKey, nil, 1)
+	s = apply(t, s, OpPut, KV{K: "a", V: 2}, nil)
+	s = apply(t, s, OpGet, "a", 2)
+	s = apply(t, s, OpDel, "a", nil)
+	s = apply(t, s, OpGet, "a", nil)
+	apply(t, s, OpLenKey, nil, 0)
+}
+
+func TestDictSwapReturnsPrevious(t *testing.T) {
+	s := NewDict().Initial()
+	s = apply(t, s, OpSwap, KV{K: "k", V: 1}, nil) // previously absent
+	s = apply(t, s, OpSwap, KV{K: "k", V: 2}, 1)
+	apply(t, s, OpGet, "k", 2)
+}
+
+func TestDictPutSameKeyLastWins(t *testing.T) {
+	dt := NewDict()
+	p1 := spec.Instance{Op: OpPut, Arg: KV{K: "a", V: 1}}
+	p2 := spec.Instance{Op: OpPut, Arg: KV{K: "a", V: 2}}
+	if spec.Equivalent(dt, []spec.Instance{p1, p2}, []spec.Instance{p2, p1}) {
+		t.Error("puts to the same key should not commute")
+	}
+}
+
+func TestDictPutDifferentKeysCommute(t *testing.T) {
+	dt := NewDict()
+	p1 := spec.Instance{Op: OpPut, Arg: KV{K: "a", V: 1}}
+	p2 := spec.Instance{Op: OpPut, Arg: KV{K: "b", V: 2}}
+	if !spec.Equivalent(dt, []spec.Instance{p1, p2}, []spec.Instance{p2, p1}) {
+		t.Error("puts to different keys should commute")
+	}
+}
+
+func TestLogAppendAtLen(t *testing.T) {
+	s := NewLog().Initial()
+	s = apply(t, s, OpLen, nil, 0)
+	s = apply(t, s, OpLast, nil, AbsentMarker)
+	s = apply(t, s, OpAt, 0, AbsentMarker)
+	s = apply(t, s, OpAppend, 10, nil)
+	s = apply(t, s, OpAppend, 20, nil)
+	s = apply(t, s, OpLen, nil, 2)
+	s = apply(t, s, OpAt, 0, 10)
+	s = apply(t, s, OpAt, 1, 20)
+	s = apply(t, s, OpAt, 2, AbsentMarker)
+	s = apply(t, s, OpAt, -1, AbsentMarker)
+	apply(t, s, OpLast, nil, 20)
+}
+
+func TestLogAppendOrderObservable(t *testing.T) {
+	f := func(items []uint8) bool {
+		s := NewLog().Initial()
+		for _, v := range items {
+			_, s = s.Apply(OpAppend, int(v))
+		}
+		for i, v := range items {
+			ret, _ := s.Apply(OpAt, i)
+			if !spec.ValuesEqual(ret, int(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxRegister(t *testing.T) {
+	s := NewMaxRegister(0).Initial()
+	s = apply(t, s, OpReadMax, nil, 0)
+	s = apply(t, s, OpWriteMax, 5, nil)
+	s = apply(t, s, OpReadMax, nil, 5)
+	s = apply(t, s, OpWriteMax, 3, nil) // smaller: ignored
+	s = apply(t, s, OpReadMax, nil, 5)
+	s = apply(t, s, OpWriteMax, 9, nil)
+	apply(t, s, OpReadMax, nil, 9)
+}
+
+func TestMaxRegisterWritesCommute(t *testing.T) {
+	dt := NewMaxRegister(0)
+	w1 := spec.Instance{Op: OpWriteMax, Arg: 3}
+	w2 := spec.Instance{Op: OpWriteMax, Arg: 7}
+	if !spec.Equivalent(dt, []spec.Instance{w1, w2}, []spec.Instance{w2, w1}) {
+		t.Error("writemax should commute")
+	}
+}
+
+func TestMaxRegisterIdempotent(t *testing.T) {
+	f := func(vals []int8) bool {
+		s := NewMaxRegister(0).Initial()
+		max := 0
+		for _, v := range vals {
+			_, s = s.Apply(OpWriteMax, int(v))
+			if int(v) > max {
+				max = int(v)
+			}
+		}
+		ret, _ := s.Apply(OpReadMax, nil)
+		return spec.ValuesEqual(ret, max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

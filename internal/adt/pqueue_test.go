@@ -1,0 +1,207 @@
+package adt
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lintime/internal/spec"
+)
+
+func TestPQueueBasics(t *testing.T) {
+	s := NewPQueue().Initial()
+	s = apply(t, s, OpPQMin, nil, EmptyMarker)
+	s = apply(t, s, OpPQExtract, nil, EmptyMarker)
+	s = apply(t, s, OpPQInsert, 5, nil)
+	s = apply(t, s, OpPQInsert, 2, nil)
+	s = apply(t, s, OpPQInsert, 8, nil)
+	s = apply(t, s, OpPQMin, nil, 2)
+	s = apply(t, s, OpPQExtract, nil, 2)
+	s = apply(t, s, OpPQExtract, nil, 5)
+	s = apply(t, s, OpPQMin, nil, 8)
+	s = apply(t, s, OpPQExtract, nil, 8)
+	apply(t, s, OpPQExtract, nil, EmptyMarker)
+}
+
+func TestPQueueDuplicates(t *testing.T) {
+	s := NewPQueue().Initial()
+	s = apply(t, s, OpPQInsert, 3, nil)
+	s = apply(t, s, OpPQInsert, 3, nil)
+	s = apply(t, s, OpPQExtract, nil, 3)
+	s = apply(t, s, OpPQExtract, nil, 3)
+	apply(t, s, OpPQExtract, nil, EmptyMarker)
+}
+
+func TestPQueueExtractSortsInput(t *testing.T) {
+	f := func(items []uint8) bool {
+		s := NewPQueue().Initial()
+		for _, v := range items {
+			_, s = s.Apply(OpPQInsert, int(v))
+		}
+		sorted := make([]int, len(items))
+		for i, v := range items {
+			sorted[i] = int(v)
+		}
+		sort.Ints(sorted)
+		for _, want := range sorted {
+			ret, next := s.Apply(OpPQExtract, nil)
+			if !spec.ValuesEqual(ret, want) {
+				return false
+			}
+			s = next
+		}
+		ret, _ := s.Apply(OpPQExtract, nil)
+		return spec.ValuesEqual(ret, EmptyMarker)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPQueueInsertsCommute(t *testing.T) {
+	dt := NewPQueue()
+	a := spec.Instance{Op: OpPQInsert, Arg: 1}
+	b := spec.Instance{Op: OpPQInsert, Arg: 2}
+	if !spec.Equivalent(dt, []spec.Instance{a, b}, []spec.Instance{b, a}) {
+		t.Error("priority-queue inserts must commute (multiset semantics)")
+	}
+}
+
+func TestPQueueSliceAliasing(t *testing.T) {
+	s0 := NewPQueue().Initial()
+	_, s1 := s0.Apply(OpPQInsert, 1)
+	_, s2 := s1.Apply(OpPQInsert, 2)
+	_, s3 := s2.Apply(OpPQExtract, nil) // [2]
+	_, s4a := s3.Apply(OpPQInsert, 7)
+	_, s4b := s3.Apply(OpPQInsert, 8)
+	ra, _ := s4a.Apply(OpPQMin, nil)
+	rb, _ := s4b.Apply(OpPQMin, nil)
+	if !spec.ValuesEqual(ra, 2) || !spec.ValuesEqual(rb, 2) {
+		t.Errorf("aliasing: mins %v %v", ra, rb)
+	}
+	r2, _ := s2.Apply(OpPQExtract, nil)
+	if !spec.ValuesEqual(r2, 1) {
+		t.Errorf("original state corrupted: %v", r2)
+	}
+}
+
+func TestDequeBasics(t *testing.T) {
+	s := NewDeque().Initial()
+	s = apply(t, s, OpFront, nil, EmptyMarker)
+	s = apply(t, s, OpBack, nil, EmptyMarker)
+	s = apply(t, s, OpPushBack, 1, nil)  // [1]
+	s = apply(t, s, OpPushFront, 2, nil) // [2 1]
+	s = apply(t, s, OpPushBack, 3, nil)  // [2 1 3]
+	s = apply(t, s, OpFront, nil, 2)
+	s = apply(t, s, OpBack, nil, 3)
+	s = apply(t, s, OpPopFront, nil, 2) // [1 3]
+	s = apply(t, s, OpPopBack, nil, 3)  // [1]
+	s = apply(t, s, OpPopFront, nil, 1)
+	apply(t, s, OpPopBack, nil, EmptyMarker)
+}
+
+func TestDequeMirrorsQueueAndStack(t *testing.T) {
+	// pushBack+popFront is a queue; pushBack+popBack is a stack.
+	f := func(items []uint8) bool {
+		q := NewDeque().Initial()
+		st := NewDeque().Initial()
+		for _, v := range items {
+			_, q = q.Apply(OpPushBack, int(v))
+			_, st = st.Apply(OpPushBack, int(v))
+		}
+		for i := range items {
+			rq, nq := q.Apply(OpPopFront, nil)
+			if !spec.ValuesEqual(rq, int(items[i])) {
+				return false
+			}
+			q = nq
+			rs, ns := st.Apply(OpPopBack, nil)
+			if !spec.ValuesEqual(rs, int(items[len(items)-1-i])) {
+				return false
+			}
+			st = ns
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDequePushesDoNotCommute(t *testing.T) {
+	dt := NewDeque()
+	a := spec.Instance{Op: OpPushFront, Arg: 1}
+	b := spec.Instance{Op: OpPushFront, Arg: 2}
+	if spec.Equivalent(dt, []spec.Instance{a, b}, []spec.Instance{b, a}) {
+		t.Error("pushFront order must be observable")
+	}
+}
+
+func TestBankBasics(t *testing.T) {
+	s := NewBank(10).Initial()
+	s = apply(t, s, OpBalance, nil, 10)
+	s = apply(t, s, OpDeposit, 5, nil)
+	s = apply(t, s, OpBalance, nil, 15)
+	s = apply(t, s, OpWithdraw, 5, true)
+	s = apply(t, s, OpBalance, nil, 10)
+}
+
+func TestBankOverdraftProtection(t *testing.T) {
+	s := NewBank(3).Initial()
+	s = apply(t, s, OpWithdraw, 5, false) // insufficient funds
+	s = apply(t, s, OpBalance, nil, 3)    // unchanged
+	s = apply(t, s, OpWithdraw, 3, true)
+	s = apply(t, s, OpWithdraw, 1, false)
+	apply(t, s, OpBalance, nil, 0)
+}
+
+func TestBankNeverNegative(t *testing.T) {
+	f := func(ops []int8) bool {
+		s := NewBank(0).Initial()
+		for _, o := range ops {
+			amount := int(o)
+			if amount < 0 {
+				amount = -amount
+			}
+			if o%2 == 0 {
+				_, s = s.Apply(OpDeposit, amount)
+			} else {
+				_, s = s.Apply(OpWithdraw, amount)
+			}
+			bal, _ := s.Apply(OpBalance, nil)
+			if bal.(int) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankPairFreeWitness(t *testing.T) {
+	// Two withdrawals succeeding against the same funds cannot be
+	// serialized: after deposit(5), withdraw(5,true) cannot follow
+	// withdraw(5,true).
+	dt := NewBank(0)
+	dep := spec.Instance{Op: OpDeposit, Arg: 5}
+	w := spec.Instance{Op: OpWithdraw, Arg: 5, Ret: true}
+	if !spec.Legal(dt, []spec.Instance{dep, w}) {
+		t.Fatal("first withdrawal should succeed")
+	}
+	if spec.Legal(dt, []spec.Instance{dep, w, w}) {
+		t.Error("double-spend must be illegal")
+	}
+}
+
+func TestBankNegativeAmountRejected(t *testing.T) {
+	s := NewBank(10).Initial()
+	ret, next := s.Apply(OpWithdraw, -5)
+	if ret == nil || ret == true {
+		t.Errorf("negative withdrawal returned %v", ret)
+	}
+	if next.Fingerprint() != s.Fingerprint() {
+		t.Error("negative withdrawal changed state")
+	}
+}

@@ -1,0 +1,103 @@
+package adt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lintime/internal/spec"
+)
+
+func TestQueueEmptyBehavior(t *testing.T) {
+	s := NewQueue().Initial()
+	apply(t, s, OpDequeue, nil, EmptyMarker)
+	apply(t, s, OpPeek, nil, EmptyMarker)
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	s := NewQueue().Initial()
+	s = apply(t, s, OpEnqueue, 1, nil)
+	s = apply(t, s, OpEnqueue, 2, nil)
+	s = apply(t, s, OpEnqueue, 3, nil)
+	s = apply(t, s, OpPeek, nil, 1)
+	s = apply(t, s, OpDequeue, nil, 1)
+	s = apply(t, s, OpDequeue, nil, 2)
+	s = apply(t, s, OpPeek, nil, 3)
+	s = apply(t, s, OpDequeue, nil, 3)
+	apply(t, s, OpDequeue, nil, EmptyMarker)
+}
+
+func TestQueuePeekDoesNotMutate(t *testing.T) {
+	s := NewQueue().Initial()
+	s = apply(t, s, OpEnqueue, 9, nil)
+	before := s.Fingerprint()
+	_, next := s.Apply(OpPeek, nil)
+	if next.Fingerprint() != before {
+		t.Error("peek changed the state")
+	}
+}
+
+func TestQueueDequeueAllInOrder(t *testing.T) {
+	f := func(items []uint8) bool {
+		s := NewQueue().Initial()
+		for _, v := range items {
+			_, s = s.Apply(OpEnqueue, int(v))
+		}
+		for _, v := range items {
+			ret, next := s.Apply(OpDequeue, nil)
+			if !spec.ValuesEqual(ret, int(v)) {
+				return false
+			}
+			s = next
+		}
+		ret, _ := s.Apply(OpDequeue, nil)
+		return spec.ValuesEqual(ret, EmptyMarker)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueFingerprintCanonical(t *testing.T) {
+	a := NewQueue().Initial()
+	_, a = a.Apply(OpEnqueue, 1)
+	_, a = a.Apply(OpEnqueue, 2)
+	_, a = a.Apply(OpDequeue, nil)
+
+	b := NewQueue().Initial()
+	_, b = b.Apply(OpEnqueue, 2)
+
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("states with same contents differ: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestQueueSliceAliasing(t *testing.T) {
+	// Dequeue shares the tail slice; a subsequent enqueue on the old state
+	// must not corrupt the new one.
+	s0 := NewQueue().Initial()
+	_, s1 := s0.Apply(OpEnqueue, 1)
+	_, s2 := s1.Apply(OpEnqueue, 2)
+	_, s3 := s2.Apply(OpDequeue, nil) // s3 = [2]
+	_, s4a := s3.Apply(OpEnqueue, 7)  // s4a = [2 7]
+	_, s4b := s3.Apply(OpEnqueue, 8)  // must be [2 8], not corrupted by s4a
+	ra, _ := spec.Replay(s4a, nil).Apply(OpPeek, nil)
+	if !spec.ValuesEqual(ra, 2) {
+		t.Errorf("s4a head = %v", ra)
+	}
+	_, s5b := s4b.Apply(OpDequeue, nil)
+	rb, _ := s5b.Apply(OpDequeue, nil)
+	if !spec.ValuesEqual(rb, 8) {
+		t.Errorf("s4b second element = %v, want 8 (aliasing bug)", rb)
+	}
+}
+
+func TestQueueEnqueueLastSensitiveWitness(t *testing.T) {
+	// Different orders of the same enqueues are distinguishable by
+	// dequeue-ing to the end — the Theorem 3 witness for queues.
+	dt := NewQueue()
+	e1 := spec.Instance{Op: OpEnqueue, Arg: 1}
+	e2 := spec.Instance{Op: OpEnqueue, Arg: 2}
+	if spec.Equivalent(dt, []spec.Instance{e1, e2}, []spec.Instance{e2, e1}) {
+		t.Error("enqueue orders should not be equivalent")
+	}
+}

@@ -1,0 +1,119 @@
+package adt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lintime/internal/spec"
+)
+
+func apply(t *testing.T, s spec.State, op string, arg spec.Value, wantRet spec.Value) spec.State {
+	t.Helper()
+	ret, next := s.Apply(op, arg)
+	if !spec.ValuesEqual(ret, wantRet) {
+		t.Fatalf("%s(%v) returned %v, want %v", op, arg, ret, wantRet)
+	}
+	return next
+}
+
+func TestRegisterReadInitial(t *testing.T) {
+	s := NewRegister(7).Initial()
+	apply(t, s, OpRead, nil, 7)
+}
+
+func TestRegisterWriteRead(t *testing.T) {
+	s := NewRegister(0).Initial()
+	s = apply(t, s, OpWrite, 42, nil)
+	s = apply(t, s, OpRead, nil, 42)
+	s = apply(t, s, OpWrite, 7, nil)
+	apply(t, s, OpRead, nil, 7)
+}
+
+func TestRegisterLastWriteWins(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := NewRegister(0).Initial()
+		for _, v := range vals {
+			_, s = s.Apply(OpWrite, int(v))
+		}
+		ret, _ := s.Apply(OpRead, nil)
+		return spec.ValuesEqual(ret, int(vals[len(vals)-1]))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterFingerprint(t *testing.T) {
+	s := NewRegister(0).Initial()
+	if s.Fingerprint() != "reg:0" {
+		t.Errorf("fingerprint = %q", s.Fingerprint())
+	}
+	_, s2 := s.Apply(OpWrite, 5)
+	if s2.Fingerprint() != "reg:5" {
+		t.Errorf("fingerprint after write = %q", s2.Fingerprint())
+	}
+}
+
+func TestRegisterBadWriteArg(t *testing.T) {
+	s := NewRegister(3).Initial()
+	ret, next := s.Apply(OpWrite, "oops")
+	if ret == nil {
+		t.Error("bad arg should return error marker")
+	}
+	if next.Fingerprint() != s.Fingerprint() {
+		t.Error("bad arg must not change state")
+	}
+}
+
+func TestRMWRegisterFetchAndAdd(t *testing.T) {
+	s := NewRMWRegister(10).Initial()
+	s = apply(t, s, OpRMW, 5, 10) // returns old value 10, state becomes 15
+	s = apply(t, s, OpRead, nil, 15)
+	s = apply(t, s, OpRMW, -3, 15)
+	apply(t, s, OpRead, nil, 12)
+}
+
+func TestRMWRegisterWriteOverrides(t *testing.T) {
+	s := NewRMWRegister(0).Initial()
+	s = apply(t, s, OpRMW, 100, 0)
+	s = apply(t, s, OpWrite, 1, nil)
+	apply(t, s, OpRead, nil, 1)
+}
+
+func TestRMWRegisterSumProperty(t *testing.T) {
+	// A series of rmw(δ) from initial v0 leaves v0 + Σδ and each rmw
+	// returns the running prefix sum.
+	f := func(deltas []int8) bool {
+		s := NewRMWRegister(0).Initial()
+		sum := 0
+		for _, d := range deltas {
+			ret, next := s.Apply(OpRMW, int(d))
+			if !spec.ValuesEqual(ret, sum) {
+				return false
+			}
+			sum += int(d)
+			s = next
+		}
+		ret, _ := s.Apply(OpRead, nil)
+		return spec.ValuesEqual(ret, sum)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMWRegisterPairFreeWitness(t *testing.T) {
+	// Two rmw instances with the "solo" return value cannot both appear:
+	// rmw(1, 0) then rmw(1, 0) is illegal after the empty sequence.
+	dt := NewRMWRegister(0)
+	one := spec.Instance{Op: OpRMW, Arg: 1, Ret: 0}
+	if !spec.Legal(dt, []spec.Instance{one}) {
+		t.Fatal("single rmw(1,0) should be legal")
+	}
+	if spec.Legal(dt, []spec.Instance{one, one}) {
+		t.Error("rmw(1,0).rmw(1,0) should be illegal (pair-free witness)")
+	}
+}

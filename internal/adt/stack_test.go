@@ -1,0 +1,95 @@
+package adt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lintime/internal/spec"
+)
+
+func TestStackEmptyBehavior(t *testing.T) {
+	s := NewStack().Initial()
+	apply(t, s, OpPop, nil, EmptyMarker)
+	apply(t, s, OpPeek, nil, EmptyMarker)
+}
+
+func TestStackLIFOOrder(t *testing.T) {
+	s := NewStack().Initial()
+	s = apply(t, s, OpPush, 1, nil)
+	s = apply(t, s, OpPush, 2, nil)
+	s = apply(t, s, OpPush, 3, nil)
+	s = apply(t, s, OpPeek, nil, 3)
+	s = apply(t, s, OpPop, nil, 3)
+	s = apply(t, s, OpPop, nil, 2)
+	s = apply(t, s, OpPeek, nil, 1)
+	s = apply(t, s, OpPop, nil, 1)
+	apply(t, s, OpPop, nil, EmptyMarker)
+}
+
+func TestStackPopReversesPush(t *testing.T) {
+	f := func(items []uint8) bool {
+		s := NewStack().Initial()
+		for _, v := range items {
+			_, s = s.Apply(OpPush, int(v))
+		}
+		for i := len(items) - 1; i >= 0; i-- {
+			ret, next := s.Apply(OpPop, nil)
+			if !spec.ValuesEqual(ret, int(items[i])) {
+				return false
+			}
+			s = next
+		}
+		ret, _ := s.Apply(OpPop, nil)
+		return spec.ValuesEqual(ret, EmptyMarker)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackSliceAliasing(t *testing.T) {
+	// Pop shares the prefix slice; pushes from the popped state must not
+	// corrupt sibling states.
+	s0 := NewStack().Initial()
+	_, s1 := s0.Apply(OpPush, 1)
+	_, s2 := s1.Apply(OpPush, 2)
+	_, s3 := s2.Apply(OpPop, nil) // s3 = [1]
+	_, s4a := s3.Apply(OpPush, 7) // [1 7]
+	_, s4b := s3.Apply(OpPush, 8) // must be [1 8]
+	ra, _ := s4a.Apply(OpPeek, nil)
+	rb, _ := s4b.Apply(OpPeek, nil)
+	if !spec.ValuesEqual(ra, 7) || !spec.ValuesEqual(rb, 8) {
+		t.Errorf("aliasing bug: tops %v and %v, want 7 and 8", ra, rb)
+	}
+	// The original s2 must also still pop 2.
+	r2, _ := s2.Apply(OpPop, nil)
+	if !spec.ValuesEqual(r2, 2) {
+		t.Errorf("original state corrupted: pop = %v", r2)
+	}
+}
+
+func TestStackPushLastSensitiveWitness(t *testing.T) {
+	dt := NewStack()
+	p1 := spec.Instance{Op: OpPush, Arg: 1}
+	p2 := spec.Instance{Op: OpPush, Arg: 2}
+	if spec.Equivalent(dt, []spec.Instance{p1, p2}, []spec.Instance{p2, p1}) {
+		t.Error("push orders should not be equivalent")
+	}
+}
+
+func TestStackPeekSoleDependenceOnTop(t *testing.T) {
+	// §4.3 remarks that for stacks, peek depends only on the last push —
+	// after pushing different prefixes but the same final element, peek
+	// agrees.
+	a := NewStack().Initial()
+	_, a = a.Apply(OpPush, 1)
+	_, a = a.Apply(OpPush, 9)
+	b := NewStack().Initial()
+	_, b = b.Apply(OpPush, 2)
+	_, b = b.Apply(OpPush, 9)
+	ra, _ := a.Apply(OpPeek, nil)
+	rb, _ := b.Apply(OpPeek, nil)
+	if !spec.ValuesEqual(ra, rb) {
+		t.Errorf("peek differs: %v vs %v", ra, rb)
+	}
+}

@@ -1,0 +1,162 @@
+package adt
+
+import (
+	"testing"
+
+	"lintime/internal/spec"
+)
+
+func TestTreeInitialRootOnly(t *testing.T) {
+	s := NewTree().Initial()
+	apply(t, s, OpDepth, 0, 0)
+	apply(t, s, OpDepth, 1, AbsentMarker)
+}
+
+func TestTreeInsertAndDepth(t *testing.T) {
+	s := NewTree().Initial()
+	s = apply(t, s, OpInsert, Edge{P: 0, C: 1}, nil)
+	s = apply(t, s, OpInsert, Edge{P: 1, C: 2}, nil)
+	s = apply(t, s, OpDepth, 1, 1)
+	s = apply(t, s, OpDepth, 2, 2)
+	apply(t, s, OpDepth, 3, AbsentMarker)
+}
+
+func TestTreeInsertMissingParentNoOp(t *testing.T) {
+	s := NewTree().Initial()
+	before := s.Fingerprint()
+	_, next := s.Apply(OpInsert, Edge{P: 5, C: 6})
+	if next.Fingerprint() != before {
+		t.Error("insert under absent parent should be a no-op")
+	}
+}
+
+func TestTreeInsertRootAsChildNoOp(t *testing.T) {
+	s := NewTree().Initial()
+	_, s = s.Apply(OpInsert, Edge{P: 0, C: 1})
+	before := s.Fingerprint()
+	_, next := s.Apply(OpInsert, Edge{P: 1, C: 0})
+	if next.Fingerprint() != before {
+		t.Error("the root cannot be re-parented")
+	}
+}
+
+func TestTreeInsertMoveSemantics(t *testing.T) {
+	// insert of an existing node moves it (and its subtree).
+	s := NewTree().Initial()
+	s = apply(t, s, OpInsert, Edge{P: 0, C: 1}, nil)
+	s = apply(t, s, OpInsert, Edge{P: 0, C: 2}, nil)
+	s = apply(t, s, OpInsert, Edge{P: 1, C: 3}, nil)
+	// Move node 1 (with child 3) under node 2.
+	s = apply(t, s, OpInsert, Edge{P: 2, C: 1}, nil)
+	s = apply(t, s, OpDepth, 1, 2)
+	apply(t, s, OpDepth, 3, 3)
+}
+
+func TestTreeInsertCycleRejected(t *testing.T) {
+	// Moving a node under its own descendant would create a cycle; no-op.
+	s := NewTree().Initial()
+	_, s = s.Apply(OpInsert, Edge{P: 0, C: 1})
+	_, s = s.Apply(OpInsert, Edge{P: 1, C: 2})
+	before := s.Fingerprint()
+	_, next := s.Apply(OpInsert, Edge{P: 2, C: 1})
+	if next.Fingerprint() != before {
+		t.Error("cycle-creating insert should be a no-op")
+	}
+	// Self-loop is also a cycle.
+	_, next = s.Apply(OpInsert, Edge{P: 1, C: 1})
+	if next.Fingerprint() != before {
+		t.Error("self-loop insert should be a no-op")
+	}
+}
+
+func TestTreeInsertLastWinsParent(t *testing.T) {
+	// The Theorem 3 witness: the last insert of a node determines its
+	// parent, so insert is last-sensitive.
+	dt := NewTree()
+	rho := []spec.Instance{
+		{Op: OpInsert, Arg: Edge{P: 0, C: 1}},
+		{Op: OpInsert, Arg: Edge{P: 0, C: 2}},
+	}
+	a := append(append([]spec.Instance{}, rho...),
+		spec.Instance{Op: OpInsert, Arg: Edge{P: 1, C: 3}},
+		spec.Instance{Op: OpInsert, Arg: Edge{P: 2, C: 3}})
+	b := append(append([]spec.Instance{}, rho...),
+		spec.Instance{Op: OpInsert, Arg: Edge{P: 2, C: 3}},
+		spec.Instance{Op: OpInsert, Arg: Edge{P: 1, C: 3}})
+	if spec.Equivalent(dt, a, b) {
+		t.Error("insert orders with different last should differ")
+	}
+	sa := spec.Replay(dt.Initial(), a)
+	ra, _ := sa.Apply(OpDepth, 3)
+	if !spec.ValuesEqual(ra, 2) {
+		t.Errorf("depth(3) = %v, want 2", ra)
+	}
+}
+
+func TestTreeDeleteLeafOnly(t *testing.T) {
+	s := NewTree().Initial()
+	_, s = s.Apply(OpInsert, Edge{P: 0, C: 1})
+	_, s = s.Apply(OpInsert, Edge{P: 1, C: 2})
+	// Node 1 has a child: delete is a no-op.
+	before := s.Fingerprint()
+	_, next := s.Apply(OpDelete, 1)
+	if next.Fingerprint() != before {
+		t.Error("deleting an internal node should be a no-op")
+	}
+	// Node 2 is a leaf: delete succeeds.
+	s = apply(t, s, OpDelete, 2, nil)
+	s = apply(t, s, OpDepth, 2, AbsentMarker)
+	// Now node 1 is a leaf and can be deleted.
+	s = apply(t, s, OpDelete, 1, nil)
+	apply(t, s, OpDepth, 1, AbsentMarker)
+}
+
+func TestTreeDeleteRootNoOp(t *testing.T) {
+	s := NewTree().Initial()
+	before := s.Fingerprint()
+	_, next := s.Apply(OpDelete, 0)
+	if next.Fingerprint() != before {
+		t.Error("root must not be deletable")
+	}
+}
+
+func TestTreeDeleteOrderSensitive(t *testing.T) {
+	// The order of two deletes on a chain matters: the u/2 last-sensitive
+	// witness for delete (k = 2).
+	dt := NewTree()
+	rho := []spec.Instance{
+		{Op: OpInsert, Arg: Edge{P: 0, C: 1}},
+		{Op: OpInsert, Arg: Edge{P: 1, C: 2}},
+	}
+	d1 := spec.Instance{Op: OpDelete, Arg: 1}
+	d2 := spec.Instance{Op: OpDelete, Arg: 2}
+	a := append(append([]spec.Instance{}, rho...), d1, d2) // d1 no-op, removes 2
+	b := append(append([]spec.Instance{}, rho...), d2, d1) // removes both
+	if spec.Equivalent(dt, a, b) {
+		t.Error("delete orders should not be equivalent")
+	}
+}
+
+func TestTreeFingerprintCanonical(t *testing.T) {
+	// Same final structure via different insertion orders.
+	a := NewTree().Initial()
+	_, a = a.Apply(OpInsert, Edge{P: 0, C: 1})
+	_, a = a.Apply(OpInsert, Edge{P: 0, C: 2})
+	b := NewTree().Initial()
+	_, b = b.Apply(OpInsert, Edge{P: 0, C: 2})
+	_, b = b.Apply(OpInsert, Edge{P: 0, C: 1})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprints differ: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestTreeDepthDeepChain(t *testing.T) {
+	s := NewTree().Initial()
+	for i := 1; i <= 50; i++ {
+		_, s = s.Apply(OpInsert, Edge{P: i - 1, C: i})
+	}
+	ret, _ := s.Apply(OpDepth, 50)
+	if !spec.ValuesEqual(ret, 50) {
+		t.Errorf("depth(50) = %v, want 50", ret)
+	}
+}

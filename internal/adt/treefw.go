@@ -1,0 +1,58 @@
+package adt
+
+import "lintime/internal/spec"
+
+// TreeFW is the rooted tree with *first-wins* insert semantics: inserting
+// a node that already exists is a no-op, so the first insert of a node
+// fixes its parent forever (until the node is deleted).
+//
+// The paper's Table 4 needs two properties of tree operations that no
+// single natural insert semantics provides simultaneously:
+//
+//   - Theorem 3 (Insert ≥ (1-1/k)u) needs insert to be last-sensitive for
+//     large k, which the move-insert Tree provides ("last insert of a node
+//     determines its parent").
+//   - Theorem 5 (Insert+Depth ≥ d+min{ε,u,d/3}) needs depth to
+//     discriminate ρ.insert₀ from ρ.insert₁.insert₀, which requires the
+//     *earlier* insert to win — this variant.
+//
+// Under first-wins semantics insert is still last-sensitive with k = 2
+// (two inserts of the same node under different parents do not commute),
+// giving the u/2 bound. See EXPERIMENTS.md for the full discussion.
+type TreeFW struct{}
+
+// NewTreeFW returns the first-wins rooted tree data type.
+func NewTreeFW() *TreeFW { return &TreeFW{} }
+
+// Name implements spec.DataType.
+func (t *TreeFW) Name() string { return "treefw" }
+
+// Ops implements spec.DataType.
+func (t *TreeFW) Ops() []spec.OpInfo { return treeOps() }
+
+// Initial implements spec.DataType.
+func (t *TreeFW) Initial() spec.State { return treeFWState{treeState{parent: map[int]int{}}} }
+
+// treeFWState wraps treeState, overriding insert to be first-wins.
+type treeFWState struct {
+	treeState
+}
+
+func (s treeFWState) Apply(op string, arg spec.Value) (spec.Value, spec.State) {
+	if op == OpInsert {
+		e, ok := arg.(Edge)
+		if !ok {
+			return errValue(op, arg), s
+		}
+		if s.has(e.C) || !s.has(e.P) {
+			return nil, s // first insert wins; later inserts are no-ops
+		}
+		next := s.clone()
+		next.parent[e.C] = e.P
+		return nil, treeFWState{next}
+	}
+	ret, inner := s.treeState.Apply(op, arg)
+	return ret, treeFWState{inner.(treeState)}
+}
+
+func (s treeFWState) Fingerprint() string { return "fw" + s.treeState.Fingerprint() }

@@ -1,0 +1,84 @@
+package adt
+
+import (
+	"testing"
+
+	"lintime/internal/spec"
+)
+
+func TestTreeFWFirstInsertWins(t *testing.T) {
+	s := NewTreeFW().Initial()
+	s = apply(t, s, OpInsert, Edge{P: 0, C: 1}, nil)
+	s = apply(t, s, OpInsert, Edge{P: 1, C: 2}, nil)
+	// Node 2 already exists: re-insert elsewhere is a no-op.
+	s = apply(t, s, OpInsert, Edge{P: 0, C: 2}, nil)
+	apply(t, s, OpDepth, 2, 2)
+}
+
+func TestTreeFWDeleteThenReinsert(t *testing.T) {
+	s := NewTreeFW().Initial()
+	s = apply(t, s, OpInsert, Edge{P: 0, C: 1}, nil)
+	s = apply(t, s, OpInsert, Edge{P: 0, C: 2}, nil)
+	s = apply(t, s, OpDelete, 2, nil)
+	// After deletion the node can be inserted again, elsewhere.
+	s = apply(t, s, OpInsert, Edge{P: 1, C: 2}, nil)
+	apply(t, s, OpDepth, 2, 2)
+}
+
+func TestTreeFWDeleteLeafOnly(t *testing.T) {
+	s := NewTreeFW().Initial()
+	_, s = s.Apply(OpInsert, Edge{P: 0, C: 1})
+	_, s = s.Apply(OpInsert, Edge{P: 1, C: 2})
+	before := s.Fingerprint()
+	_, next := s.Apply(OpDelete, 1)
+	if next.Fingerprint() != before {
+		t.Error("deleting an internal node should be a no-op")
+	}
+}
+
+func TestTreeFWMissingParentNoOp(t *testing.T) {
+	s := NewTreeFW().Initial()
+	before := s.Fingerprint()
+	_, next := s.Apply(OpInsert, Edge{P: 9, C: 10})
+	if next.Fingerprint() != before {
+		t.Error("insert under absent parent should be a no-op")
+	}
+}
+
+func TestTreeFWTheorem5DiscriminatorShape(t *testing.T) {
+	// The configuration used by Theorem 5 for trees: parents at different
+	// depths, first-wins decides which one node 4 lands under, and depth
+	// observes the difference.
+	dt := NewTreeFW()
+	rho := []spec.Instance{
+		{Op: OpInsert, Arg: Edge{P: 0, C: 1}},
+		{Op: OpInsert, Arg: Edge{P: 1, C: 3}},
+	}
+	op0 := spec.Instance{Op: OpInsert, Arg: Edge{P: 1, C: 2}} // depth 2
+	op1 := spec.Instance{Op: OpInsert, Arg: Edge{P: 3, C: 2}} // depth 3
+
+	s := spec.Replay(dt.Initial(), rho)
+	_, after0 := s.Apply(op0.Op, op0.Arg)
+	_, after1 := s.Apply(op1.Op, op1.Arg)
+	_, after10 := after1.Apply(op0.Op, op0.Arg)
+	_, after01 := after0.Apply(op1.Op, op1.Arg)
+
+	d0a, _ := after0.Apply(OpDepth, 2)
+	d0b, _ := after10.Apply(OpDepth, 2)
+	if spec.ValuesEqual(d0a, d0b) {
+		t.Errorf("depth(2) must discriminate ρ.op0 (%v) from ρ.op1.op0 (%v)", d0a, d0b)
+	}
+	d1a, _ := after1.Apply(OpDepth, 2)
+	d1b, _ := after01.Apply(OpDepth, 2)
+	if spec.ValuesEqual(d1a, d1b) {
+		t.Errorf("depth(2) must discriminate ρ.op1 (%v) from ρ.op0.op1 (%v)", d1a, d1b)
+	}
+}
+
+func TestTreeFWBadArgsTotal(t *testing.T) {
+	s := NewTreeFW().Initial()
+	ret, next := s.Apply(OpInsert, "junk")
+	if ret == nil || next == nil {
+		t.Error("bad insert arg should return error marker and valid state")
+	}
+}

@@ -1,0 +1,271 @@
+package bounds
+
+import (
+	"fmt"
+	"strings"
+
+	"lintime/internal/simtime"
+)
+
+// Row is one line of a paper table: an operation (or sum of operations)
+// with its previously known lower bound, the paper's new lower bound, the
+// paper's claimed upper bound, and this implementation's corrected upper
+// bound.
+type Row struct {
+	Operation  string
+	PrevLower  Bound
+	NewLower   Bound
+	PaperUpper Bound
+	Upper      Bound
+	Note       string
+}
+
+// Table is one of the paper's evaluation tables, evaluated for concrete
+// parameters.
+type Table struct {
+	Number int
+	Title  string
+	Params simtime.Params
+	Rows   []Row
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table %d: %s  (n=%d d=%v u=%v ε=%v X=%v)\n",
+		t.Number, t.Title, t.Params.N, t.Params.D, t.Params.U, t.Params.Epsilon, t.Params.X)
+	fmt.Fprintf(&b, "  %-16s | %-22s | %-30s | %-26s | %-26s\n",
+		"operation", "previous lower", "new lower", "paper upper", "our upper")
+	fmt.Fprintf(&b, "  %s\n", strings.Repeat("-", 130))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-16s | %-22s | %-30s | %-26s | %-26s\n",
+			r.Operation, r.PrevLower, r.NewLower, r.PaperUpper, r.Upper)
+		if r.Note != "" {
+			fmt.Fprintf(&b, "  %-16s   note: %s\n", "", r.Note)
+		}
+	}
+	return b.String()
+}
+
+// Table1 is the paper's Table 1: read/write/read-modify-write registers.
+func Table1(p simtime.Params) Table {
+	return Table{
+		Number: 1,
+		Title:  "Operation Bounds for Read/Write/Read-Modify-Write Registers",
+		Params: p,
+		Rows: []Row{
+			{
+				Operation:  "rmw",
+				PrevLower:  JustD(p, "[13]"),
+				NewLower:   PairFree(p),
+				PaperUpper: UpperOOP(p),
+				Upper:      UpperOOP(p),
+			},
+			{
+				Operation:  "write",
+				PrevLower:  HalfU(p, "[3]"),
+				NewLower:   LastSensitive(p, p.N),
+				PaperUpper: UpperMOPBest(p),
+				Upper:      UpperMOPBest(p),
+			},
+			{
+				Operation:  "read",
+				PrevLower:  QuarterU(p), // [3]; Theorem 2 generalizes it
+				NewLower:   None(),
+				PaperUpper: UpperAOPBestPaper(p),
+				Upper:      UpperAOPBest(p),
+			},
+			{
+				Operation:  "write+read",
+				PrevLower:  JustD(p, "[13]"),
+				NewLower:   None(),
+				PaperUpper: UpperSumPaper(p),
+				Upper:      UpperSum(p),
+			},
+		},
+	}
+}
+
+// Table2 is the paper's Table 2: FIFO queues.
+func Table2(p simtime.Params) Table {
+	return Table{
+		Number: 2,
+		Title:  "Operation Bounds for Queues",
+		Params: p,
+		Rows: []Row{
+			{
+				Operation:  "enqueue",
+				PrevLower:  HalfU(p, "[3]"),
+				NewLower:   LastSensitive(p, p.N),
+				PaperUpper: UpperMOPBest(p),
+				Upper:      UpperMOPBest(p),
+			},
+			{
+				Operation:  "dequeue",
+				PrevLower:  JustD(p, "[3]"),
+				NewLower:   PairFree(p),
+				PaperUpper: UpperOOP(p),
+				Upper:      UpperOOP(p),
+			},
+			{
+				Operation:  "peek",
+				PrevLower:  None(),
+				NewLower:   QuarterU(p),
+				PaperUpper: UpperAOPBestPaper(p),
+				Upper:      UpperAOPBest(p),
+			},
+			{
+				Operation:  "enqueue+peek",
+				PrevLower:  JustD(p, "[13]"),
+				NewLower:   SumDiscriminated(p),
+				PaperUpper: UpperSumPaper(p),
+				Upper:      UpperSum(p),
+			},
+		},
+	}
+}
+
+// Table3 is the paper's Table 3: stacks. Push+peek has no Theorem 5 bound
+// because a stack's peek depends only on the last push (§4.3).
+func Table3(p simtime.Params) Table {
+	return Table{
+		Number: 3,
+		Title:  "Operation Bounds for Stacks",
+		Params: p,
+		Rows: []Row{
+			{
+				Operation:  "push",
+				PrevLower:  HalfU(p, "[3]"),
+				NewLower:   LastSensitive(p, p.N),
+				PaperUpper: UpperMOPBest(p),
+				Upper:      UpperMOPBest(p),
+			},
+			{
+				Operation:  "pop",
+				PrevLower:  JustD(p, "[3]"),
+				NewLower:   PairFree(p),
+				PaperUpper: UpperOOP(p),
+				Upper:      UpperOOP(p),
+			},
+			{
+				Operation:  "peek",
+				PrevLower:  None(),
+				NewLower:   QuarterU(p),
+				PaperUpper: UpperAOPBestPaper(p),
+				Upper:      UpperAOPBest(p),
+			},
+			{
+				Operation:  "push+peek",
+				PrevLower:  JustD(p, "[13]"),
+				NewLower:   None(),
+				PaperUpper: UpperSumPaper(p),
+				Upper:      UpperSum(p),
+				Note:       "Theorem 5 inapplicable: a stack's peek depends only on the last push",
+			},
+		},
+	}
+}
+
+// Table4 is the paper's Table 4: simple rooted trees. The paper does not
+// pin down tree semantics; the notes record which of our two variants
+// (move-insert "tree", first-wins "treefw") witnesses each bound.
+func Table4(p simtime.Params) Table {
+	return Table{
+		Number: 4,
+		Title:  "Operation Bounds for Simple Rooted Trees",
+		Params: p,
+		Rows: []Row{
+			{
+				Operation:  "insert",
+				PrevLower:  HalfU(p, "[13]"),
+				NewLower:   LastSensitive(p, p.N),
+				PaperUpper: UpperMOPBest(p),
+				Upper:      UpperMOPBest(p),
+				Note:       "(1-1/n)u witnessed by move-insert semantics; first-wins gives u/2",
+			},
+			{
+				Operation:  "delete",
+				PrevLower:  HalfU(p, "[13]"),
+				NewLower:   LastSensitive(p, 2),
+				PaperUpper: UpperMOPBest(p),
+				Upper:      UpperMOPBest(p),
+				Note:       "paper claims (1-1/n)u; leaf-delete witnesses only k=2 (u/2) — see EXPERIMENTS.md",
+			},
+			{
+				Operation:  "depth",
+				PrevLower:  None(),
+				NewLower:   QuarterU(p),
+				PaperUpper: UpperAOPBestPaper(p),
+				Upper:      UpperAOPBest(p),
+			},
+			{
+				Operation:  "insert+depth",
+				PrevLower:  JustD(p, "[13]"),
+				NewLower:   SumDiscriminated(p),
+				PaperUpper: UpperSumPaper(p),
+				Upper:      UpperSum(p),
+				Note:       "Theorem 5 witnessed by first-wins insert; move-insert admits no discriminators",
+			},
+			{
+				Operation:  "delete+depth",
+				PrevLower:  JustD(p, "[13]"),
+				NewLower:   SumDiscriminated(p),
+				PaperUpper: UpperSumPaper(p),
+				Upper:      UpperSum(p),
+				Note:       "paper claims Thm 5; leaf-delete admits no discriminators (deletes commute or block) — see EXPERIMENTS.md",
+			},
+		},
+	}
+}
+
+// Table5 is the class-level summary of Section 6.
+func Table5(p simtime.Params) Table {
+	return Table{
+		Number: 5,
+		Title:  "Summary: Bounds by Operation Class",
+		Params: p,
+		Rows: []Row{
+			{
+				Operation:  "pure accessor",
+				PrevLower:  None(),
+				NewLower:   QuarterU(p),
+				PaperUpper: UpperAOPPaper(p),
+				Upper:      UpperAOP(p),
+			},
+			{
+				Operation:  "last-sens. MOP",
+				PrevLower:  HalfU(p, "[3]"),
+				NewLower:   LastSensitive(p, p.N),
+				PaperUpper: UpperMOP(p),
+				Upper:      UpperMOP(p),
+			},
+			{
+				Operation:  "pair-free op",
+				PrevLower:  JustD(p, "[13]"),
+				NewLower:   PairFree(p),
+				PaperUpper: UpperOOP(p),
+				Upper:      UpperOOP(p),
+			},
+			{
+				Operation:  "MOP+AOP sum",
+				PrevLower:  JustD(p, "[15]"),
+				NewLower:   SumDiscriminated(p),
+				PaperUpper: UpperSumPaper(p),
+				Upper:      UpperSum(p),
+			},
+			{
+				Operation:  "any op",
+				PrevLower:  None(),
+				NewLower:   None(),
+				PaperUpper: UpperOOP(p),
+				Upper:      UpperOOP(p),
+				Note:       "folklore baselines need " + Folklore(p).String(),
+			},
+		},
+	}
+}
+
+// AllTables evaluates Tables 1-5 for the given parameters.
+func AllTables(p simtime.Params) []Table {
+	return []Table{Table1(p), Table2(p), Table3(p), Table4(p), Table5(p)}
+}

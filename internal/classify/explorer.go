@@ -1,0 +1,130 @@
+// Package classify implements decision procedures for the algebraic
+// operation properties defined in Sections 2.1, 3 and 4 of the paper:
+// mutator, accessor, pure mutator/accessor, overwriter, transposable,
+// last-sensitive, pair-free, and discriminators.
+//
+// The properties quantify over all legal sequences ρ, which is undecidable
+// in general; we decide them over a bounded exploration of the reachable
+// state space using the argument samples each data type declares. For
+// existential properties (mutator, accessor, last-sensitive, pair-free)
+// the procedures return concrete witnesses that are sound by construction;
+// for universal properties (overwriter, transposable) they return either a
+// concrete counterexample or "holds within bounds".
+package classify
+
+import (
+	"fmt"
+
+	"lintime/internal/spec"
+)
+
+// Config bounds the state-space exploration.
+type Config struct {
+	// MaxStates caps the number of distinct reachable states explored.
+	MaxStates int
+	// MaxDepth caps the length of the witness sequences ρ considered.
+	MaxDepth int
+}
+
+// DefaultConfig returns exploration bounds adequate for all data types in
+// the adt package.
+func DefaultConfig() Config { return Config{MaxStates: 600, MaxDepth: 6} }
+
+// ReachedState is a reachable state together with a legal sequence ρ that
+// produces it from the initial state.
+type ReachedState struct {
+	State spec.State
+	Rho   []spec.Instance
+}
+
+// Explorer enumerates reachable states of a data type, deduplicated by
+// fingerprint, in breadth-first order so witness sequences are shortest.
+type Explorer struct {
+	dt     spec.DataType
+	cfg    Config
+	states []ReachedState
+	seen   map[string]bool
+}
+
+// NewExplorer explores the reachable states of dt up to the bounds in cfg.
+func NewExplorer(dt spec.DataType, cfg Config) *Explorer {
+	e := &Explorer{dt: dt, cfg: cfg, seen: map[string]bool{}}
+	e.explore()
+	return e
+}
+
+func (e *Explorer) explore() {
+	initial := e.dt.Initial()
+	e.states = append(e.states, ReachedState{State: initial})
+	e.seen[initial.Fingerprint()] = true
+	frontier := []int{0}
+	for depth := 0; depth < e.cfg.MaxDepth && len(frontier) > 0; depth++ {
+		var next []int
+		for _, idx := range frontier {
+			cur := e.states[idx]
+			for _, op := range e.dt.Ops() {
+				for _, arg := range op.Args {
+					if len(e.states) >= e.cfg.MaxStates {
+						return
+					}
+					ret, ns := cur.State.Apply(op.Name, arg)
+					fp := ns.Fingerprint()
+					if e.seen[fp] {
+						continue
+					}
+					e.seen[fp] = true
+					rho := make([]spec.Instance, len(cur.Rho)+1)
+					copy(rho, cur.Rho)
+					rho[len(cur.Rho)] = spec.Instance{Op: op.Name, Arg: arg, Ret: ret}
+					e.states = append(e.states, ReachedState{State: ns, Rho: rho})
+					next = append(next, len(e.states)-1)
+				}
+			}
+		}
+		frontier = next
+	}
+}
+
+// States returns all explored reachable states.
+func (e *Explorer) States() []ReachedState { return e.states }
+
+// DataType returns the explored data type.
+func (e *Explorer) DataType() spec.DataType { return e.dt }
+
+// instancesAt returns all instances of op legal immediately after the
+// given state, one per sampled argument.
+func (e *Explorer) instancesAt(s spec.State, opName string) []spec.Instance {
+	op, ok := spec.FindOp(e.dt, opName)
+	if !ok {
+		return nil
+	}
+	out := make([]spec.Instance, 0, len(op.Args))
+	for _, arg := range op.Args {
+		ret, _ := s.Apply(opName, arg)
+		out = append(out, spec.Instance{Op: opName, Arg: arg, Ret: ret})
+	}
+	return out
+}
+
+// allInstancesAt returns the legal next instances of every operation at s.
+func (e *Explorer) allInstancesAt(s spec.State) []spec.Instance {
+	var out []spec.Instance
+	for _, op := range e.dt.Ops() {
+		out = append(out, e.instancesAt(s, op.Name)...)
+	}
+	return out
+}
+
+// Witness describes why a property holds (or fails), as a human-readable
+// explanation plus the sequences involved.
+type Witness struct {
+	Rho       []spec.Instance
+	Instances []spec.Instance
+	Note      string
+}
+
+// String renders the witness.
+func (w Witness) String() string {
+	return fmt.Sprintf("ρ=%s; instances=%s; %s",
+		spec.FormatSeq(w.Rho), spec.FormatSeq(w.Instances), w.Note)
+}

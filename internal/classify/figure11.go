@@ -1,0 +1,68 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Figure11 reproduces the paper's Figure 11 — the relationships between
+// the operation classes the lower bounds cover, relative to the
+// accessor/mutator partition the algorithm uses — as a computed artifact:
+// every operation of every supplied report is placed into its region by
+// the decision procedures, not by hand.
+//
+// Regions:
+//
+//	pure accessors                          → Theorem 2 (u/4)
+//	mutators (pure and mixed)
+//	  └ last-sensitive (transposable)       → Theorem 3 ((1-1/k)u)
+//	accessor ∩ mutator (mixed)
+//	  └ pair-free                           → Theorem 4 (d+min{ε,u,d/3})
+//	mutators/accessors outside every class  → no known lower bound
+func Figure11(reports []Report) string {
+	var pureAcc, lastSens, pairFree, plainMut, plainMixed []string
+	for _, rep := range reports {
+		for _, op := range rep.Ops {
+			name := rep.Type + "." + op.Op
+			switch {
+			case op.Class == PureAccessor:
+				pureAcc = append(pureAcc, name)
+			case op.PairFree:
+				pairFree = append(pairFree, name)
+			case op.LastSensitiveK >= 2:
+				lastSens = append(lastSens, fmt.Sprintf("%s (k≥%d)", name, op.LastSensitiveK))
+			case op.Class == PureMutator:
+				plainMut = append(plainMut, name)
+			default:
+				plainMixed = append(plainMixed, name)
+			}
+		}
+	}
+	for _, s := range [][]string{pureAcc, lastSens, pairFree, plainMut, plainMixed} {
+		sort.Strings(s)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 11 (computed): lower-bound classes within the accessor/mutator partition\n")
+	b.WriteString("\n  ACCESSORS ONLY — pure accessors [Theorem 2: u/4]\n")
+	writeRegion(&b, pureAcc)
+	b.WriteString("\n  MUTATORS — last-sensitive, transposable [Theorem 3: (1-1/k)u]\n")
+	writeRegion(&b, lastSens)
+	b.WriteString("\n  ACCESSOR ∩ MUTATOR — pair-free [Theorem 4: d+min{ε,u,d/3}]\n")
+	writeRegion(&b, pairFree)
+	b.WriteString("\n  MUTATORS outside every lower-bound class (commutative)\n")
+	writeRegion(&b, plainMut)
+	b.WriteString("\n  MIXED operations outside every lower-bound class\n")
+	writeRegion(&b, plainMixed)
+	return b.String()
+}
+
+func writeRegion(b *strings.Builder, ops []string) {
+	if len(ops) == 0 {
+		b.WriteString("    (none)\n")
+		return
+	}
+	for _, op := range ops {
+		fmt.Fprintf(b, "    %s\n", op)
+	}
+}

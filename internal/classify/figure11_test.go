@@ -1,0 +1,64 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+
+	"lintime/internal/adt"
+)
+
+func TestFigure11Placement(t *testing.T) {
+	var reports []Report
+	for _, name := range adt.Names() {
+		reports = append(reports, explorerFor(t, name).Report())
+	}
+	fig := Figure11(reports)
+
+	// Region membership per the paper's figure, computed by the decision
+	// procedures.
+	sections := strings.Split(fig, "\n\n")
+	if len(sections) != 6 {
+		t.Fatalf("figure has %d sections, want 6 (title + 5 regions):\n%s", len(sections), fig)
+	}
+	sections = sections[1:] // drop the title
+	inSection := func(section int, entry string) bool {
+		return strings.Contains(sections[section], entry)
+	}
+	cases := []struct {
+		entry   string
+		section int
+	}{
+		{"queue.peek", 0},
+		{"register.read", 0},
+		{"tree.depth", 0},
+		{"register.write", 1},
+		{"queue.enqueue", 1},
+		{"stack.push", 1},
+		{"log.append", 1},
+		{"queue.dequeue", 2},
+		{"stack.pop", 2},
+		{"rmwregister.rmw", 2},
+		{"bank.withdraw", 2},
+		{"set.add", 3},
+		{"counter.inc", 3},
+		{"maxregister.writemax", 3},
+		{"pqueue.insert", 3},
+	}
+	for _, c := range cases {
+		if !inSection(c.section, c.entry) {
+			t.Errorf("%s not placed in section %d:\n%s", c.entry, c.section, sections[c.section])
+		}
+		for other := 0; other < 5; other++ {
+			if other != c.section && inSection(other, c.entry+"\n") {
+				t.Errorf("%s also appears in section %d", c.entry, other)
+			}
+		}
+	}
+}
+
+func TestFigure11EmptyRegions(t *testing.T) {
+	fig := Figure11(nil)
+	if got := strings.Count(fig, "(none)"); got != 5 {
+		t.Errorf("empty figure should mark 5 empty regions, got %d", got)
+	}
+}

@@ -1,0 +1,136 @@
+package classify
+
+import (
+	"fmt"
+
+	"lintime/internal/spec"
+)
+
+// IsPairFree searches for a pair-free witness for op: instances op1, op2
+// and a sequence ρ such that ρ.op1 and ρ.op2 are legal but ρ.op1.op2 and
+// ρ.op2.op1 are both illegal. Lemma 3: every pair-free operation is both
+// an accessor and a mutator; Theorem 4 then gives the d+min{ε,u,d/3}
+// lower bound.
+func (e *Explorer) IsPairFree(op string) (bool, Witness) {
+	for _, rs := range e.states {
+		insts := e.distinctInstancesAt(rs.State, op)
+		for i, op1 := range insts {
+			for j, op2 := range insts {
+				if j < i {
+					continue // unordered pairs; op1 == op2 allowed
+				}
+				_, after1 := rs.State.Apply(op1.Op, op1.Arg)
+				ret12, _ := after1.Apply(op2.Op, op2.Arg)
+				if spec.ValuesEqual(ret12, op2.Ret) {
+					continue // ρ.op1.op2 legal
+				}
+				_, after2 := rs.State.Apply(op2.Op, op2.Arg)
+				ret21, _ := after2.Apply(op1.Op, op1.Arg)
+				if spec.ValuesEqual(ret21, op1.Ret) {
+					continue // ρ.op2.op1 legal
+				}
+				return true, Witness{
+					Rho:       rs.Rho,
+					Instances: []spec.Instance{op1, op2},
+					Note:      "neither instance can follow the other",
+				}
+			}
+		}
+	}
+	return false, Witness{Note: "no pair-free witness within exploration bounds"}
+}
+
+// Discriminator is a pair of instances of a pure accessor with the same
+// argument but different return values that distinguishes two sequences:
+// A is legal only after the first sequence, B only after the second.
+type Discriminator struct {
+	A spec.Instance
+	B spec.Instance
+}
+
+// String renders the discriminator.
+func (d Discriminator) String() string { return fmt.Sprintf("(%s | %s)", d.A, d.B) }
+
+// FindDiscriminator searches for a discriminator in aop for the states
+// reached by two legal sequences (given directly as states): an argument
+// on which the responses differ.
+func (e *Explorer) FindDiscriminator(aop string, s1, s2 spec.State) (Discriminator, bool) {
+	op, ok := spec.FindOp(e.dt, aop)
+	if !ok {
+		return Discriminator{}, false
+	}
+	for _, arg := range op.Args {
+		r1, _ := s1.Apply(aop, arg)
+		r2, _ := s2.Apply(aop, arg)
+		if !spec.ValuesEqual(r1, r2) {
+			return Discriminator{
+				A: spec.Instance{Op: aop, Arg: arg, Ret: r1},
+				B: spec.Instance{Op: aop, Arg: arg, Ret: r2},
+			}, true
+		}
+	}
+	return Discriminator{}, false
+}
+
+// Theorem5Witness packages the hypotheses of Theorem 5 for a pair
+// (OP, AOP): two instances op0, op1 of OP legal after ρ, and the three
+// discriminators the theorem requires.
+type Theorem5Witness struct {
+	Rho      []spec.Instance
+	Op0, Op1 spec.Instance
+	// Disc0 discriminates ρ.op0 from ρ.op1.op0.
+	Disc0 Discriminator
+	// Disc1 discriminates ρ.op1 from ρ.op0.op1.
+	Disc1 Discriminator
+	// Disc2 discriminates ρ.op0.op1 from ρ.op1.
+	Disc2 Discriminator
+}
+
+// Theorem5Applicable searches for a Theorem 5 witness for the pair
+// (op, aop): op must be transposable, aop a pure accessor, and there must
+// exist ρ, op0, op1 with the three discriminators. The paper's example is
+// (enqueue, peek) on a queue; (push, peek) on a stack has no witness
+// because peek depends only on the last push.
+func (e *Explorer) Theorem5Applicable(op, aop string) (Theorem5Witness, bool) {
+	if trans, _ := e.IsTransposable(op); !trans {
+		return Theorem5Witness{}, false
+	}
+	if !e.IsPureAccessor(aop) {
+		return Theorem5Witness{}, false
+	}
+	for _, rs := range e.states {
+		insts := e.distinctInstancesAt(rs.State, op)
+		for i, op0 := range insts {
+			for j, op1 := range insts {
+				if i == j {
+					continue
+				}
+				_, after0 := rs.State.Apply(op0.Op, op0.Arg) // ρ.op0
+				_, after1 := rs.State.Apply(op1.Op, op1.Arg) // ρ.op1
+				_, after10 := after1.Apply(op0.Op, op0.Arg)  // ρ.op1.op0
+				_, after01 := after0.Apply(op1.Op, op1.Arg)  // ρ.op0.op1
+				d0, ok0 := e.FindDiscriminator(aop, after0, after10)
+				if !ok0 {
+					continue
+				}
+				d1, ok1 := e.FindDiscriminator(aop, after1, after01)
+				if !ok1 {
+					continue
+				}
+				d2, ok2 := e.FindDiscriminator(aop, after01, after1)
+				if !ok2 {
+					continue
+				}
+				return Theorem5Witness{
+					Rho:   rs.Rho,
+					Op0:   op0,
+					Op1:   op1,
+					Disc0: d0,
+					Disc1: d1,
+					Disc2: d2,
+				}, true
+			}
+		}
+	}
+	return Theorem5Witness{}, false
+}

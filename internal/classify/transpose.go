@@ -1,0 +1,164 @@
+package classify
+
+import (
+	"fmt"
+
+	"lintime/internal/spec"
+)
+
+// IsTransposable decides (within bounds) whether op is transposable: for
+// any two distinct instances op1, op2 of op and any ρ, if ρ.op1 and ρ.op2
+// are both legal then ρ.op1.op2 and ρ.op2.op1 are both legal. Returns
+// holds=false with a counterexample if an ordering is illegal.
+func (e *Explorer) IsTransposable(op string) (bool, Witness) {
+	for _, rs := range e.states {
+		insts := e.distinctInstancesAt(rs.State, op)
+		for i, op1 := range insts {
+			for j, op2 := range insts {
+				if i == j {
+					continue
+				}
+				// ρ.op1 and ρ.op2 are legal by construction; check that
+				// op2 stays legal after op1.
+				_, after1 := rs.State.Apply(op1.Op, op1.Arg)
+				ret2, _ := after1.Apply(op2.Op, op2.Arg)
+				if !spec.ValuesEqual(ret2, op2.Ret) {
+					return false, Witness{
+						Rho:       rs.Rho,
+						Instances: []spec.Instance{op1, op2},
+						Note: fmt.Sprintf("ρ.%s.%s illegal: %s returns %s after %s",
+							op1, op2, op2.Op, spec.FormatValue(ret2), op1),
+					}
+				}
+			}
+		}
+	}
+	return true, Witness{Note: "no counterexample within exploration bounds"}
+}
+
+// distinctInstancesAt returns the instances of op legal at s, deduplicated
+// as (arg, ret) pairs.
+func (e *Explorer) distinctInstancesAt(s spec.State, op string) []spec.Instance {
+	insts := e.instancesAt(s, op)
+	var out []spec.Instance
+	for _, in := range insts {
+		dup := false
+		for _, prev := range out {
+			if spec.ValuesEqual(prev.Arg, in.Arg) && spec.ValuesEqual(prev.Ret, in.Ret) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// permutations returns all permutations of 0..n-1. n must be small (≤ 5).
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	sub := permutations(n - 1)
+	for _, p := range sub {
+		for pos := 0; pos <= len(p); pos++ {
+			q := make([]int, 0, n)
+			q = append(q, p[:pos]...)
+			q = append(q, n-1)
+			q = append(q, p[pos:]...)
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// combinations returns all k-subsets of 0..n-1.
+func combinations(n, k int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// IsLastSensitive searches for a last-sensitive witness for op with k
+// distinct instances: a state ρ and instances op_0..op_{k-1}, all legal
+// after ρ, such that any two permutations with different last elements
+// lead to non-equivalent states. op must be transposable for the
+// Theorem 3 bound (1-1/k)u to apply; callers should check separately.
+func (e *Explorer) IsLastSensitive(op string, k int) (bool, Witness) {
+	if k < 2 {
+		return false, Witness{Note: "k must be at least 2"}
+	}
+	perms := permutations(k)
+	for _, rs := range e.states {
+		insts := e.distinctInstancesAt(rs.State, op)
+		if len(insts) < k {
+			continue
+		}
+		for _, combo := range combinations(len(insts), k) {
+			chosen := make([]spec.Instance, k)
+			for i, idx := range combo {
+				chosen[i] = insts[idx]
+			}
+			if e.lastSensitiveWitnessHolds(rs.State, chosen, perms) {
+				return true, Witness{
+					Rho:       rs.Rho,
+					Instances: chosen,
+					Note:      fmt.Sprintf("permutations with different last of these %d instances are pairwise non-equivalent", k),
+				}
+			}
+		}
+	}
+	return false, Witness{Note: fmt.Sprintf("no k=%d witness within exploration bounds", k)}
+}
+
+// lastSensitiveWitnessHolds checks that for the chosen instances at state
+// s, permutations with different last elements always produce different
+// state fingerprints.
+func (e *Explorer) lastSensitiveWitnessHolds(s spec.State, chosen []spec.Instance, perms [][]int) bool {
+	// fingerprint -> index of last instance that produced it
+	fpLast := map[string]int{}
+	for _, perm := range perms {
+		cur := s
+		for _, idx := range perm {
+			_, cur = cur.Apply(chosen[idx].Op, chosen[idx].Arg)
+		}
+		fp := cur.Fingerprint()
+		last := perm[len(perm)-1]
+		if prev, ok := fpLast[fp]; ok {
+			if prev != last {
+				return false // same state from permutations with different lasts
+			}
+		} else {
+			fpLast[fp] = last
+		}
+	}
+	return true
+}
+
+// MaxLastSensitiveK returns the largest k in [2, maxK] for which a
+// last-sensitive witness was found, or 0 if none.
+func (e *Explorer) MaxLastSensitiveK(op string, maxK int) int {
+	best := 0
+	for k := 2; k <= maxK; k++ {
+		ok, _ := e.IsLastSensitive(op, k)
+		if ok {
+			best = k
+		} else {
+			break // instances come from the same pool; larger k will not appear
+		}
+	}
+	return best
+}

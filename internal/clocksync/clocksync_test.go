@@ -1,0 +1,147 @@
+package clocksync
+
+import (
+	"math/rand"
+	"testing"
+
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+)
+
+func scParams(n int) simtime.Params {
+	u := simtime.Quantum // divisible by 2n for all test n
+	return simtime.Params{N: n, D: 2 * simtime.Quantum, U: u,
+		Epsilon: simtime.OptimalEpsilon(n, u)}
+}
+
+func skewOf(offsets []simtime.Duration) simtime.Duration {
+	return maxSkew(offsets)
+}
+
+func TestSyncUniformDelaysPerfect(t *testing.T) {
+	// With all delays equal to the midpoint d-u/2 the estimates are exact
+	// and the corrected clocks agree perfectly, regardless of initial
+	// offsets.
+	p := scParams(4)
+	initial := []simtime.Duration{0, 5040, 2520, 7560}
+	net := sim.UniformNetwork{D: p.D - p.U/2}
+	out, err := Run(p, initial, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := skewOf(out); got != 0 {
+		t.Errorf("midpoint delays should synchronize exactly, skew = %v", got)
+	}
+}
+
+func TestSyncAdversarialAchievesExactBound(t *testing.T) {
+	// The Lundelius-Lynch worst case: all messages into p0 travel at
+	// d-u (p0 overestimates every peer by u/2) and all messages into p1
+	// at d (p1 underestimates every peer by u/2). The corrected skew
+	// between p0 and p1 is then exactly (1-1/n)·u — the optimum is tight.
+	for _, n := range []int{2, 3, 5, 8} {
+		p := scParams(n)
+		net := sim.NewPairwiseNetwork(n, p.D-p.U/2)
+		for i := 0; i < n; i++ {
+			if i != 0 {
+				net.Set(sim.ProcID(i), 0, p.D-p.U)
+			}
+			if i != 1 {
+				net.Set(sim.ProcID(i), 1, p.D)
+			}
+		}
+		out, err := Run(p, sim.ZeroOffsets(n), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Bound(p)
+		if got := (out[0] - out[1]).Abs(); got != want {
+			t.Errorf("n=%d: adversarial skew p0/p1 = %v, want exactly (1-1/n)u = %v", n, got, want)
+		}
+		if got := skewOf(out); got > want {
+			t.Errorf("n=%d: overall skew %v exceeds the bound %v", n, got, want)
+		}
+	}
+}
+
+func TestSyncRandomConfigsWithinBound(t *testing.T) {
+	// Random delays and arbitrary (large!) initial offsets: the corrected
+	// skew never exceeds (1-1/n)u, up to ±2 ticks of integer averaging.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(6)
+		p := scParams(n)
+		initial := make([]simtime.Duration, n)
+		for i := range initial {
+			initial[i] = simtime.Duration(rng.Int63n(100 * int64(simtime.Quantum)))
+		}
+		net := sim.NewRandomNetwork(p.D, p.U, rng.Int63())
+		out, err := Run(p, initial, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := skewOf(out), Bound(p)+2; got > want {
+			t.Errorf("trial %d (n=%d): skew %v exceeds bound %v (initial skew %v)",
+				trial, n, got, Bound(p), skewOf(initial))
+		}
+	}
+}
+
+func TestSyncImprovesLargeInitialSkew(t *testing.T) {
+	p := scParams(3)
+	initial := []simtime.Duration{0, 50 * simtime.Quantum, 100 * simtime.Quantum}
+	out, err := Run(p, initial, sim.NewRandomNetwork(p.D, p.U, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewOf(out) >= skewOf(initial)/100 {
+		t.Errorf("sync barely improved skew: %v → %v", skewOf(initial), skewOf(out))
+	}
+}
+
+func TestSyncSingleInvocationSynchronizesAll(t *testing.T) {
+	// Only p0 is invoked; hearing a reading triggers everyone else.
+	p := scParams(5)
+	out, err := Run(p, sim.SpreadOffsets(p.N, 3*simtime.Quantum), sim.UniformNetwork{D: p.D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != p.N {
+		t.Fatalf("got %d offsets", len(out))
+	}
+}
+
+func TestSyncFeedsAlgorithmOne(t *testing.T) {
+	// End-to-end: synchronize badly skewed clocks, then verify the
+	// corrected offsets are admissible for the paper's ε so Algorithm 1
+	// can be deployed on them.
+	p := scParams(4)
+	initial := []simtime.Duration{0, 30 * simtime.Quantum, 60 * simtime.Quantum, 10 * simtime.Quantum}
+	corrected, err := Run(p, initial, sim.NewRandomNetwork(p.D, p.U, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize (subtract min) — only pairwise skew matters.
+	min := corrected[0]
+	for _, c := range corrected {
+		if c < min {
+			min = c
+		}
+	}
+	normalized := make([]simtime.Duration, len(corrected))
+	for i := range corrected {
+		normalized[i] = corrected[i] - min
+	}
+	withSlack := p
+	withSlack.Epsilon = Bound(p) + 2 // integer-averaging slack
+	if err := sim.ValidateOffsets(normalized, withSlack.Epsilon); err != nil {
+		t.Errorf("corrected offsets not deployable: %v", err)
+	}
+}
+
+func TestBound(t *testing.T) {
+	p := scParams(5)
+	if Bound(p) != p.U-p.U/5 {
+		t.Errorf("Bound = %v", Bound(p))
+	}
+}

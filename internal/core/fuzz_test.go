@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/classify"
+	"lintime/internal/lincheck"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+)
+
+// TestFuzzLinearizability sweeps randomized configurations — process
+// counts, parameters, networks, clock offsets, data types, X values and
+// workloads — asserting on every run that Algorithm 1 (corrected timers)
+// is complete, admissible, linearizable, convergent, and within its
+// class latency bounds. This is the broad safety net behind the targeted
+// unit tests.
+func TestFuzzLinearizability(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	typeNames := adt.Names()
+	rng := rand.New(rand.NewSource(20140519)) // IPDPS'14 week
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(4)
+		d := simtime.Duration(600 + rng.Intn(10)*60)
+		u := simtime.Duration(rng.Intn(int(d)/60)+1) * 60
+		eps := simtime.OptimalEpsilon(n, u)
+		x := simtime.Duration(0)
+		if d > eps {
+			x = simtime.Duration(rng.Int63n(int64(d-eps) + 1))
+		}
+		p := simtime.Params{N: n, D: d, U: u, Epsilon: eps, X: x}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: bad params %+v: %v", trial, p, err)
+		}
+		typeName := typeNames[rng.Intn(len(typeNames))]
+		var net sim.Network
+		switch rng.Intn(4) {
+		case 0:
+			net = sim.UniformNetwork{D: p.D}
+		case 1:
+			net = sim.UniformNetwork{D: p.MinDelay()}
+		case 2:
+			net = sim.NewRandomNetwork(p.D, p.U, rng.Int63())
+		default:
+			net = sim.AdversarialNetwork{D: p.D, U: p.U, N: n}
+		}
+		var offsets []simtime.Duration
+		switch rng.Intn(4) {
+		case 0:
+			offsets = sim.ZeroOffsets(n)
+		case 1:
+			offsets = sim.SpreadOffsets(n, eps)
+		case 2:
+			offsets = sim.AlternatingOffsets(n, eps)
+		default:
+			offsets = sim.RandomOffsets(n, eps, rng.Int63())
+		}
+
+		label := fmt.Sprintf("trial %d: %s n=%d d=%v u=%v ε=%v X=%v %T", trial, typeName, n, d, u, eps, x, net)
+		c := newCluster(t, typeName, p, offsets, net, DefaultTimers(p))
+		dt := c.dt
+		ops := dt.Ops()
+		counts := make([]int, n)
+		perProc := 3 + rng.Intn(3)
+		c.eng.OnRespond = func(rec sim.OpRecord) {
+			counts[rec.Proc]++
+			if counts[rec.Proc] < perProc {
+				gap := simtime.Duration(rng.Intn(int(d)))
+				op := ops[rng.Intn(len(ops))]
+				c.eng.InvokeAt(rec.Proc, rec.RespondTime.Add(gap), op.Name, op.Args[rng.Intn(len(op.Args))])
+			}
+		}
+		for i := 0; i < n; i++ {
+			op := ops[rng.Intn(len(ops))]
+			c.eng.InvokeAt(sim.ProcID(i), simtime.Time(rng.Intn(int(d))), op.Name, op.Args[rng.Intn(len(op.Args))])
+		}
+		tr := c.eng.Run()
+		if err := tr.CheckComplete(); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if err := tr.CheckAdmissible(); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !lincheck.CheckTrace(dt, tr).Linearizable {
+			t.Fatalf("%s: run not linearizable\nops: %+v", label, tr.Ops)
+		}
+		fp := c.replicas[0].StateFingerprint()
+		for i, r := range c.replicas {
+			if r.StateFingerprint() != fp {
+				t.Fatalf("%s: replica %d diverged", label, i)
+			}
+		}
+		classes := classesFor(t, typeName)
+		for _, op := range tr.Ops {
+			var bound simtime.Duration
+			switch classes[op.Op] {
+			case classify.PureAccessor:
+				bound = p.D - p.X + p.Epsilon
+			case classify.PureMutator:
+				bound = p.X + p.Epsilon
+			default:
+				bound = p.D + p.Epsilon
+			}
+			if op.Latency() > bound {
+				t.Fatalf("%s: %s latency %v exceeds class bound %v", label, op.Op, op.Latency(), bound)
+			}
+		}
+	}
+}

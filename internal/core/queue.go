@@ -1,0 +1,72 @@
+package core
+
+import (
+	"container/heap"
+
+	"lintime/internal/sim"
+	"lintime/internal/spec"
+)
+
+// pendingOp is a mutator waiting in the To_Execute queue for its execute
+// timer, in the sense of Algorithm 1.
+type pendingOp struct {
+	op  string
+	arg spec.Value
+	ts  Timestamp
+
+	// execTimer is this entry's own u+ε execute timer, canceled when the
+	// entry is drained by another entry's timer (Algorithm 1 line 25).
+	execTimer sim.TimerID
+	// respondSeq is the invocation to answer when this entry executes
+	// (own OOP entries only); -1 otherwise.
+	respondSeq int64
+
+	index int // heap bookkeeping
+}
+
+// toExecuteQueue is the priority queue of pending mutators, ordered by
+// timestamp (lowest first), as required for every replica to execute
+// mutators in the same total order.
+type toExecuteQueue struct {
+	items []*pendingOp
+}
+
+func (q *toExecuteQueue) Len() int { return len(q.items) }
+func (q *toExecuteQueue) Less(i, j int) bool {
+	return q.items[i].ts.Less(q.items[j].ts)
+}
+func (q *toExecuteQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+func (q *toExecuteQueue) Push(x any) {
+	item := x.(*pendingOp)
+	item.index = len(q.items)
+	q.items = append(q.items, item)
+}
+func (q *toExecuteQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return item
+}
+
+// Add inserts a pending mutator.
+func (q *toExecuteQueue) Add(p *pendingOp) { heap.Push(q, p) }
+
+// Min returns the entry with the smallest timestamp without removing it,
+// or nil if the queue is empty.
+func (q *toExecuteQueue) Min() *pendingOp {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// ExtractMin removes and returns the entry with the smallest timestamp.
+func (q *toExecuteQueue) ExtractMin() *pendingOp {
+	return heap.Pop(q).(*pendingOp)
+}

@@ -1,0 +1,498 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/classify"
+	"lintime/internal/lincheck"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// classCache caches classification per data type.
+var classCache = map[string]map[string]classify.Class{}
+
+func classesFor(t testing.TB, name string) map[string]classify.Class {
+	if c, ok := classCache[name]; ok {
+		return c
+	}
+	dt, err := adt.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := classify.Classify(dt, classify.DefaultConfig()).Classes()
+	classCache[name] = c
+	return c
+}
+
+// cluster bundles an engine with its replicas for assertions.
+type cluster struct {
+	eng      *sim.Engine
+	replicas []*Replica
+	dt       spec.DataType
+}
+
+// newCluster builds n Algorithm 1 replicas of the named type on the given
+// network and offsets.
+func newCluster(t testing.TB, name string, p simtime.Params, offsets []simtime.Duration, net sim.Network, timers Timers) *cluster {
+	t.Helper()
+	dt, err := adt.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := classesFor(t, name)
+	replicas := make([]*Replica, p.N)
+	nodes := make([]sim.Node, p.N)
+	for i := range nodes {
+		replicas[i] = NewReplica(dt, classes, timers)
+		nodes[i] = replicas[i]
+	}
+	eng, err := sim.NewEngine(p, offsets, net, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &cluster{eng: eng, replicas: replicas, dt: dt}
+}
+
+// checkRun runs to quiescence and asserts completeness, admissibility,
+// linearizability and replica convergence.
+func (c *cluster) checkRun(t *testing.T) *sim.Trace {
+	t.Helper()
+	tr := c.eng.Run()
+	if err := tr.CheckComplete(); err != nil {
+		t.Fatalf("incomplete run: %v", err)
+	}
+	if err := tr.CheckAdmissible(); err != nil {
+		t.Fatalf("inadmissible run: %v", err)
+	}
+	res := lincheck.CheckTrace(c.dt, tr)
+	if !res.Linearizable {
+		t.Fatalf("run not linearizable; ops: %+v", tr.Ops)
+	}
+	fp := c.replicas[0].StateFingerprint()
+	for i, r := range c.replicas {
+		if r.StateFingerprint() != fp {
+			t.Fatalf("replica %d state %q differs from replica 0 state %q", i, r.StateFingerprint(), fp)
+		}
+	}
+	return tr
+}
+
+func params5() simtime.Params {
+	return simtime.Params{N: 5, D: 100, U: 40, Epsilon: 30, X: 20}
+}
+
+func TestTimestampOrdering(t *testing.T) {
+	a := Timestamp{Time: 5, Proc: 1}
+	b := Timestamp{Time: 5, Proc: 2}
+	c := Timestamp{Time: 6, Proc: 0}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Error("lexicographic order wrong")
+	}
+	if b.Less(a) || !a.LessEq(a) || !a.LessEq(b) || b.LessEq(a) {
+		t.Error("LessEq wrong")
+	}
+	if a.String() == "" {
+		t.Error("empty timestamp string")
+	}
+}
+
+func TestDefaultTimers(t *testing.T) {
+	p := params5()
+	tm := DefaultTimers(p)
+	if tm.AOPRespond != 110 { // d-X+ε (corrected)
+		t.Errorf("AOPRespond = %v, want 110", tm.AOPRespond)
+	}
+	if paper := PaperTimers(p); paper.AOPRespond != 80 { // d-X (literal)
+		t.Errorf("paper AOPRespond = %v, want 80", paper.AOPRespond)
+	}
+	if tm.AOPBackdate != 20 { // X
+		t.Errorf("AOPBackdate = %v, want 20", tm.AOPBackdate)
+	}
+	if tm.MOPRespond != 50 { // X+ε
+		t.Errorf("MOPRespond = %v, want 50", tm.MOPRespond)
+	}
+	if tm.AddSelf != 60 { // d-u
+		t.Errorf("AddSelf = %v, want 60", tm.AddSelf)
+	}
+	if tm.ExecuteWait != 70 { // u+ε
+		t.Errorf("ExecuteWait = %v, want 70", tm.ExecuteWait)
+	}
+}
+
+// TestLemma4ExactLatencies: under uniform delay d and zero skew, every
+// class responds exactly per Lemma 4 with the corrected accessor wait:
+// AOP = d-X+ε, MOP = X+ε, OOP = d+ε.
+func TestLemma4ExactLatencies(t *testing.T) {
+	p := params5()
+	c := newCluster(t, "queue", p, sim.ZeroOffsets(p.N), sim.UniformNetwork{D: p.D}, DefaultTimers(p))
+	c.eng.InvokeAt(0, 0, adt.OpEnqueue, 7)    // MOP
+	c.eng.InvokeAt(1, 5, adt.OpPeek, nil)     // AOP
+	c.eng.InvokeAt(2, 10, adt.OpDequeue, nil) // OOP
+	tr := c.checkRun(t)
+	for _, op := range tr.Ops {
+		var want simtime.Duration
+		switch op.Op {
+		case adt.OpEnqueue:
+			want = p.X + p.Epsilon
+		case adt.OpPeek:
+			want = p.D - p.X + p.Epsilon
+		case adt.OpDequeue:
+			want = p.D + p.Epsilon
+		}
+		if op.Latency() != want {
+			t.Errorf("%s latency = %v, want %v", op.Op, op.Latency(), want)
+		}
+	}
+}
+
+// TestLatencyUpperBoundsAllConfigs: latencies never exceed the Lemma 4
+// values under any admissible delays and skews.
+func TestLatencyUpperBoundsAllConfigs(t *testing.T) {
+	p := params5()
+	networks := map[string]sim.Network{
+		"uniform-max": sim.UniformNetwork{D: p.D},
+		"uniform-min": sim.UniformNetwork{D: p.MinDelay()},
+		"random":      sim.NewRandomNetwork(p.D, p.U, 99),
+		"adversarial": sim.AdversarialNetwork{D: p.D, U: p.U, N: p.N},
+	}
+	offsets := map[string][]simtime.Duration{
+		"zero":        sim.ZeroOffsets(p.N),
+		"spread":      sim.SpreadOffsets(p.N, p.Epsilon),
+		"alternating": sim.AlternatingOffsets(p.N, p.Epsilon),
+	}
+	for netName, net := range networks {
+		for offName, offs := range offsets {
+			c := newCluster(t, "queue", p, offs, net, DefaultTimers(p))
+			tm := simtime.Time(0)
+			for i := 0; i < 4; i++ {
+				c.eng.InvokeAt(sim.ProcID(i%p.N), tm, adt.OpEnqueue, i)
+				tm = tm.Add(7)
+			}
+			c.eng.InvokeAt(4, tm.Add(200), adt.OpDequeue, nil)
+			c.eng.InvokeAt(3, tm.Add(500), adt.OpPeek, nil)
+			tr := c.checkRun(t)
+			for _, op := range tr.Ops {
+				var bound simtime.Duration
+				switch op.Op {
+				case adt.OpEnqueue:
+					bound = p.X + p.Epsilon
+				case adt.OpPeek:
+					bound = p.D - p.X + p.Epsilon
+				case adt.OpDequeue:
+					bound = p.D + p.Epsilon
+				}
+				if op.Latency() > bound {
+					t.Errorf("%s/%s: %s latency %v exceeds bound %v",
+						netName, offName, op.Op, op.Latency(), bound)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentMutatorsSameOrder: concurrent mutators from every process
+// are executed in the same (timestamp) order everywhere.
+func TestConcurrentMutatorsSameOrder(t *testing.T) {
+	p := params5()
+	c := newCluster(t, "log", p, sim.SpreadOffsets(p.N, p.Epsilon),
+		sim.AdversarialNetwork{D: p.D, U: p.U, N: p.N}, DefaultTimers(p))
+	for i := 0; i < p.N; i++ {
+		c.eng.InvokeAt(sim.ProcID(i), simtime.Time(i), adt.OpAppend, 100+i)
+	}
+	c.checkRun(t)
+}
+
+// TestMixedWorkloadsAcrossTypes: randomized closed-loop workloads on every
+// data type stay linearizable and convergent.
+func TestMixedWorkloadsAcrossTypes(t *testing.T) {
+	for _, name := range adt.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := simtime.Params{N: 3, D: 100, U: 40, Epsilon: 20, X: 20}
+			dt, _ := adt.Lookup(name)
+			rng := rand.New(rand.NewSource(17))
+			c := newCluster(t, name, p, sim.SpreadOffsets(p.N, p.Epsilon),
+				sim.NewRandomNetwork(p.D, p.U, 23), DefaultTimers(p))
+			ops := dt.Ops()
+			counts := make([]int, p.N)
+			var invokeRandom func(proc sim.ProcID, at simtime.Time)
+			invokeRandom = func(proc sim.ProcID, at simtime.Time) {
+				op := ops[rng.Intn(len(ops))]
+				arg := op.Args[rng.Intn(len(op.Args))]
+				c.eng.InvokeAt(proc, at, op.Name, arg)
+			}
+			c.eng.OnRespond = func(rec sim.OpRecord) {
+				counts[rec.Proc]++
+				if counts[rec.Proc] < 6 {
+					invokeRandom(rec.Proc, rec.RespondTime.Add(simtime.Duration(rng.Intn(20))))
+				}
+			}
+			for i := 0; i < p.N; i++ {
+				invokeRandom(sim.ProcID(i), simtime.Time(i*3))
+			}
+			c.checkRun(t)
+		})
+	}
+}
+
+// TestAccessorSeesCompletedMutator: a pure accessor invoked after a pure
+// mutator responded must observe it (the real-time order requirement that
+// drives the d-X wait).
+func TestAccessorSeesCompletedMutator(t *testing.T) {
+	p := params5()
+	// Worst case: accessor's process clock behind, mutator's ahead,
+	// maximum delay between them.
+	offsets := make([]simtime.Duration, p.N)
+	offsets[0] = p.Epsilon // mutator invoker ahead
+	c := newCluster(t, "register", p, offsets, sim.UniformNetwork{D: p.D}, DefaultTimers(p))
+	c.eng.InvokeAt(0, 0, adt.OpWrite, 42) // responds at X+ε = 50
+	var readRet any
+	c.eng.OnRespond = func(rec sim.OpRecord) {
+		if rec.Op == adt.OpRead {
+			readRet = rec.Ret
+		}
+	}
+	c.eng.InvokeAt(1, 51, adt.OpRead, nil) // invoked just after the write responds
+	c.checkRun(t)
+	if !spec.ValuesEqual(readRet, 42) {
+		t.Errorf("read returned %v, want 42 (completed write invisible)", readRet)
+	}
+}
+
+// TestSequentialSemantics: a single-process sequential workload behaves
+// exactly like the sequential data type.
+func TestSequentialSemantics(t *testing.T) {
+	p := simtime.Params{N: 3, D: 100, U: 40, Epsilon: 20, X: 20}
+	c := newCluster(t, "stack", p, sim.ZeroOffsets(p.N), sim.UniformNetwork{D: p.D}, DefaultTimers(p))
+	type step struct {
+		op   string
+		arg  spec.Value
+		want spec.Value
+	}
+	script := []step{
+		{adt.OpPush, 1, nil},
+		{adt.OpPush, 2, nil},
+		{adt.OpPeek, nil, 2},
+		{adt.OpPop, nil, 2},
+		{adt.OpPop, nil, 1},
+		{adt.OpPop, nil, adt.EmptyMarker},
+	}
+	i := 0
+	got := make([]spec.Value, 0, len(script))
+	var next func(at simtime.Time)
+	next = func(at simtime.Time) {
+		if i >= len(script) {
+			return
+		}
+		c.eng.InvokeAt(0, at, script[i].op, script[i].arg)
+		i++
+	}
+	c.eng.OnRespond = func(rec sim.OpRecord) {
+		got = append(got, rec.Ret)
+		next(rec.RespondTime.Add(1))
+	}
+	next(0)
+	c.checkRun(t)
+	for j, s := range script {
+		if !spec.ValuesEqual(got[j], s.want) {
+			t.Errorf("step %d (%s) returned %v, want %v", j, s.op, got[j], s.want)
+		}
+	}
+}
+
+// TestUnknownOpTreatedAsMixed: operations missing from the class map fall
+// back to OOP handling, which is correct for any operation.
+func TestUnknownOpTreatedAsMixed(t *testing.T) {
+	p := params5()
+	dt, _ := adt.Lookup("register")
+	replicas := make([]*Replica, p.N)
+	nodes := make([]sim.Node, p.N)
+	for i := range nodes {
+		replicas[i] = NewReplica(dt, map[string]classify.Class{}, DefaultTimers(p)) // empty map
+		nodes[i] = replicas[i]
+	}
+	eng, err := sim.NewEngine(p, sim.ZeroOffsets(p.N), sim.UniformNetwork{D: p.D}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.InvokeAt(0, 0, adt.OpWrite, 9)
+	eng.InvokeAt(1, 300, adt.OpRead, nil)
+	tr := eng.Run()
+	if err := tr.CheckComplete(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range tr.Ops {
+		if op.Latency() != p.D+p.Epsilon {
+			t.Errorf("%s latency %v, want OOP latency %v", op.Op, op.Latency(), p.D+p.Epsilon)
+		}
+	}
+	if !lincheck.CheckTrace(dt, tr).Linearizable {
+		t.Error("all-OOP fallback must stay linearizable")
+	}
+}
+
+// TestKeepHistoryRecordsTimestampOrder: with history enabled, every
+// replica records the same mutator sequence.
+func TestKeepHistoryRecordsTimestampOrder(t *testing.T) {
+	p := params5()
+	c := newCluster(t, "log", p, sim.SpreadOffsets(p.N, p.Epsilon),
+		sim.NewRandomNetwork(p.D, p.U, 5), DefaultTimers(p))
+	for _, r := range c.replicas {
+		r.KeepHistory = true
+	}
+	for i := 0; i < p.N; i++ {
+		c.eng.InvokeAt(sim.ProcID(i), simtime.Time(i*2), adt.OpAppend, i)
+	}
+	c.checkRun(t)
+	h0 := c.replicas[0].History()
+	if len(h0) != p.N {
+		t.Fatalf("replica 0 executed %d ops, want %d", len(h0), p.N)
+	}
+	for i, r := range c.replicas {
+		h := r.History()
+		if len(h) != len(h0) {
+			t.Fatalf("replica %d history length %d != %d", i, len(h), len(h0))
+		}
+		for j := range h {
+			if h[j].Op != h0[j].Op || !spec.ValuesEqual(h[j].Arg, h0[j].Arg) {
+				t.Fatalf("replica %d history differs at %d: %v vs %v", i, j, h[j], h0[j])
+			}
+		}
+	}
+}
+
+// --- Failure-injection ablations (DESIGN.md §5) ---
+
+// aopAnomalyScenario builds the 3-process execution that defeats the
+// paper's d-X pure-accessor wait: enqueue(1) from p1 with the smaller
+// timestamp arrives at p0 only at time 100, while enqueue(2) from p2 with
+// a larger timestamp arrives at 60; p0's peek drains in between (real 90
+// with the paper's timers) and observes a non-prefix of the timestamp
+// order.
+func aopAnomalyScenario(t *testing.T, timers func(simtime.Params) Timers, literal bool) (bool, bool) {
+	t.Helper()
+	p := simtime.Params{N: 3, D: 100, U: 40, Epsilon: 30, X: 20}
+	offsets := []simtime.Duration{30, 0, 0} // p0's clock ahead by ε
+	net := sim.NewPairwiseNetwork(3, p.D)
+	net.Set(2, 0, p.MinDelay()) // p2's announcement arrives early
+	net.Set(2, 1, p.MinDelay())
+	c := newCluster(t, "queue", p, offsets, net, timers(p))
+	for _, r := range c.replicas {
+		r.LiteralAOPDrain = literal
+	}
+	c.eng.InvokeAt(1, 0, adt.OpEnqueue, 1) // ts (0, p1): first in timestamp order
+	c.eng.InvokeAt(2, 0, adt.OpEnqueue, 2) // ts (0, p2): second
+	// p0's peek: invoked at real 10 (local 40, ts (20, p0)); with the
+	// paper's timers its drain at real 90 sees only enqueue(2).
+	c.eng.InvokeAt(0, 10, adt.OpPeek, nil)
+	// Post-quiescence probes from two different replicas.
+	c.eng.InvokeAt(0, 400, adt.OpPeek, nil)
+	c.eng.InvokeAt(1, 700, adt.OpPeek, nil)
+	tr := c.eng.Run()
+	if err := tr.CheckComplete(); err != nil {
+		t.Fatal(err)
+	}
+	lin := lincheck.CheckTrace(c.dt, tr).Linearizable
+	converged := c.replicas[0].StateFingerprint() == c.replicas[1].StateFingerprint() &&
+		c.replicas[1].StateFingerprint() == c.replicas[2].StateFingerprint()
+	return lin, converged
+}
+
+// TestPaperAOPWaitAnomaly: with the paper's literal d-X accessor wait the
+// scenario is not linearizable (the accessor returns a value inconsistent
+// with every linearization), even with the speculative read keeping
+// replica states convergent. The corrected d-X+ε wait fixes it.
+func TestPaperAOPWaitAnomaly(t *testing.T) {
+	lin, converged := aopAnomalyScenario(t, PaperTimers, false)
+	if lin {
+		t.Error("paper's d-X accessor wait should break linearizability in this scenario")
+	}
+	if !converged {
+		t.Error("speculative read should keep replicas convergent")
+	}
+	lin, converged = aopAnomalyScenario(t, DefaultTimers, false)
+	if !lin || !converged {
+		t.Errorf("corrected d-X+ε wait should be correct: linearizable=%v converged=%v", lin, converged)
+	}
+}
+
+// TestLiteralAOPDrainDiverges: the paper's pseudocode additionally commits
+// the drained mutators (lines 5-7), which makes replica states themselves
+// diverge in the same scenario. With the corrected wait the drained set is
+// a stable prefix, so even the literal commit is safe.
+func TestLiteralAOPDrainDiverges(t *testing.T) {
+	lin, converged := aopAnomalyScenario(t, PaperTimers, true)
+	if converged {
+		t.Error("literal AOP drain should diverge replica states in this scenario")
+	}
+	if lin {
+		t.Error("literal AOP drain should break linearizability in this scenario")
+	}
+	lin, converged = aopAnomalyScenario(t, DefaultTimers, true)
+	if !lin || !converged {
+		t.Errorf("corrected wait makes even the literal commit safe: linearizable=%v converged=%v", lin, converged)
+	}
+}
+
+// TestShortExecuteWaitBreaks: shrinking the u+ε stabilization wait lets
+// replicas execute concurrent mutators in different orders.
+func TestShortExecuteWaitBreaks(t *testing.T) {
+	run := func(wait simtime.Duration) (bool, bool) {
+		p := simtime.Params{N: 3, D: 100, U: 40, Epsilon: 0, X: 20}
+		timers := DefaultTimers(p)
+		timers.ExecuteWait = wait
+		net := sim.NewPairwiseNetwork(3, p.D)
+		net.Set(1, 0, p.MinDelay())
+		net.Set(1, 2, p.MinDelay())
+		c := newCluster(t, "queue", p, sim.ZeroOffsets(3), net, timers)
+		c.eng.InvokeAt(0, 0, adt.OpEnqueue, 1) // ts (0, p0); reaches p1 at 100
+		c.eng.InvokeAt(1, 5, adt.OpEnqueue, 2) // ts (5, p1); p1 adds self at 65
+		c.eng.InvokeAt(0, 400, adt.OpPeek, nil)
+		c.eng.InvokeAt(1, 700, adt.OpPeek, nil)
+		tr := c.eng.Run()
+		if err := tr.CheckComplete(); err != nil {
+			t.Fatal(err)
+		}
+		lin := lincheck.CheckTrace(c.dt, tr).Linearizable
+		converged := c.replicas[0].StateFingerprint() == c.replicas[1].StateFingerprint()
+		return lin, converged
+	}
+	// Wait of 20 < u+ε = 40: p1 executes its own enqueue at 85, before
+	// p0's (lower-timestamped) announcement arrives at 100.
+	if lin, converged := run(20); lin || converged {
+		t.Errorf("short execute wait should break: linearizable=%v converged=%v", lin, converged)
+	}
+	if lin, converged := run(40); !lin || !converged {
+		t.Errorf("full u+ε wait should be correct: linearizable=%v converged=%v", lin, converged)
+	}
+}
+
+// TestMissingSelfDelayBreaks: removing the d-u self-delay lets a mixed
+// operation execute before a completed mutator from another process has
+// arrived, returning a stale value.
+func TestMissingSelfDelayBreaks(t *testing.T) {
+	run := func(addSelf simtime.Duration) bool {
+		p := simtime.Params{N: 3, D: 100, U: 10, Epsilon: 5, X: 20}
+		timers := DefaultTimers(p)
+		timers.AddSelf = addSelf
+		c := newCluster(t, "queue", p, sim.ZeroOffsets(3), sim.UniformNetwork{D: p.D}, timers)
+		c.eng.InvokeAt(1, 0, adt.OpEnqueue, 7) // responds at X+ε = 25
+		// Dequeue invoked after the enqueue completed; must return 7.
+		c.eng.InvokeAt(0, 30, adt.OpDequeue, nil)
+		tr := c.eng.Run()
+		if err := tr.CheckComplete(); err != nil {
+			t.Fatal(err)
+		}
+		return lincheck.CheckTrace(c.dt, tr).Linearizable
+	}
+	if run(0) {
+		t.Error("missing self-delay should break linearizability")
+	}
+	if !run(100 - 10) { // d-u
+		t.Error("full self-delay should be correct")
+	}
+}

@@ -1,0 +1,48 @@
+// Package core implements Algorithm 1 of the paper: a linearizable
+// implementation of an arbitrary deterministic data type in a
+// message-passing system with delays in [d-u, d] and clock skew at most ε.
+//
+// Every process keeps a local replica of the object. Operations are
+// stamped with (local invocation time, process id) and mutators are
+// executed at every replica in timestamp order; pure accessors execute
+// locally without being broadcast. The class of each operation decides its
+// timer discipline:
+//
+//   - pure accessor (AOP): respond after d-X, with timestamp back-dated by
+//     X so mutators that responded before the accessor's invocation order
+//     before it;
+//   - pure mutator (MOP): broadcast, respond after X+ε;
+//   - mixed (OOP): broadcast, respond when executed locally, d+ε after
+//     invocation.
+//
+// X ∈ [0, d-ε] trades accessor speed against mutator speed.
+package core
+
+import (
+	"fmt"
+
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+)
+
+// Timestamp orders operations: lexicographic on (local clock time of
+// invocation, process id). Process ids make timestamps unique, so the
+// order is total.
+type Timestamp struct {
+	Time simtime.Time
+	Proc sim.ProcID
+}
+
+// Less reports whether t orders strictly before other.
+func (t Timestamp) Less(other Timestamp) bool {
+	if t.Time != other.Time {
+		return t.Time < other.Time
+	}
+	return t.Proc < other.Proc
+}
+
+// LessEq reports whether t orders at or before other.
+func (t Timestamp) LessEq(other Timestamp) bool { return !other.Less(t) }
+
+// String renders the timestamp as (time, proc).
+func (t Timestamp) String() string { return fmt.Sprintf("(%v,p%d)", t.Time, t.Proc) }

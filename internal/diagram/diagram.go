@@ -1,0 +1,128 @@
+// Package diagram renders recorded runs as ASCII space-time diagrams in
+// the style of the paper's run figures (Figures 1 and 3-10): one column
+// per process, real time flowing downward, with operation intervals and
+// message sends/receipts annotated at their instants.
+//
+// Example (a queue run):
+//
+//	time       p0                   p1
+//	---------- -------------------- --------------------
+//	0          +enqueue(1)          .
+//	0          >msg1                .
+//	16128      -enqueue ⊥           .
+//	20160      .                    <msg1
+//
+// Legend: '+' invocation, '-' response, '>' message send, '<' message
+// receipt, '…' pending at the end of the fragment.
+package diagram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Width is the column width per process (default 22).
+	Width int
+	// ShowMessages includes message send/receive events (default true via
+	// Render; set SuppressMessages to drop them).
+	SuppressMessages bool
+	// MaxRows truncates long diagrams (0 = unlimited).
+	MaxRows int
+}
+
+// event is one rendered line item.
+type rowEvent struct {
+	time simtime.Time
+	proc sim.ProcID
+	text string
+	ord  int // stable ordering among same-instant events
+}
+
+// Render draws the trace as a space-time diagram.
+func Render(tr *sim.Trace, opts Options) string {
+	width := opts.Width
+	if width <= 0 {
+		width = 22
+	}
+	n := len(tr.Offsets)
+	var events []rowEvent
+	ord := 0
+	add := func(t simtime.Time, p sim.ProcID, text string) {
+		events = append(events, rowEvent{time: t, proc: p, text: text, ord: ord})
+		ord++
+	}
+	for _, op := range tr.Ops {
+		arg := ""
+		if op.Arg != nil {
+			arg = spec.FormatValue(op.Arg)
+		}
+		add(op.InvokeTime, op.Proc, fmt.Sprintf("+%s(%s)", op.Op, arg))
+		if op.Pending() {
+			add(tr.LastTimeOf(op.Proc), op.Proc, fmt.Sprintf("…%s pending", op.Op))
+		} else {
+			add(op.RespondTime, op.Proc, fmt.Sprintf("-%s %s", op.Op, spec.FormatValue(op.Ret)))
+		}
+	}
+	if !opts.SuppressMessages {
+		for _, msg := range tr.Msgs {
+			add(msg.SendTime, msg.From, fmt.Sprintf(">m%d to p%d", msg.ID, msg.To))
+			if msg.Received() {
+				add(msg.RecvTime, msg.To, fmt.Sprintf("<m%d from p%d", msg.ID, msg.From))
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].time != events[j].time {
+			return events[i].time < events[j].time
+		}
+		return events[i].ord < events[j].ord
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "time")
+	for p := 0; p < n; p++ {
+		fmt.Fprintf(&b, " %-*s", width, fmt.Sprintf("p%d (offset %v)", p, tr.Offsets[p]))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s", strings.Repeat("-", 10))
+	for p := 0; p < n; p++ {
+		fmt.Fprintf(&b, " %s", strings.Repeat("-", width))
+	}
+	b.WriteByte('\n')
+
+	rows := 0
+	for _, ev := range events {
+		if opts.MaxRows > 0 && rows >= opts.MaxRows {
+			fmt.Fprintf(&b, "… %d more events\n", len(events)-rows)
+			break
+		}
+		fmt.Fprintf(&b, "%-10s", ev.time.String())
+		for p := 0; p < n; p++ {
+			cell := "."
+			if sim.ProcID(p) == ev.proc {
+				cell = ev.text
+			}
+			b.WriteByte(' ')
+			b.WriteString(pad(cell, width))
+		}
+		b.WriteByte('\n')
+		rows++
+	}
+	return b.String()
+}
+
+// pad truncates or right-pads a cell to the given rune width.
+func pad(s string, width int) string {
+	runes := []rune(s)
+	if len(runes) > width {
+		return string(runes[:width])
+	}
+	return s + strings.Repeat(" ", width-len(runes))
+}

@@ -1,0 +1,139 @@
+package diagram
+
+import (
+	"strings"
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/harness"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+)
+
+func sampleTrace(t *testing.T) *sim.Trace {
+	t.Helper()
+	p := simtime.DefaultParams(3)
+	res, err := harness.Run(
+		harness.Config{Params: p, TypeName: "queue", Algorithm: harness.AlgCore,
+			Network: harness.NetUniform, Offsets: harness.OffSpread, Seed: 2},
+		harness.Workload{OpsPerProc: 2, MaxGap: 50, Seed: 2,
+			Mix: []harness.OpPick{{Op: adt.OpEnqueue, Weight: 1}, {Op: adt.OpPeek, Weight: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+func TestRenderBasicStructure(t *testing.T) {
+	tr := sampleTrace(t)
+	out := Render(tr, Options{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("diagram too short:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "time") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	for _, col := range []string{"p0", "p1", "p2"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("header missing %s", col)
+		}
+	}
+	// Every op must appear as an invocation and a response.
+	invocations := strings.Count(out, "+enqueue") + strings.Count(out, "+peek")
+	responses := strings.Count(out, "-enqueue") + strings.Count(out, "-peek")
+	if invocations != len(tr.Ops) || responses != len(tr.Ops) {
+		t.Errorf("found %d invocations and %d responses for %d ops:\n%s",
+			invocations, responses, len(tr.Ops), out)
+	}
+}
+
+func TestRenderMessages(t *testing.T) {
+	tr := sampleTrace(t)
+	withMsgs := Render(tr, Options{})
+	withoutMsgs := Render(tr, Options{SuppressMessages: true})
+	if strings.Count(withMsgs, ">m") != len(tr.Msgs) {
+		t.Errorf("expected %d send annotations", len(tr.Msgs))
+	}
+	if strings.Contains(withoutMsgs, ">m") {
+		t.Error("SuppressMessages left message annotations")
+	}
+	if len(withoutMsgs) >= len(withMsgs) {
+		t.Error("suppressing messages should shrink the diagram")
+	}
+}
+
+func TestRenderTimeMonotone(t *testing.T) {
+	tr := sampleTrace(t)
+	out := Render(tr, Options{SuppressMessages: true})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")[2:]
+	prev := simtime.NegInfinity
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		var tv int64
+		if _, err := fmtSscan(fields[0], &tv); err != nil {
+			t.Fatalf("unparseable time %q", fields[0])
+		}
+		if simtime.Time(tv) < prev {
+			t.Fatalf("time went backwards at %q", line)
+		}
+		prev = simtime.Time(tv)
+	}
+}
+
+// fmtSscan avoids importing fmt in multiple test helpers.
+func fmtSscan(s string, v *int64) (int, error) {
+	var sign int64 = 1
+	if strings.HasPrefix(s, "-") {
+		sign = -1
+		s = s[1:]
+	}
+	var out int64
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, errParse
+		}
+		out = out*10 + int64(r-'0')
+	}
+	*v = sign * out
+	return 1, nil
+}
+
+var errParse = &parseError{}
+
+type parseError struct{}
+
+func (*parseError) Error() string { return "parse error" }
+
+func TestRenderMaxRows(t *testing.T) {
+	tr := sampleTrace(t)
+	out := Render(tr, Options{MaxRows: 3})
+	if !strings.Contains(out, "more events") {
+		t.Error("truncation marker missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+3+1 { // header + rows + marker
+		t.Errorf("got %d lines", len(lines))
+	}
+}
+
+func TestRenderPendingOps(t *testing.T) {
+	tr := sampleTrace(t).Clone()
+	tr.Ops[0].RespondTime = simtime.Infinity
+	out := Render(tr, Options{SuppressMessages: true})
+	if !strings.Contains(out, "pending") {
+		t.Error("pending op not marked")
+	}
+}
+
+func TestPad(t *testing.T) {
+	if got := pad("ab", 4); got != "ab  " {
+		t.Errorf("pad = %q", got)
+	}
+	if got := pad("⊥⊥⊥", 2); got != "⊥⊥" {
+		t.Errorf("rune truncation = %q", got)
+	}
+}

@@ -1,0 +1,203 @@
+package folklore
+
+import (
+	"math/rand"
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/lincheck"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+func testParams(n int) simtime.Params {
+	return simtime.Params{N: n, D: 100, U: 40, Epsilon: 30}
+}
+
+type builder func(n int, dt spec.DataType) []sim.Node
+
+var algorithms = map[string]builder{
+	"central":   NewCentralNodes,
+	"sequencer": NewSequencerNodes,
+}
+
+func runWorkload(t *testing.T, build builder, typeName string, net sim.Network, seed int64) *sim.Trace {
+	t.Helper()
+	p := testParams(4)
+	dt, err := adt.Lookup(typeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := build(p.N, dt)
+	eng, err := sim.NewEngine(p, sim.SpreadOffsets(p.N, p.Epsilon), net, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ops := dt.Ops()
+	counts := make([]int, p.N)
+	invoke := func(proc sim.ProcID, at simtime.Time) {
+		op := ops[rng.Intn(len(ops))]
+		eng.InvokeAt(proc, at, op.Name, op.Args[rng.Intn(len(op.Args))])
+	}
+	eng.OnRespond = func(rec sim.OpRecord) {
+		counts[rec.Proc]++
+		if counts[rec.Proc] < 6 {
+			invoke(rec.Proc, rec.RespondTime.Add(simtime.Duration(rng.Intn(15))))
+		}
+	}
+	for i := 0; i < p.N; i++ {
+		invoke(sim.ProcID(i), simtime.Time(i*5))
+	}
+	tr := eng.Run()
+	if err := tr.CheckComplete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckAdmissible(); err != nil {
+		t.Fatal(err)
+	}
+	res := lincheck.CheckTrace(dt, tr)
+	if !res.Linearizable {
+		t.Fatalf("%s run on %s not linearizable", typeName, typeName)
+	}
+	return tr
+}
+
+func TestFolkloreLinearizable(t *testing.T) {
+	for algName, build := range algorithms {
+		for _, typeName := range []string{"queue", "stack", "register", "rmwregister", "counter"} {
+			t.Run(algName+"/"+typeName, func(t *testing.T) {
+				p := testParams(4)
+				runWorkload(t, build, typeName, sim.NewRandomNetwork(p.D, p.U, 31), 7)
+			})
+		}
+	}
+}
+
+func TestFolkloreLatencyAtMost2D(t *testing.T) {
+	for algName, build := range algorithms {
+		t.Run(algName, func(t *testing.T) {
+			p := testParams(4)
+			tr := runWorkload(t, build, "queue", sim.UniformNetwork{D: p.D}, 11)
+			for _, op := range tr.Ops {
+				if op.Latency() > 2*p.D {
+					t.Errorf("%s latency %v exceeds 2d = %v", op.Op, op.Latency(), 2*p.D)
+				}
+			}
+		})
+	}
+}
+
+func TestCentralRemoteLatencyExactly2D(t *testing.T) {
+	p := testParams(2)
+	dt, _ := adt.Lookup("register")
+	eng, err := sim.NewEngine(p, sim.ZeroOffsets(p.N), sim.UniformNetwork{D: p.D}, NewCentralNodes(p.N, dt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.InvokeAt(1, 0, adt.OpRead, nil)
+	tr := eng.Run()
+	if got := tr.Ops[0].Latency(); got != 2*p.D {
+		t.Errorf("remote op latency = %v, want exactly 2d = %v", got, 2*p.D)
+	}
+}
+
+func TestCentralServerLatencyZero(t *testing.T) {
+	p := testParams(2)
+	dt, _ := adt.Lookup("register")
+	eng, _ := sim.NewEngine(p, sim.ZeroOffsets(p.N), sim.UniformNetwork{D: p.D}, NewCentralNodes(p.N, dt))
+	eng.InvokeAt(0, 0, adt.OpWrite, 3)
+	tr := eng.Run()
+	if got := tr.Ops[0].Latency(); got != 0 {
+		t.Errorf("server-local op latency = %v, want 0", got)
+	}
+}
+
+func TestSequencerRemoteLatencyExactly2D(t *testing.T) {
+	p := testParams(3)
+	dt, _ := adt.Lookup("queue")
+	eng, _ := sim.NewEngine(p, sim.ZeroOffsets(p.N), sim.UniformNetwork{D: p.D}, NewSequencerNodes(p.N, dt))
+	eng.InvokeAt(2, 0, adt.OpEnqueue, 1)
+	tr := eng.Run()
+	if got := tr.Ops[0].Latency(); got != 2*p.D {
+		t.Errorf("remote op latency = %v, want exactly 2d = %v", got, 2*p.D)
+	}
+}
+
+func TestSequencerReplicasConverge(t *testing.T) {
+	p := testParams(4)
+	dt, _ := adt.Lookup("log")
+	nodes := NewSequencerNodes(p.N, dt)
+	eng, _ := sim.NewEngine(p, sim.ZeroOffsets(p.N), sim.NewRandomNetwork(p.D, p.U, 3), nodes)
+	for i := 0; i < p.N; i++ {
+		eng.InvokeAt(sim.ProcID(i), simtime.Time(i), adt.OpAppend, i)
+	}
+	tr := eng.Run()
+	if err := tr.CheckComplete(); err != nil {
+		t.Fatal(err)
+	}
+	fp := nodes[0].(*Sequencer).StateFingerprint()
+	for i, n := range nodes {
+		if got := n.(*Sequencer).StateFingerprint(); got != fp {
+			t.Errorf("replica %d state %q != %q", i, got, fp)
+		}
+	}
+}
+
+func TestSequencerHandlesOutOfOrderDelivery(t *testing.T) {
+	// Non-FIFO network: later-sequenced broadcasts can arrive first; the
+	// buffer must reorder them.
+	p := testParams(3)
+	dt, _ := adt.Lookup("log")
+	nodes := NewSequencerNodes(p.N, dt)
+	// Alternate extreme delays per message to force reordering.
+	net := &flipNet{d: p.D, u: p.U}
+	eng, _ := sim.NewEngine(p, sim.ZeroOffsets(p.N), net, nodes)
+	for i := 0; i < 6; i++ {
+		eng.InvokeAt(0, simtime.Time(i*5), adt.OpAppend, i)
+		// Process 0 is the sequencer; its ops respond instantly, so
+		// sequential invocation is safe.
+	}
+	tr := eng.Run()
+	if err := tr.CheckComplete(); err != nil {
+		t.Fatal(err)
+	}
+	if !lincheck.CheckTrace(dt, tr).Linearizable {
+		t.Error("out-of-order delivery broke the sequencer")
+	}
+	fp := nodes[1].(*Sequencer).StateFingerprint()
+	if got := nodes[2].(*Sequencer).StateFingerprint(); got != fp {
+		t.Errorf("replicas diverged: %q vs %q", got, fp)
+	}
+}
+
+// flipNet alternates between max and min delay per message.
+type flipNet struct {
+	d, u simtime.Duration
+}
+
+func (f *flipNet) Delay(_, _ sim.ProcID, _ simtime.Time, idx int64) simtime.Duration {
+	if idx%2 == 0 {
+		return f.d
+	}
+	return f.d - f.u
+}
+
+func TestCentralStateMatchesSequentialReplay(t *testing.T) {
+	p := testParams(3)
+	dt, _ := adt.Lookup("counter")
+	nodes := NewCentralNodes(p.N, dt)
+	eng, _ := sim.NewEngine(p, sim.ZeroOffsets(p.N), sim.UniformNetwork{D: p.D}, nodes)
+	for i := 0; i < 5; i++ {
+		eng.InvokeAt(1, simtime.Time(i*300), adt.OpInc, nil)
+	}
+	eng.Run()
+	server := nodes[0].(*Central)
+	want := spec.Replay(dt.Initial(), []spec.Instance{
+		{Op: adt.OpInc}, {Op: adt.OpInc}, {Op: adt.OpInc}, {Op: adt.OpInc}, {Op: adt.OpInc},
+	})
+	if server.StateFingerprint() != want.Fingerprint() {
+		t.Errorf("server state %q, want %q", server.StateFingerprint(), want.Fingerprint())
+	}
+}

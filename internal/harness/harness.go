@@ -1,0 +1,337 @@
+// Package harness assembles complete experiments: it wires data types,
+// algorithms, networks and clock-offset assignments into simulator runs,
+// drives closed-loop workloads, collects per-operation latency statistics,
+// and regenerates the paper's tables with measured columns.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lintime/internal/adt"
+	"lintime/internal/classify"
+	"lintime/internal/core"
+	"lintime/internal/folklore"
+	"lintime/internal/lincheck"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// Algorithm names accepted by Config.
+const (
+	AlgCore       = "core"        // Algorithm 1 with corrected timers
+	AlgCorePaper  = "core-paper"  // Algorithm 1 with the paper's literal timers
+	AlgCoreAllOOP = "core-alloop" // ablation: classification disabled
+	AlgCentral    = "central"     // folklore centralized
+	AlgSequencer  = "sequencer"   // folklore total-order broadcast
+)
+
+// Algorithms lists the accepted algorithm names.
+func Algorithms() []string {
+	return []string{AlgCore, AlgCorePaper, AlgCoreAllOOP, AlgCentral, AlgSequencer}
+}
+
+// Network names accepted by Config.
+const (
+	NetUniform    = "uniform"     // every delay = d
+	NetUniformMin = "uniform-min" // every delay = d-u
+	NetRandom     = "random"      // i.i.d. uniform in [d-u, d]
+	NetAdversary  = "adversarial" // extremal split by sender
+)
+
+// Offset assignment names accepted by Config.
+const (
+	OffZero        = "zero"
+	OffSpread      = "spread"
+	OffAlternating = "alternating"
+	OffRandom      = "random"
+)
+
+// Config selects one experiment configuration.
+type Config struct {
+	Params    simtime.Params
+	TypeName  string
+	Algorithm string
+	Network   string
+	Offsets   string
+	Seed      int64
+}
+
+// Workload is a closed-loop random workload: each process issues
+// OpsPerProc operations drawn from the type's declared operations (or the
+// weighted Mix), waiting a random gap in [0, MaxGap] between response and
+// next invocation.
+type Workload struct {
+	OpsPerProc int
+	MaxGap     simtime.Duration
+	Seed       int64
+	Mix        []OpPick // empty = uniform over all declared ops
+}
+
+// OpPick weights one operation in a workload mix.
+type OpPick struct {
+	Op     string
+	Weight int
+}
+
+// LatencyStats aggregates latencies of one operation.
+type LatencyStats struct {
+	Count    int
+	Min, Max simtime.Duration
+	sum      int64
+}
+
+func (s *LatencyStats) add(d simtime.Duration) {
+	if s.Count == 0 || d < s.Min {
+		s.Min = d
+	}
+	if s.Count == 0 || d > s.Max {
+		s.Max = d
+	}
+	s.Count++
+	s.sum += int64(d)
+}
+
+// Mean returns the average latency.
+func (s *LatencyStats) Mean() simtime.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return simtime.Duration(s.sum / int64(s.Count))
+}
+
+// Result is the outcome of one experiment run.
+type Result struct {
+	Config       Config
+	Trace        *sim.Trace
+	Stats        map[string]*LatencyStats
+	Fingerprints []string // per-replica object state (core algorithms only)
+}
+
+// MessageCount returns the total number of messages the algorithm sent.
+func (r *Result) MessageCount() int { return len(r.Trace.Msgs) }
+
+// MessagesPerOp returns the average number of messages per completed
+// operation — the communication-cost counterpart of the latency tables:
+// Algorithm 1 sends n-1 messages per mutator and none per pure accessor,
+// the centralized baseline 2 per remote operation, the sequencer up to n.
+func (r *Result) MessagesPerOp() float64 {
+	if len(r.Trace.Ops) == 0 {
+		return 0
+	}
+	return float64(len(r.Trace.Msgs)) / float64(len(r.Trace.Ops))
+}
+
+// Converged reports whether all replicas ended in the same state (always
+// true for configurations that do not replicate).
+func (r *Result) Converged() bool {
+	for i := 1; i < len(r.Fingerprints); i++ {
+		if r.Fingerprints[i] != r.Fingerprints[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckLinearizable runs the linearizability checker over the full trace.
+// Exponential in the worst case; intended for small/medium runs.
+func (r *Result) CheckLinearizable() bool {
+	dt, err := adt.Lookup(r.Config.TypeName)
+	if err != nil {
+		return false
+	}
+	return lincheck.CheckTrace(dt, r.Trace).Linearizable
+}
+
+// OpNames returns the measured operation names, sorted.
+func (r *Result) OpNames() []string {
+	names := make([]string, 0, len(r.Stats))
+	for name := range r.Stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the per-op stats.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s/%s on %s/%s (n=%d):\n", r.Config.Algorithm, r.Config.TypeName,
+		r.Config.Network, r.Config.Offsets, r.Config.Params.N)
+	for _, name := range r.OpNames() {
+		st := r.Stats[name]
+		s += fmt.Sprintf("  %-10s count=%-5d min=%-8v mean=%-8v max=%v\n",
+			name, st.Count, st.Min, st.Mean(), st.Max)
+	}
+	return s
+}
+
+// classesCache avoids re-running the classifier per experiment.
+var classesCache = map[string]map[string]classify.Class{}
+
+// ClassesFor returns (cached) operation classes for a data type.
+func ClassesFor(dt spec.DataType) map[string]classify.Class {
+	if c, ok := classesCache[dt.Name()]; ok {
+		return c
+	}
+	c := classify.Classify(dt, classify.DefaultConfig()).Classes()
+	classesCache[dt.Name()] = c
+	return c
+}
+
+// buildNodes constructs the algorithm replicas for a configuration.
+func buildNodes(cfg Config, dt spec.DataType) ([]sim.Node, []*core.Replica, error) {
+	n := cfg.Params.N
+	switch cfg.Algorithm {
+	case AlgCore, AlgCorePaper, AlgCoreAllOOP:
+		classes := ClassesFor(dt)
+		timers := core.DefaultTimers(cfg.Params)
+		if cfg.Algorithm == AlgCorePaper {
+			timers = core.PaperTimers(cfg.Params)
+		}
+		if cfg.Algorithm == AlgCoreAllOOP {
+			classes = map[string]classify.Class{} // everything defaults to Mixed
+		}
+		replicas := make([]*core.Replica, n)
+		nodes := make([]sim.Node, n)
+		for i := range nodes {
+			replicas[i] = core.NewReplica(dt, classes, timers)
+			nodes[i] = replicas[i]
+		}
+		return nodes, replicas, nil
+	case AlgCentral:
+		return folklore.NewCentralNodes(n, dt), nil, nil
+	case AlgSequencer:
+		return folklore.NewSequencerNodes(n, dt), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown algorithm %q (have %v)", cfg.Algorithm, Algorithms())
+	}
+}
+
+// buildNetwork constructs the delay model.
+func buildNetwork(cfg Config) (sim.Network, error) {
+	p := cfg.Params
+	switch cfg.Network {
+	case NetUniform, "":
+		return sim.UniformNetwork{D: p.D}, nil
+	case NetUniformMin:
+		return sim.UniformNetwork{D: p.MinDelay()}, nil
+	case NetRandom:
+		return sim.NewRandomNetwork(p.D, p.U, cfg.Seed+1), nil
+	case NetAdversary:
+		return sim.AdversarialNetwork{D: p.D, U: p.U, N: p.N}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown network %q", cfg.Network)
+	}
+}
+
+// buildOffsets constructs the clock-offset assignment.
+func buildOffsets(cfg Config) ([]simtime.Duration, error) {
+	p := cfg.Params
+	switch cfg.Offsets {
+	case OffZero, "":
+		return sim.ZeroOffsets(p.N), nil
+	case OffSpread:
+		return sim.SpreadOffsets(p.N, p.Epsilon), nil
+	case OffAlternating:
+		return sim.AlternatingOffsets(p.N, p.Epsilon), nil
+	case OffRandom:
+		return sim.RandomOffsets(p.N, p.Epsilon, cfg.Seed+2), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown offsets %q", cfg.Offsets)
+	}
+}
+
+// Run executes one experiment and returns its result.
+func Run(cfg Config, wl Workload) (*Result, error) {
+	dt, err := adt.Lookup(cfg.TypeName)
+	if err != nil {
+		return nil, err
+	}
+	nodes, replicas, err := buildNodes(cfg, dt)
+	if err != nil {
+		return nil, err
+	}
+	net, err := buildNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	offsets, err := buildOffsets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.NewEngine(cfg.Params, offsets, net, nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(wl.Seed))
+	picks, err := expandMix(dt, wl.Mix)
+	if err != nil {
+		return nil, err
+	}
+	remaining := make([]int, cfg.Params.N)
+	for i := range remaining {
+		remaining[i] = wl.OpsPerProc
+	}
+	invoke := func(proc sim.ProcID, at simtime.Time) {
+		op := picks[rng.Intn(len(picks))]
+		info, _ := spec.FindOp(dt, op)
+		eng.InvokeAt(proc, at, op, info.Args[rng.Intn(len(info.Args))])
+	}
+	eng.OnRespond = func(rec sim.OpRecord) {
+		remaining[rec.Proc]--
+		if remaining[rec.Proc] > 0 {
+			gap := simtime.Duration(0)
+			if wl.MaxGap > 0 {
+				gap = simtime.Duration(rng.Int63n(int64(wl.MaxGap) + 1))
+			}
+			invoke(rec.Proc, rec.RespondTime.Add(gap))
+		}
+	}
+	for i := 0; i < cfg.Params.N; i++ {
+		if remaining[i] > 0 {
+			invoke(sim.ProcID(i), simtime.Time(rng.Int63n(int64(cfg.Params.D))))
+		}
+	}
+	tr := eng.Run()
+	if err := tr.CheckComplete(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Config: cfg, Trace: tr, Stats: map[string]*LatencyStats{}}
+	for _, op := range tr.Ops {
+		st, ok := res.Stats[op.Op]
+		if !ok {
+			st = &LatencyStats{}
+			res.Stats[op.Op] = st
+		}
+		st.add(op.Latency())
+	}
+	for _, r := range replicas {
+		res.Fingerprints = append(res.Fingerprints, r.StateFingerprint())
+	}
+	return res, nil
+}
+
+// expandMix resolves the workload mix into a weighted pick list.
+func expandMix(dt spec.DataType, mix []OpPick) ([]string, error) {
+	if len(mix) == 0 {
+		names := spec.OpNames(dt)
+		return names, nil
+	}
+	var picks []string
+	for _, m := range mix {
+		if _, ok := spec.FindOp(dt, m.Op); !ok {
+			return nil, fmt.Errorf("harness: type %s has no operation %q", dt.Name(), m.Op)
+		}
+		if m.Weight <= 0 {
+			return nil, fmt.Errorf("harness: weight for %q must be positive", m.Op)
+		}
+		for i := 0; i < m.Weight; i++ {
+			picks = append(picks, m.Op)
+		}
+	}
+	return picks, nil
+}

@@ -1,0 +1,314 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"lintime/internal/adt"
+	"lintime/internal/bounds"
+	"lintime/internal/classify"
+	"lintime/internal/simtime"
+)
+
+// MeasuredRow extends a bounds table row with measured worst-case
+// latencies: Algorithm 1 (corrected timers) at the configured X, and the
+// centralized folklore baseline.
+type MeasuredRow struct {
+	bounds.Row
+	// ExpectedAtX is the class upper bound at the configured X (the
+	// quantity the measurement must match exactly).
+	ExpectedAtX bounds.Bound
+	// MeasuredMax is Algorithm 1's observed worst-case latency.
+	MeasuredMax simtime.Duration
+	// BaselineMax is the centralized baseline's observed worst-case.
+	BaselineMax simtime.Duration
+}
+
+// MeasuredTable is one of the paper's tables with measured columns.
+type MeasuredTable struct {
+	Number   int
+	Title    string
+	Params   simtime.Params
+	TypeName string
+	Rows     []MeasuredRow
+}
+
+// String renders the measured table.
+func (t *MeasuredTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table %d (measured): %s  [type=%s n=%d d=%v u=%v ε=%v X=%v]\n",
+		t.Number, t.Title, t.TypeName, t.Params.N, t.Params.D, t.Params.U, t.Params.Epsilon, t.Params.X)
+	fmt.Fprintf(&b, "  %-14s | %-20s | %-28s | %-20s | %-10s | %-10s\n",
+		"operation", "previous lower", "new lower", "upper @X", "measured", "baseline")
+	fmt.Fprintf(&b, "  %s\n", strings.Repeat("-", 118))
+	for _, r := range t.Rows {
+		measured := "—"
+		if r.MeasuredMax >= 0 {
+			measured = r.MeasuredMax.String()
+		}
+		baseline := "—"
+		if r.BaselineMax >= 0 {
+			baseline = r.BaselineMax.String()
+		}
+		fmt.Fprintf(&b, "  %-14s | %-20s | %-28s | %-20s | %-10s | %-10s\n",
+			r.Operation, r.PrevLower, r.NewLower, r.ExpectedAtX, measured, baseline)
+		if r.Note != "" {
+			fmt.Fprintf(&b, "  %-14s   note: %s\n", "", r.Note)
+		}
+	}
+	return b.String()
+}
+
+// tableType maps table numbers to the data type they measure.
+func tableType(number int) (string, error) {
+	switch number {
+	case 1:
+		return "rmwregister", nil
+	case 2, 5:
+		return "queue", nil
+	case 3:
+		return "stack", nil
+	case 4:
+		return "tree", nil
+	default:
+		return "", fmt.Errorf("harness: no table %d (have 1-5)", number)
+	}
+}
+
+// classRepresentatives maps Table 5's class rows to queue operations.
+var classRepresentatives = map[string]string{
+	"pure accessor":  adt.OpPeek,
+	"last-sens. MOP": adt.OpEnqueue,
+	"pair-free op":   adt.OpDequeue,
+	"MOP+AOP sum":    adt.OpEnqueue + "+" + adt.OpPeek,
+	"any op":         adt.OpDequeue,
+}
+
+// MeasureTable regenerates one of the paper's Tables 1-5 with measured
+// worst-case latencies from a deterministic workload battery: Algorithm 1
+// and the centralized baseline run the same closed-loop workload on the
+// table's data type under the worst-case network (uniform delay d).
+func MeasureTable(number int, p simtime.Params, seed int64) (*MeasuredTable, error) {
+	typeName, err := tableType(number)
+	if err != nil {
+		return nil, err
+	}
+	static := bounds.AllTables(p)[number-1]
+	wl := Workload{OpsPerProc: 12, MaxGap: p.D / 2, Seed: seed}
+
+	coreRes, err := Run(Config{Params: p, TypeName: typeName, Algorithm: AlgCore,
+		Network: NetUniform, Offsets: OffZero, Seed: seed}, wl)
+	if err != nil {
+		return nil, err
+	}
+	baseRes, err := Run(Config{Params: p, TypeName: typeName, Algorithm: AlgCentral,
+		Network: NetUniform, Offsets: OffZero, Seed: seed}, wl)
+	if err != nil {
+		return nil, err
+	}
+	if !coreRes.Converged() {
+		return nil, fmt.Errorf("harness: core replicas diverged measuring table %d", number)
+	}
+
+	dt, _ := adt.Lookup(typeName)
+	classes := ClassesFor(dt)
+	maxOf := func(res *Result, op string) simtime.Duration {
+		if st, ok := res.Stats[op]; ok {
+			return st.Max
+		}
+		return -1
+	}
+	out := &MeasuredTable{Number: number, Title: static.Title, Params: p, TypeName: typeName}
+	for _, row := range static.Rows {
+		mr := MeasuredRow{Row: row, MeasuredMax: -1, BaselineMax: -1}
+		opName := row.Operation
+		if number == 5 {
+			opName = classRepresentatives[row.Operation]
+		}
+		if parts := strings.Split(opName, "+"); len(parts) == 2 {
+			// Sum rows: add the component worst cases.
+			a, b := maxOf(coreRes, parts[0]), maxOf(coreRes, parts[1])
+			ba, bb := maxOf(baseRes, parts[0]), maxOf(baseRes, parts[1])
+			if a >= 0 && b >= 0 {
+				mr.MeasuredMax = a + b
+			}
+			if ba >= 0 && bb >= 0 {
+				mr.BaselineMax = ba + bb
+			}
+			ca, cb := classes[parts[0]], classes[parts[1]]
+			mr.ExpectedAtX = bounds.Bound{
+				Expr: "sum",
+				Value: bounds.UpperFromClass(p, ca).Value +
+					bounds.UpperFromClass(p, cb).Value,
+				Source: "Alg 1 (corrected)",
+			}
+		} else if opName != "" {
+			mr.MeasuredMax = maxOf(coreRes, opName)
+			mr.BaselineMax = maxOf(baseRes, opName)
+			mr.ExpectedAtX = bounds.UpperFromClass(p, classes[opName])
+		}
+		out.Rows = append(out.Rows, mr)
+	}
+	return out, nil
+}
+
+// MeasureAllTables regenerates Tables 1-5.
+func MeasureAllTables(p simtime.Params, seed int64) ([]*MeasuredTable, error) {
+	out := make([]*MeasuredTable, 0, 5)
+	for no := 1; no <= 5; no++ {
+		t, err := MeasureTable(no, p, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// OptimalRow is one operation measured at its per-class optimal X — the
+// quantity the paper's tables quote (pure mutators at X=0 cost ε; the
+// paper's pure accessors at X=d-ε cost ε, ours 2ε).
+type OptimalRow struct {
+	Operation string
+	Class     classify.Class
+	// BestX is the X minimizing the class formula.
+	BestX simtime.Duration
+	// Measured is the worst-case latency observed at BestX.
+	Measured simtime.Duration
+	// Formula is the class bound at BestX.
+	Formula bounds.Bound
+}
+
+// MeasureOptimal measures every operation of a data type at its per-class
+// optimal X: the whole workload battery runs once at X=0 (optimal for
+// pure mutators and mixed ops) and once at X=d-ε (optimal for pure
+// accessors), and each operation reports the run matching its class.
+func MeasureOptimal(typeName string, p simtime.Params, seed int64) ([]OptimalRow, error) {
+	dt, err := adt.Lookup(typeName)
+	if err != nil {
+		return nil, err
+	}
+	classes := ClassesFor(dt)
+	wl := Workload{OpsPerProc: 12, MaxGap: p.D / 2, Seed: seed}
+
+	runAt := func(x simtime.Duration) (*Result, error) {
+		q := p
+		q.X = x
+		return Run(Config{Params: q, TypeName: typeName, Algorithm: AlgCore,
+			Network: NetUniform, Offsets: OffZero, Seed: seed}, wl)
+	}
+	atZero, err := runAt(0)
+	if err != nil {
+		return nil, err
+	}
+	atMax, err := runAt(p.D - p.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []OptimalRow
+	for _, op := range dt.Ops() {
+		class := classes[op.Name]
+		row := OptimalRow{Operation: op.Name, Class: class}
+		var res *Result
+		q := p
+		if class == classify.PureAccessor {
+			row.BestX = p.D - p.Epsilon
+			res = atMax
+		} else {
+			row.BestX = 0
+			res = atZero
+		}
+		q.X = row.BestX
+		row.Formula = bounds.UpperFromClass(q, class)
+		if st, ok := res.Stats[op.Name]; ok {
+			row.Measured = st.Max
+		} else {
+			row.Measured = -1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatOptimal renders the optimal-X measurement.
+func FormatOptimal(typeName string, rows []OptimalRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-operation optimal X on %s:\n", typeName)
+	fmt.Fprintf(&b, "  %-12s %-6s %-10s %-24s %-10s\n", "operation", "class", "best X", "formula", "measured")
+	for _, r := range rows {
+		measured := "—"
+		if r.Measured >= 0 {
+			measured = r.Measured.String()
+		}
+		fmt.Fprintf(&b, "  %-12s %-6s %-10v %-24s %-10s\n",
+			r.Operation, r.Class, r.BestX, r.Formula, measured)
+	}
+	return b.String()
+}
+
+// SweepPoint is one X value of the accessor/mutator tradeoff sweep.
+type SweepPoint struct {
+	X simtime.Duration
+	// Measured worst-case latencies per class.
+	AOPMax, MOPMax, OOPMax simtime.Duration
+	// The corrected formulas at this X.
+	AOPBound, MOPBound, OOPBound simtime.Duration
+}
+
+// SweepX measures the X tradeoff (§5.1.2): for points+1 values of
+// X across [0, d-ε], run the workload and record worst-case latencies per
+// operation class alongside the formulas d-X+ε, X+ε, d+ε.
+func SweepX(p simtime.Params, typeName string, points int, seed int64) ([]SweepPoint, error) {
+	if points < 1 {
+		return nil, fmt.Errorf("harness: need at least 1 sweep interval")
+	}
+	dt, err := adt.Lookup(typeName)
+	if err != nil {
+		return nil, err
+	}
+	classes := ClassesFor(dt)
+	var out []SweepPoint
+	span := p.D - p.Epsilon
+	for i := 0; i <= points; i++ {
+		q := p
+		q.X = span * simtime.Duration(i) / simtime.Duration(points)
+		res, err := Run(Config{Params: q, TypeName: typeName, Algorithm: AlgCore,
+			Network: NetUniform, Offsets: OffZero, Seed: seed},
+			Workload{OpsPerProc: 10, MaxGap: q.D / 2, Seed: seed + int64(i)})
+		if err != nil {
+			return nil, err
+		}
+		pt := SweepPoint{
+			X:        q.X,
+			AOPBound: q.D - q.X + q.Epsilon,
+			MOPBound: q.X + q.Epsilon,
+			OOPBound: q.D + q.Epsilon,
+		}
+		for op, st := range res.Stats {
+			switch classes[op] {
+			case classify.PureAccessor:
+				pt.AOPMax = simtime.Max(pt.AOPMax, st.Max)
+			case classify.PureMutator:
+				pt.MOPMax = simtime.Max(pt.MOPMax, st.Max)
+			default:
+				pt.OOPMax = simtime.Max(pt.OOPMax, st.Max)
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatSweep renders a sweep as an aligned series table.
+func FormatSweep(points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-10s | %-10s %-10s | %-10s %-10s | %-10s %-10s\n",
+		"X", "AOP max", "d-X+ε", "MOP max", "X+ε", "OOP max", "d+ε")
+	fmt.Fprintf(&b, "  %s\n", strings.Repeat("-", 80))
+	for _, pt := range points {
+		fmt.Fprintf(&b, "  %-10v | %-10v %-10v | %-10v %-10v | %-10v %-10v\n",
+			pt.X, pt.AOPMax, pt.AOPBound, pt.MOPMax, pt.MOPBound, pt.OOPMax, pt.OOPBound)
+	}
+	return b.String()
+}

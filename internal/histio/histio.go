@@ -1,0 +1,174 @@
+// Package histio serializes operation histories as JSON, the interchange
+// format between `lintime run -dump`, the standalone linearcheck command,
+// and external tools. The format:
+//
+//	{
+//	  "type": "queue",
+//	  "ops": [
+//	    {"op": "enqueue", "arg": 1, "invoke": 0,  "respond": 10},
+//	    {"op": "dequeue", "ret": 1, "invoke": 20, "respond": 30}
+//	  ]
+//	}
+//
+// Omitting "respond" marks a pending operation. Supported values:
+// integers, strings, booleans, null, tree edges {"p":0,"c":1} and
+// dictionary pairs {"k":"a","v":1}.
+package histio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"lintime/internal/adt"
+	"lintime/internal/lincheck"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// File is the top-level JSON document.
+type File struct {
+	Type string `json:"type"`
+	Ops  []Op   `json:"ops"`
+}
+
+// Op is one serialized operation instance.
+type Op struct {
+	Op      string          `json:"op"`
+	Arg     json.RawMessage `json:"arg,omitempty"`
+	Ret     json.RawMessage `json:"ret,omitempty"`
+	Invoke  int64           `json:"invoke"`
+	Respond *int64          `json:"respond,omitempty"`
+}
+
+// EncodeValue serializes a spec.Value into JSON.
+func EncodeValue(v spec.Value) (json.RawMessage, error) {
+	switch x := v.(type) {
+	case nil:
+		return nil, nil
+	case int, string, bool:
+		return json.Marshal(x)
+	case adt.Edge:
+		return json.Marshal(map[string]int{"p": x.P, "c": x.C})
+	case adt.KV:
+		return json.Marshal(map[string]any{"k": x.K, "v": x.V})
+	default:
+		return nil, fmt.Errorf("histio: unsupported value %v (%T)", v, v)
+	}
+}
+
+// DecodeValue parses a JSON value into a spec.Value of the kinds the
+// built-in data types use.
+func DecodeValue(raw json.RawMessage) (spec.Value, error) {
+	if len(raw) == 0 || string(raw) == "null" {
+		return nil, nil
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	switch x := v.(type) {
+	case float64:
+		if x != math.Trunc(x) {
+			return nil, fmt.Errorf("histio: non-integer number %v", x)
+		}
+		return int(x), nil
+	case string, bool:
+		return x, nil
+	case map[string]any:
+		if p, okP := numField(x, "p"); okP {
+			if c, okC := numField(x, "c"); okC {
+				return adt.Edge{P: p, C: c}, nil
+			}
+		}
+		if k, okK := x["k"].(string); okK {
+			if val, okV := numField(x, "v"); okV {
+				return adt.KV{K: k, V: val}, nil
+			}
+		}
+		return nil, fmt.Errorf("histio: unsupported object %v (expected {p,c} or {k,v})", x)
+	default:
+		return nil, fmt.Errorf("histio: unsupported value %v (%T)", v, v)
+	}
+}
+
+func numField(m map[string]any, key string) (int, bool) {
+	f, ok := m[key].(float64)
+	if !ok || f != math.Trunc(f) {
+		return 0, false
+	}
+	return int(f), true
+}
+
+// WriteTrace serializes the operations of a recorded trace (sorted by
+// invocation time) as a history document.
+func WriteTrace(w io.Writer, typeName string, tr *sim.Trace) error {
+	ops := append([]sim.OpRecord(nil), tr.Ops...)
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].InvokeTime != ops[j].InvokeTime {
+			return ops[i].InvokeTime < ops[j].InvokeTime
+		}
+		return ops[i].SeqID < ops[j].SeqID
+	})
+	doc := File{Type: typeName}
+	for _, rec := range ops {
+		arg, err := EncodeValue(rec.Arg)
+		if err != nil {
+			return err
+		}
+		op := Op{Op: rec.Op, Arg: arg, Invoke: int64(rec.InvokeTime)}
+		if !rec.Pending() {
+			ret, err := EncodeValue(rec.Ret)
+			if err != nil {
+				return err
+			}
+			resp := int64(rec.RespondTime)
+			op.Ret = ret
+			op.Respond = &resp
+		}
+		doc.Ops = append(doc.Ops, op)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Read parses a history document and returns the data type and the
+// checker-ready operations.
+func Read(r io.Reader) (spec.DataType, []lincheck.Op, error) {
+	var doc File
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("histio: parsing history: %w", err)
+	}
+	dt, err := adt.Lookup(doc.Type)
+	if err != nil {
+		return nil, nil, err
+	}
+	ops := make([]lincheck.Op, 0, len(doc.Ops))
+	for i, rec := range doc.Ops {
+		arg, err := DecodeValue(rec.Arg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("histio: op %d arg: %w", i, err)
+		}
+		ret, err := DecodeValue(rec.Ret)
+		if err != nil {
+			return nil, nil, fmt.Errorf("histio: op %d ret: %w", i, err)
+		}
+		op := lincheck.Op{
+			ID:      i,
+			Name:    rec.Op,
+			Arg:     arg,
+			Ret:     ret,
+			Invoke:  simtime.Time(rec.Invoke),
+			Respond: simtime.Infinity,
+		}
+		if rec.Respond != nil {
+			op.Respond = simtime.Time(*rec.Respond)
+		}
+		ops = append(ops, op)
+	}
+	return dt, ops, nil
+}

@@ -1,0 +1,150 @@
+package histio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/harness"
+	"lintime/internal/lincheck"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	values := []spec.Value{
+		nil, 0, 42, -7, "hello", true, false,
+		adt.Edge{P: 0, C: 3}, adt.KV{K: "a", V: 9},
+	}
+	for _, v := range values {
+		raw, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		back, err := DecodeValue(raw)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if !spec.ValuesEqual(v, back) {
+			t.Errorf("round trip %v → %v", v, back)
+		}
+	}
+}
+
+func TestEncodeValueUnsupported(t *testing.T) {
+	if _, err := EncodeValue(3.14); err == nil {
+		t.Error("floats should be rejected")
+	}
+	if _, err := EncodeValue([]int{1}); err == nil {
+		t.Error("slices should be rejected")
+	}
+}
+
+func TestDecodeValueErrors(t *testing.T) {
+	cases := []string{`3.5`, `[1,2]`, `{"x":1}`, `{`}
+	for _, c := range cases {
+		if _, err := DecodeValue([]byte(c)); err == nil {
+			t.Errorf("decoding %q should error", c)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	p := simtime.DefaultParams(3)
+	res, err := harness.Run(
+		harness.Config{Params: p, TypeName: "queue", Algorithm: harness.AlgCore, Seed: 5},
+		harness.Workload{OpsPerProc: 5, MaxGap: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, "queue", res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	dt, ops, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Name() != "queue" {
+		t.Errorf("type = %s", dt.Name())
+	}
+	if len(ops) != len(res.Trace.Ops) {
+		t.Fatalf("round trip lost ops: %d vs %d", len(ops), len(res.Trace.Ops))
+	}
+	// The round-tripped history must give the same linearizability
+	// verdict as the original trace.
+	if !lincheck.Check(dt, ops).Linearizable {
+		t.Error("round-tripped history should be linearizable")
+	}
+}
+
+func TestWriteTracePendingOps(t *testing.T) {
+	p := simtime.DefaultParams(3)
+	res, err := harness.Run(
+		harness.Config{Params: p, TypeName: "register", Algorithm: harness.AlgCore, Seed: 6},
+		harness.Workload{OpsPerProc: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace.Clone()
+	tr.Ops[0].RespondTime = simtime.Infinity // simulate a pending op
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, "register", tr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.SplitN(buf.String(), "\n", 4)[2], "respond") &&
+		!strings.Contains(buf.String(), "respond") {
+		t.Error("unexpected serialization")
+	}
+	_, ops, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := 0
+	for _, op := range ops {
+		if op.Pending() {
+			pending++
+		}
+	}
+	if pending != 1 {
+		t.Errorf("%d pending ops after round trip, want 1", pending)
+	}
+}
+
+func TestReadRejectsUnknownType(t *testing.T) {
+	doc := `{"type": "bogus", "ops": []}`
+	if _, _, err := Read(strings.NewReader(doc)); err == nil {
+		t.Error("unknown type should error")
+	}
+}
+
+func TestReadRejectsBadJSON(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("{nope")); err == nil {
+		t.Error("bad JSON should error")
+	}
+}
+
+func TestReadBadValues(t *testing.T) {
+	doc := `{"type":"queue","ops":[{"op":"enqueue","arg":1.5,"invoke":0,"respond":1}]}`
+	if _, _, err := Read(strings.NewReader(doc)); err == nil {
+		t.Error("fractional arg should error")
+	}
+	doc = `{"type":"queue","ops":[{"op":"dequeue","ret":[1],"invoke":0,"respond":1}]}`
+	if _, _, err := Read(strings.NewReader(doc)); err == nil {
+		t.Error("array ret should error")
+	}
+}
+
+func TestTreeHistoryRoundTrip(t *testing.T) {
+	doc := `{"type":"tree","ops":[
+		{"op":"insert","arg":{"p":0,"c":1},"invoke":0,"respond":10},
+		{"op":"depth","arg":1,"ret":1,"invoke":20,"respond":30}]}`
+	dt, ops, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lincheck.Check(dt, ops).Linearizable {
+		t.Error("tree history should be linearizable")
+	}
+}

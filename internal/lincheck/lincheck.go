@@ -1,0 +1,173 @@
+// Package lincheck decides linearizability of recorded histories against
+// a sequential specification, implementing the correctness condition of
+// Section 2.3 of the paper: a history is linearizable iff there is a
+// permutation of its operation instances that (i) is legal for the data
+// type and (ii) preserves the real-time order of non-overlapping
+// instances.
+//
+// The checker is a Wing–Gong style depth-first search over linearization
+// prefixes, memoized on (set of linearized ops, object state fingerprint)
+// so equivalent prefixes are explored once. Pending invocations (from
+// chopped run fragments) may take effect with any legal response or be
+// dropped, per the standard completion rule.
+package lincheck
+
+import (
+	"sort"
+
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// Op is one operation instance of a history with its real-time interval.
+// A pending operation has Respond == simtime.Infinity and its Ret is
+// ignored.
+type Op struct {
+	ID      int
+	Name    string
+	Arg     spec.Value
+	Ret     spec.Value
+	Invoke  simtime.Time
+	Respond simtime.Time
+}
+
+// Pending reports whether the operation never responded.
+func (o Op) Pending() bool { return o.Respond == simtime.Infinity }
+
+// FromTrace extracts the checker's history from a simulation trace,
+// including pending invocations.
+func FromTrace(tr *sim.Trace) []Op {
+	ops := make([]Op, 0, len(tr.Ops))
+	for i, rec := range tr.Ops {
+		ops = append(ops, Op{
+			ID:      i,
+			Name:    rec.Op,
+			Arg:     rec.Arg,
+			Ret:     rec.Ret,
+			Invoke:  rec.InvokeTime,
+			Respond: rec.RespondTime,
+		})
+	}
+	return ops
+}
+
+// Result reports the outcome of a check.
+type Result struct {
+	Linearizable bool
+	// Linearization is a witness permutation when Linearizable is true.
+	Linearization []spec.Instance
+	// Explored counts visited search states, as a cost metric.
+	Explored int
+}
+
+// Check decides whether the history is linearizable with respect to dt.
+func Check(dt spec.DataType, history []Op) Result {
+	ops := append([]Op(nil), history...)
+	// Deterministic exploration order: by invocation time.
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Invoke != ops[j].Invoke {
+			return ops[i].Invoke < ops[j].Invoke
+		}
+		return ops[i].ID < ops[j].ID
+	})
+	c := &checker{
+		dt:   dt,
+		ops:  ops,
+		memo: map[string]bool{},
+	}
+	c.taken = make([]bool, len(ops))
+	lin, ok := c.search(dt.Initial(), completedLeftInit(ops))
+	if !ok {
+		return Result{Linearizable: false, Explored: c.visited}
+	}
+	// The linearization was accumulated in reverse (search returns the
+	// suffix first); restore order.
+	for i, j := 0, len(lin)-1; i < j; i, j = i+1, j-1 {
+		lin[i], lin[j] = lin[j], lin[i]
+	}
+	return Result{Linearizable: true, Linearization: lin, Explored: c.visited}
+}
+
+// CheckTrace is shorthand for Check(dt, FromTrace(tr)).
+func CheckTrace(dt spec.DataType, tr *sim.Trace) Result {
+	return Check(dt, FromTrace(tr))
+}
+
+type checker struct {
+	dt      spec.DataType
+	ops     []Op
+	taken   []bool
+	memo    map[string]bool // key → known-failed
+	visited int
+}
+
+// key builds the memo key: a bitmap of taken ops plus the state
+// fingerprint.
+func (c *checker) key(state spec.State) string {
+	bits := make([]byte, (len(c.taken)+7)/8)
+	for i, t := range c.taken {
+		if t {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(bits) + "|" + state.Fingerprint()
+}
+
+// search tries to linearize the remaining ops from the given state. It
+// returns a witness suffix in reverse order.
+func (c *checker) search(state spec.State, completedLeft int) ([]spec.Instance, bool) {
+	c.visited++
+	if completedLeft == 0 {
+		// All completed ops linearized; pending ops may be dropped.
+		return nil, true
+	}
+	k := c.key(state)
+	if c.memo[k] {
+		return nil, false
+	}
+	// minRespond is the earliest response among untaken ops: any op
+	// invoked after it cannot be linearized next.
+	minRespond := simtime.Infinity
+	for i, t := range c.taken {
+		if !t && c.ops[i].Respond < minRespond {
+			minRespond = c.ops[i].Respond
+		}
+	}
+	for i, t := range c.taken {
+		if t {
+			continue
+		}
+		op := c.ops[i]
+		if op.Invoke > minRespond {
+			continue // some untaken op responded before this one was invoked
+		}
+		ret, next := state.Apply(op.Name, op.Arg)
+		if !op.Pending() && !spec.ValuesEqual(ret, op.Ret) {
+			continue // recorded response would be illegal here
+		}
+		c.taken[i] = true
+		left := completedLeft
+		if !op.Pending() {
+			left--
+		}
+		if lin, ok := c.search(next, left); ok {
+			c.taken[i] = false
+			return append(lin, spec.Instance{Op: op.Name, Arg: op.Arg, Ret: ret}), true
+		}
+		c.taken[i] = false
+	}
+	c.memo[k] = true
+	return nil, false
+}
+
+// completedLeftInit computes the initial count of completed ops.
+func completedLeftInit(ops []Op) int {
+	n := 0
+	for _, op := range ops {
+		if !op.Pending() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,299 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"lintime/internal/adt"
+	"lintime/internal/spec"
+)
+
+// Thm2Scenario instantiates Theorem 2 for a concrete pure accessor: the
+// construction alternates AOP instances at p0/p1 around one mutator
+// instance whose effect flips the accessor's return value. The paper
+// derives the specific bounds of Tables 1-4 from Theorem 2 by exactly
+// this specialization.
+type Thm2Scenario struct {
+	TypeName string
+	AOP      string
+	AOPArg   spec.Value
+	Mut      string
+	MutArg   spec.Value
+}
+
+// Thm2Scenarios are the stock Theorem 2 specializations: one per pure
+// accessor in Tables 1-4, plus extras.
+func Thm2Scenarios() []Thm2Scenario {
+	return []Thm2Scenario{
+		{TypeName: "queue", AOP: adt.OpPeek, Mut: adt.OpEnqueue, MutArg: 7},
+		{TypeName: "stack", AOP: adt.OpPeek, Mut: adt.OpPush, MutArg: 7},
+		{TypeName: "register", AOP: adt.OpRead, Mut: adt.OpWrite, MutArg: 3},
+		{TypeName: "tree", AOP: adt.OpDepth, AOPArg: 1, Mut: adt.OpInsert, MutArg: adt.Edge{P: 0, C: 1}},
+		{TypeName: "pqueue", AOP: adt.OpPQMin, Mut: adt.OpPQInsert, MutArg: 4},
+		{TypeName: "counter", AOP: adt.OpReadCtr, Mut: adt.OpInc},
+		{TypeName: "bank", AOP: adt.OpBalance, Mut: adt.OpDeposit, MutArg: 5},
+	}
+}
+
+// findThm2Scenario returns the stock scenario for a type.
+func findThm2Scenario(typeName string) (Thm2Scenario, error) {
+	for _, sc := range Thm2Scenarios() {
+		if sc.TypeName == typeName {
+			return sc, nil
+		}
+	}
+	return Thm2Scenario{}, fmt.Errorf("lowerbound: no Theorem 2 scenario for type %q", typeName)
+}
+
+// Thm3Scenario instantiates Theorem 3 for a concrete last-sensitive
+// mutator: k processes concurrently invoke distinct instances, and a
+// probe sequence executed afterwards at p0 reveals which instance was
+// linearized last.
+type Thm3Scenario struct {
+	TypeName string
+	Op       string
+	// Args returns k distinct arguments, or nil if the type cannot
+	// provide that many.
+	Args func(k int) []spec.Value
+	// Rho builds an optional prefix executed sequentially by p0 before
+	// the concurrent phase (nil for none).
+	Rho func(k int) []spec.Invocation
+	// Probes is the post-quiescence revealing sequence (invoked at p0).
+	Probes func(k int) []spec.Invocation
+	// LastIndex maps the probe responses to the index (into Args) of the
+	// instance revealed last.
+	LastIndex func(args []spec.Value, probeRets []spec.Value) (int, error)
+}
+
+// intArgsFn returns 0..k-1 as arguments.
+func intArgsFn(k int) []spec.Value {
+	out := make([]spec.Value, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// indexOfValue finds ret among args.
+func indexOfValue(args []spec.Value, ret spec.Value) (int, error) {
+	for i, a := range args {
+		if spec.ValuesEqual(a, ret) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("lowerbound: probe revealed %v, not one of the instances", ret)
+}
+
+// Thm3Scenarios are the stock Theorem 3 specializations, matching
+// Corollary 1 (write, push, enqueue) plus the move-insert tree and the
+// deque.
+func Thm3Scenarios() []Thm3Scenario {
+	repeat := func(op string, count func(k int) int) func(int) []spec.Invocation {
+		return func(k int) []spec.Invocation {
+			out := make([]spec.Invocation, count(k))
+			for i := range out {
+				out[i] = spec.Invocation{Op: op}
+			}
+			return out
+		}
+	}
+	return []Thm3Scenario{
+		{
+			TypeName: "queue", Op: adt.OpEnqueue, Args: intArgsFn,
+			Probes: repeat(adt.OpDequeue, func(k int) int { return k }),
+			LastIndex: func(args, rets []spec.Value) (int, error) {
+				// FIFO: the last dequeue returns the last enqueue.
+				return indexOfValue(args, rets[len(rets)-1])
+			},
+		},
+		{
+			TypeName: "stack", Op: adt.OpPush, Args: intArgsFn,
+			Probes: repeat(adt.OpPop, func(k int) int { return 1 }),
+			LastIndex: func(args, rets []spec.Value) (int, error) {
+				// LIFO: the first pop returns the last push.
+				return indexOfValue(args, rets[0])
+			},
+		},
+		{
+			TypeName: "register", Op: adt.OpWrite, Args: intArgsFn,
+			Probes: repeat(adt.OpRead, func(k int) int { return 1 }),
+			LastIndex: func(args, rets []spec.Value) (int, error) {
+				// The register holds the last write.
+				return indexOfValue(args, rets[0])
+			},
+		},
+		{
+			TypeName: "log", Op: adt.OpAppend, Args: intArgsFn,
+			Probes: repeat(adt.OpLast, func(k int) int { return 1 }),
+			LastIndex: func(args, rets []spec.Value) (int, error) {
+				return indexOfValue(args, rets[0])
+			},
+		},
+		{
+			TypeName: "deque", Op: adt.OpPushFront, Args: intArgsFn,
+			Probes: repeat(adt.OpPopFront, func(k int) int { return 1 }),
+			LastIndex: func(args, rets []spec.Value) (int, error) {
+				// The last pushFront is the front.
+				return indexOfValue(args, rets[0])
+			},
+		},
+		{
+			TypeName: "tree", Op: adt.OpInsert,
+			// Distinct instances: move node 2 under parent i of a chain
+			// 0→1→3→5→… built by ρ; the last insert wins, and depth(2)
+			// reveals the winning parent's depth.
+			Args: func(k int) []spec.Value {
+				if k > len(treeChain)+1 {
+					return nil
+				}
+				out := make([]spec.Value, k)
+				out[0] = adt.Edge{P: 0, C: 2}
+				for i := 1; i < k; i++ {
+					out[i] = adt.Edge{P: treeChain[i-1], C: 2}
+				}
+				return out
+			},
+			Rho: treeRho,
+			Probes: func(int) []spec.Invocation {
+				return []spec.Invocation{{Op: adt.OpDepth, Arg: 2}}
+			},
+			LastIndex: func(args, rets []spec.Value) (int, error) {
+				// depth(2) = 1 + depth of the winning parent; the chain
+				// puts parent i at depth i.
+				d, ok := rets[0].(int)
+				if !ok || d < 1 {
+					return 0, fmt.Errorf("lowerbound: depth probe returned %v", rets[0])
+				}
+				return d - 1, nil
+			},
+		},
+	}
+}
+
+// treeChain is the chain of non-root parents for the tree scenario:
+// insert(0,1), insert(1,3), insert(3,5), ... built as the prefix ρ.
+var treeChain = []int{1, 3, 5, 7, 9, 11, 13}
+
+// treeRho builds the prefix instance sequence for the tree scenario with
+// k parents (chain of k-1 nodes under the root).
+func treeRho(k int) []spec.Invocation {
+	var out []spec.Invocation
+	prev := 0
+	for i := 0; i < k-1; i++ {
+		out = append(out, spec.Invocation{Op: adt.OpInsert, Arg: adt.Edge{P: prev, C: treeChain[i]}})
+		prev = treeChain[i]
+	}
+	return out
+}
+
+// Thm4Scenario instantiates Theorem 4 for a concrete pair-free operation:
+// after the prefix ρ (executed by p0), a solo instance of Op returns
+// SoloRet, while a second instance immediately following returns the
+// distinct OtherRet — and neither order of the two "solo-valued"
+// instances is legal (the pair-free property).
+type Thm4Scenario struct {
+	TypeName string
+	Op       string
+	OpArg    spec.Value
+	Rho      []spec.Invocation
+}
+
+// Thm4Scenarios are the stock pair-free specializations: Corollary 2's
+// rmw, dequeue and pop, plus the newer types.
+func Thm4Scenarios() []Thm4Scenario {
+	return []Thm4Scenario{
+		{TypeName: "queue", Op: adt.OpDequeue,
+			Rho: []spec.Invocation{{Op: adt.OpEnqueue, Arg: 5}}},
+		{TypeName: "stack", Op: adt.OpPop,
+			Rho: []spec.Invocation{{Op: adt.OpPush, Arg: 5}}},
+		{TypeName: "rmwregister", Op: adt.OpRMW, OpArg: 1},
+		{TypeName: "bank", Op: adt.OpWithdraw, OpArg: 5,
+			Rho: []spec.Invocation{{Op: adt.OpDeposit, Arg: 5}}},
+		{TypeName: "pqueue", Op: adt.OpPQExtract,
+			Rho: []spec.Invocation{{Op: adt.OpPQInsert, Arg: 3}}},
+		{TypeName: "deque", Op: adt.OpPopFront,
+			Rho: []spec.Invocation{{Op: adt.OpPushBack, Arg: 5}}},
+	}
+}
+
+// Thm5Scenario instantiates Theorem 5 for a concrete (transposable
+// mutator, discriminating pure accessor) pair: two distinct mutator
+// instances legal after ρ, and an accessor argument whose response
+// discriminates the orders per the theorem's hypotheses.
+type Thm5Scenario struct {
+	TypeName string
+	Rho      []spec.Invocation
+	Op       string
+	Op0Arg   spec.Value
+	Op1Arg   spec.Value
+	AOP      string
+	AOPArg   spec.Value
+}
+
+// Thm5Scenarios are the stock Theorem 5 specializations: the paper's
+// (enqueue, peek) example, the first-wins tree's (insert, depth) from
+// Table 4, and the deque's (pushback, front).
+func Thm5Scenarios() []Thm5Scenario {
+	return []Thm5Scenario{
+		{TypeName: "queue", Op: adt.OpEnqueue, Op0Arg: 1, Op1Arg: 2, AOP: adt.OpPeek},
+		{
+			TypeName: "treefw",
+			Rho: []spec.Invocation{
+				{Op: adt.OpInsert, Arg: adt.Edge{P: 0, C: 1}},
+				{Op: adt.OpInsert, Arg: adt.Edge{P: 1, C: 3}},
+			},
+			Op:     adt.OpInsert,
+			Op0Arg: adt.Edge{P: 1, C: 2}, // first-wins: winner fixes depth(2)
+			Op1Arg: adt.Edge{P: 3, C: 2},
+			AOP:    adt.OpDepth,
+			AOPArg: 2,
+		},
+		{TypeName: "deque", Op: adt.OpPushBack, Op0Arg: 1, Op1Arg: 2, AOP: adt.OpFront},
+	}
+}
+
+// findThm5Scenario returns the stock scenario for a type.
+func findThm5Scenario(typeName string) (Thm5Scenario, error) {
+	for _, sc := range Thm5Scenarios() {
+		if sc.TypeName == typeName {
+			return sc, nil
+		}
+	}
+	return Thm5Scenario{}, fmt.Errorf("lowerbound: no Theorem 5 scenario for type %q", typeName)
+}
+
+// findThm4Scenario returns the stock scenario for a type.
+func findThm4Scenario(typeName string) (Thm4Scenario, error) {
+	for _, sc := range Thm4Scenarios() {
+		if sc.TypeName == typeName {
+			return sc, nil
+		}
+	}
+	return Thm4Scenario{}, fmt.Errorf("lowerbound: no Theorem 4 scenario for type %q", typeName)
+}
+
+// values derives the solo and complementary return values of a pair-free
+// scenario from the sequential specification and validates the pair-free
+// property itself.
+func (sc Thm4Scenario) values(dt spec.DataType) (solo, other spec.Value, err error) {
+	state := dt.Initial()
+	for _, inv := range sc.Rho {
+		_, state = state.Apply(inv.Op, inv.Arg)
+	}
+	solo, afterOne := state.Apply(sc.Op, sc.OpArg)
+	other, _ = afterOne.Apply(sc.Op, sc.OpArg)
+	if spec.ValuesEqual(solo, other) {
+		return nil, nil, fmt.Errorf("lowerbound: %s.%s is not pair-free after ρ (both return %v)",
+			sc.TypeName, sc.Op, solo)
+	}
+	return solo, other, nil
+}
+
+// findThm3Scenario returns the stock scenario for a type.
+func findThm3Scenario(typeName string) (Thm3Scenario, error) {
+	for _, sc := range Thm3Scenarios() {
+		if sc.TypeName == typeName {
+			return sc, nil
+		}
+	}
+	return Thm3Scenario{}, fmt.Errorf("lowerbound: no Theorem 3 scenario for type %q", typeName)
+}

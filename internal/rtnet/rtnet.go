@@ -1,0 +1,289 @@
+// Package rtnet runs the same algorithm nodes as the virtual-time
+// simulator on a *real-time* substrate built from goroutines and
+// channels: every process is a goroutine consuming events from its inbox
+// channel, message delays are real sleeps drawn from [d-u, d] virtual
+// ticks, timers are time.Timer instances, and local clocks are wall-clock
+// readings plus a constant per-process offset.
+//
+// The substrate exists to demonstrate that Algorithm 1 is a practical
+// message-passing protocol, not just a simulation artifact: the exact
+// same core.Replica values run here, with latencies that approximate the
+// tick-exact virtual-time values up to scheduling jitter. The tick
+// duration scales virtual ticks to wall time; choose it large enough that
+// goroutine scheduling jitter stays well below one u (a millisecond-scale
+// tick on an unloaded machine).
+package rtnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+)
+
+// Response is the completed result of an asynchronous invocation.
+type Response struct {
+	Op      string
+	Arg     any
+	Ret     any
+	Invoke  simtime.Time // virtual ticks since cluster start
+	Respond simtime.Time
+}
+
+// Latency returns the observed virtual-tick latency.
+func (r Response) Latency() simtime.Duration { return r.Respond.Sub(r.Invoke) }
+
+// event is one inbox item.
+type event struct {
+	kind    int // 0 invoke, 1 message, 2 timer, 3 inspect
+	inv     sim.Invocation
+	from    sim.ProcID
+	payload any
+	tag     any
+	timerID sim.TimerID
+	inspect func()
+	done    chan struct{}
+}
+
+// Cluster runs n nodes in real time.
+type Cluster struct {
+	params  simtime.Params
+	tick    time.Duration
+	offsets []simtime.Duration
+	nodes   []sim.Node
+
+	inboxes []chan event
+	start   time.Time
+	wg      sync.WaitGroup
+	stopped chan struct{}
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	seq     int64
+	pending map[int64]*pendingCall
+	timers  map[sim.TimerID]*time.Timer
+	timerID sim.TimerID
+}
+
+type pendingCall struct {
+	op     string
+	arg    any
+	invoke simtime.Time
+	done   chan Response
+}
+
+// NewCluster builds a real-time cluster. tick is the wall-clock duration
+// of one virtual tick; offsets must respect the skew bound ε.
+func NewCluster(p simtime.Params, tick time.Duration, offsets []simtime.Duration, nodes []sim.Node, seed int64) (*Cluster, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) != p.N || len(offsets) != p.N {
+		return nil, fmt.Errorf("rtnet: need %d nodes and offsets", p.N)
+	}
+	if err := sim.ValidateOffsets(offsets, p.Epsilon); err != nil {
+		return nil, err
+	}
+	if tick <= 0 {
+		return nil, fmt.Errorf("rtnet: tick must be positive")
+	}
+	c := &Cluster{
+		params:  p,
+		tick:    tick,
+		offsets: append([]simtime.Duration(nil), offsets...),
+		nodes:   nodes,
+		inboxes: make([]chan event, p.N),
+		stopped: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+		pending: map[int64]*pendingCall{},
+		timers:  map[sim.TimerID]*time.Timer{},
+	}
+	for i := range c.inboxes {
+		c.inboxes[i] = make(chan event, 1024)
+	}
+	return c, nil
+}
+
+// Start launches the node goroutines and starts the cluster clock.
+func (c *Cluster) Start() {
+	c.start = time.Now()
+	for i := range c.nodes {
+		proc := sim.ProcID(i)
+		c.nodes[i].Init(&rtCtx{c: c, proc: proc})
+		c.wg.Add(1)
+		go c.loop(proc)
+	}
+}
+
+// loop is one process's event loop.
+func (c *Cluster) loop(proc sim.ProcID) {
+	defer c.wg.Done()
+	ctx := &rtCtx{c: c, proc: proc}
+	for {
+		select {
+		case <-c.stopped:
+			return
+		case ev := <-c.inboxes[proc]:
+			switch ev.kind {
+			case 0:
+				c.nodes[proc].OnInvoke(ctx, ev.inv)
+			case 1:
+				c.nodes[proc].OnMessage(ctx, ev.from, ev.payload)
+			case 2:
+				c.mu.Lock()
+				_, live := c.timers[ev.timerID]
+				delete(c.timers, ev.timerID)
+				c.mu.Unlock()
+				if live {
+					c.nodes[proc].OnTimer(ctx, ev.tag)
+				}
+			case 3:
+				ev.inspect()
+				close(ev.done)
+			}
+		}
+	}
+}
+
+// Stop terminates the cluster. Pending invocations never complete.
+func (c *Cluster) Stop() {
+	close(c.stopped)
+	c.mu.Lock()
+	for _, t := range c.timers {
+		t.Stop()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// now returns the elapsed virtual time since Start.
+func (c *Cluster) now() simtime.Time {
+	return simtime.Time(time.Since(c.start) / c.tick)
+}
+
+// Invoke submits an operation at a process and returns a channel carrying
+// its response. The caller must respect the one-pending-op-per-process
+// rule of the model.
+func (c *Cluster) Invoke(proc sim.ProcID, op string, arg any) <-chan Response {
+	done := make(chan Response, 1)
+	c.mu.Lock()
+	seqID := c.seq
+	c.seq++
+	c.pending[seqID] = &pendingCall{op: op, arg: arg, invoke: c.now(), done: done}
+	c.mu.Unlock()
+	c.post(proc, event{kind: 0, inv: sim.Invocation{SeqID: seqID, Op: op, Arg: arg}})
+	return done
+}
+
+// Call invokes and waits for the response.
+func (c *Cluster) Call(proc sim.ProcID, op string, arg any) Response {
+	return <-c.Invoke(proc, op, arg)
+}
+
+// Inspect runs f inside the process's event loop and waits for it,
+// establishing the happens-before edge needed to read node state safely
+// (e.g. replica fingerprints for convergence checks).
+func (c *Cluster) Inspect(proc sim.ProcID, f func()) {
+	done := make(chan struct{})
+	c.post(proc, event{kind: 3, inspect: f, done: done})
+	select {
+	case <-done:
+	case <-c.stopped:
+	}
+}
+
+// post delivers an event to a process inbox (dropped after Stop).
+func (c *Cluster) post(proc sim.ProcID, ev event) {
+	select {
+	case <-c.stopped:
+	case c.inboxes[proc] <- ev:
+	}
+}
+
+// rtCtx implements sim.Context over the real-time substrate.
+type rtCtx struct {
+	c    *Cluster
+	proc sim.ProcID
+}
+
+func (x *rtCtx) ID() sim.ProcID    { return x.proc }
+func (x *rtCtx) N() int            { return len(x.c.nodes) }
+func (x *rtCtx) Now() simtime.Time { return x.c.now() }
+func (x *rtCtx) LocalTime() simtime.Time {
+	return x.c.now().Add(x.c.offsets[x.proc])
+}
+
+func (x *rtCtx) SetTimer(after simtime.Duration, tag any) sim.TimerID {
+	if after < 0 {
+		panic(fmt.Sprintf("rtnet: negative timer %v", after))
+	}
+	x.c.mu.Lock()
+	x.c.timerID++
+	id := x.c.timerID
+	x.c.mu.Unlock()
+	proc := x.proc
+	t := time.AfterFunc(time.Duration(after)*x.c.tick, func() {
+		x.c.post(proc, event{kind: 2, timerID: id, tag: tag})
+	})
+	x.c.mu.Lock()
+	x.c.timers[id] = t
+	x.c.mu.Unlock()
+	return id
+}
+
+func (x *rtCtx) SetTimerAtLocal(localTime simtime.Time, tag any) sim.TimerID {
+	delta := localTime.Sub(x.LocalTime())
+	if delta < 0 {
+		delta = 0
+	}
+	return x.SetTimer(delta, tag)
+}
+
+func (x *rtCtx) CancelTimer(id sim.TimerID) {
+	x.c.mu.Lock()
+	if t, ok := x.c.timers[id]; ok {
+		t.Stop()
+		delete(x.c.timers, id)
+	}
+	x.c.mu.Unlock()
+}
+
+func (x *rtCtx) Send(to sim.ProcID, payload any) {
+	if to == x.proc {
+		panic("rtnet: self-send")
+	}
+	// Draw a delay from the *lower half* of [d-u, d]: real scheduling
+	// jitter only adds latency, so sampling low keeps actual deliveries
+	// within the admissible window.
+	x.c.mu.Lock()
+	span := int64(x.c.params.U)/2 + 1
+	delay := x.c.params.MinDelay() + simtime.Duration(x.c.rng.Int63n(span))
+	x.c.mu.Unlock()
+	from := x.proc
+	time.AfterFunc(time.Duration(delay)*x.c.tick, func() {
+		x.c.post(to, event{kind: 1, from: from, payload: payload})
+	})
+}
+
+func (x *rtCtx) Broadcast(payload any) {
+	for p := 0; p < x.N(); p++ {
+		if sim.ProcID(p) != x.proc {
+			x.Send(sim.ProcID(p), payload)
+		}
+	}
+}
+
+func (x *rtCtx) Respond(seqID int64, ret any) {
+	x.c.mu.Lock()
+	call, ok := x.c.pending[seqID]
+	delete(x.c.pending, seqID)
+	now := x.c.now()
+	x.c.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("rtnet: response for unknown op %d", seqID))
+	}
+	call.done <- Response{Op: call.op, Arg: call.arg, Ret: ret, Invoke: call.invoke, Respond: now}
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"lintime/internal/simtime"
+)
+
+// eventKind distinguishes scheduled event types.
+type eventKind int
+
+const (
+	evInvoke eventKind = iota
+	evDeliver
+	evTimer
+)
+
+// event is one scheduled occurrence in the simulation.
+type event struct {
+	time simtime.Time
+	seq  int64 // tie-break: FIFO among simultaneous events
+	kind eventKind
+	proc ProcID
+
+	// evInvoke
+	inv Invocation
+	// evDeliver
+	from     ProcID
+	payload  any
+	msgIndex int // index into trace.Msgs
+	// evTimer
+	timerID TimerID
+	tag     any
+}
+
+// rank orders simultaneous events: message deliveries before timer
+// expirations before invocations. Delivering messages first is load
+// bearing for timestamp-ordered algorithms: a message carrying a smaller
+// timestamp that arrives at exactly the instant a stabilization timer
+// fires must be enqueued before the timer's drain runs, or replicas
+// execute mutators in different orders (the u+ε wait of Algorithm 1 is
+// tight at this boundary when d ≤ 2u+ε).
+func (k eventKind) rank() int {
+	switch k {
+	case evDeliver:
+		return 0
+	case evTimer:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// eventHeap is a min-heap over (time, kind rank, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind.rank() != h[j].kind.rank() {
+		return h[i].kind.rank() < h[j].kind.rank()
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() *event  { return h[0] }
+
+// Engine drives a deterministic simulation of n nodes. Events at the same
+// real time are processed in scheduling order, so runs are fully
+// reproducible.
+type Engine struct {
+	params  simtime.Params
+	offsets []simtime.Duration
+	net     Network
+	nodes   []Node
+
+	now      simtime.Time
+	queue    eventHeap
+	seq      int64
+	timerSeq int64
+	opSeq    int64
+	msgCount int64
+	canceled map[TimerID]bool
+	pending  map[ProcID]int64 // pending op SeqID per process
+	opIndex  map[int64]int    // SeqID → index into trace.Ops
+	trace    *Trace
+	started  bool
+
+	// OnRespond, if non-nil, is called after every operation response with
+	// the completed record. Handlers may schedule further invocations (at
+	// or after the current time) — this is how closed-loop workloads run.
+	OnRespond func(rec OpRecord)
+
+	// MaxSteps bounds the number of processed events as a runaway guard.
+	MaxSteps int
+}
+
+// NewEngine builds an engine. offsets must have one entry per node and
+// respect the skew bound ε; net provides message delays.
+func NewEngine(params simtime.Params, offsets []simtime.Duration, net Network, nodes []Node) (*Engine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) != params.N {
+		return nil, fmt.Errorf("sim: %d nodes for N=%d", len(nodes), params.N)
+	}
+	if len(offsets) != params.N {
+		return nil, fmt.Errorf("sim: %d offsets for N=%d", len(offsets), params.N)
+	}
+	if err := ValidateOffsets(offsets, params.Epsilon); err != nil {
+		return nil, err
+	}
+	eng := &Engine{
+		params:   params,
+		offsets:  append([]simtime.Duration(nil), offsets...),
+		net:      net,
+		nodes:    nodes,
+		canceled: map[TimerID]bool{},
+		pending:  map[ProcID]int64{},
+		opIndex:  map[int64]int{},
+		trace: &Trace{
+			Params:  params,
+			Offsets: append([]simtime.Duration(nil), offsets...),
+		},
+		MaxSteps: 10_000_000,
+	}
+	return eng, nil
+}
+
+// Params returns the engine's model parameters.
+func (e *Engine) Params() simtime.Params { return e.params }
+
+// Now returns the current real time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Trace returns the (live) trace of the run.
+func (e *Engine) Trace() *Trace { return e.trace }
+
+// push schedules an event.
+func (e *Engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// InvokeAt schedules an operation invocation at process p at the given
+// real time (which must not be in the past) and returns its SeqID.
+func (e *Engine) InvokeAt(p ProcID, at simtime.Time, op string, arg any) int64 {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: invocation at %v is in the past (now %v)", at, e.now))
+	}
+	seqID := e.opSeq
+	e.opSeq++
+	e.push(&event{time: at, kind: evInvoke, proc: p, inv: Invocation{SeqID: seqID, Op: op, Arg: arg}})
+	return seqID
+}
+
+// setTimer schedules a timer event at an absolute real time.
+func (e *Engine) setTimer(p ProcID, at simtime.Time, tag any) TimerID {
+	id := TimerID(e.timerSeq)
+	e.timerSeq++
+	e.push(&event{time: at, kind: evTimer, proc: p, timerID: id, tag: tag})
+	return id
+}
+
+func (e *Engine) cancelTimer(id TimerID) { e.canceled[id] = true }
+
+// send schedules message delivery per the network's delay.
+func (e *Engine) send(from, to ProcID, payload any) {
+	delay := e.net.Delay(from, to, e.now, e.msgCount)
+	if delay < e.params.MinDelay() || delay > e.params.D {
+		panic(fmt.Sprintf("sim: network produced delay %v outside [%v, %v]",
+			delay, e.params.MinDelay(), e.params.D))
+	}
+	e.msgCount++
+	recv := e.now.Add(delay)
+	e.trace.Msgs = append(e.trace.Msgs, MsgRecord{
+		ID:       e.msgCount,
+		From:     from,
+		To:       to,
+		SendTime: e.now,
+		RecvTime: recv,
+		Payload:  payload,
+	})
+	e.push(&event{time: recv, kind: evDeliver, proc: to, from: from, payload: payload,
+		msgIndex: len(e.trace.Msgs) - 1})
+}
+
+// respond records the response for a pending invocation.
+func (e *Engine) respond(p ProcID, seqID int64, ret any) {
+	pendingSeq, ok := e.pending[p]
+	if !ok || pendingSeq != seqID {
+		panic(fmt.Sprintf("sim: p%d responded to op %d which is not pending", p, seqID))
+	}
+	delete(e.pending, p)
+	idx := e.opIndex[seqID]
+	e.trace.Ops[idx].Ret = ret
+	e.trace.Ops[idx].RespondTime = e.now
+	if e.OnRespond != nil {
+		e.OnRespond(e.trace.Ops[idx])
+	}
+}
+
+// Run processes events until the queue drains (eventual quiescence) and
+// returns the trace.
+func (e *Engine) Run() *Trace { return e.RunUntil(simtime.Infinity) }
+
+// RunUntil processes events with time ≤ limit and returns the trace.
+func (e *Engine) RunUntil(limit simtime.Time) *Trace {
+	if !e.started {
+		e.started = true
+		for p := range e.nodes {
+			e.nodes[p].Init(&engineCtx{eng: e, proc: ProcID(p)})
+		}
+	}
+	steps := 0
+	for e.queue.Len() > 0 && e.queue.Peek().time <= limit {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.kind == evTimer && e.canceled[ev.timerID] {
+			delete(e.canceled, ev.timerID)
+			continue
+		}
+		if ev.time < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.time
+		steps++
+		if steps > e.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d (runaway algorithm?)", e.MaxSteps))
+		}
+		ctx := &engineCtx{eng: e, proc: ev.proc}
+		switch ev.kind {
+		case evInvoke:
+			if prev, busy := e.pending[ev.proc]; busy {
+				panic(fmt.Sprintf("sim: p%d invoked op %d while op %d pending (user constraint violated)",
+					ev.proc, ev.inv.SeqID, prev))
+			}
+			e.pending[ev.proc] = ev.inv.SeqID
+			e.opIndex[ev.inv.SeqID] = len(e.trace.Ops)
+			e.trace.Ops = append(e.trace.Ops, OpRecord{
+				Proc:        ev.proc,
+				SeqID:       ev.inv.SeqID,
+				Op:          ev.inv.Op,
+				Arg:         ev.inv.Arg,
+				InvokeTime:  e.now,
+				RespondTime: simtime.Infinity,
+			})
+			e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepInvoke})
+			e.nodes[ev.proc].OnInvoke(ctx, ev.inv)
+		case evDeliver:
+			e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepDeliver})
+			e.nodes[ev.proc].OnMessage(ctx, ev.from, ev.payload)
+		case evTimer:
+			e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepTimer})
+			e.nodes[ev.proc].OnTimer(ctx, ev.tag)
+		}
+	}
+	return e.trace
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lintime/internal/simtime"
+)
+
+// Network determines per-message delays. Implementations must keep every
+// returned delay in [d-u, d] for the run to be admissible; the engine
+// records actual delays in the trace so admissibility can be verified
+// after the fact.
+type Network interface {
+	// Delay returns the delay of the msgIndex-th message (global send
+	// order) from one process to another, sent at the given real time.
+	Delay(from, to ProcID, sendTime simtime.Time, msgIndex int64) simtime.Duration
+}
+
+// UniformNetwork delays every message by the same constant.
+type UniformNetwork struct {
+	D simtime.Duration
+}
+
+// Delay implements Network.
+func (n UniformNetwork) Delay(ProcID, ProcID, simtime.Time, int64) simtime.Duration { return n.D }
+
+// PairwiseNetwork gives every ordered pair of processes a fixed delay —
+// the "pair-wise uniform delays" runs from Section 2.4 of the paper.
+type PairwiseNetwork struct {
+	Delays [][]simtime.Duration // Delays[from][to]
+}
+
+// NewPairwiseNetwork builds a pairwise network with every entry set to d.
+func NewPairwiseNetwork(n int, d simtime.Duration) *PairwiseNetwork {
+	m := make([][]simtime.Duration, n)
+	for i := range m {
+		m[i] = make([]simtime.Duration, n)
+		for j := range m[i] {
+			m[i][j] = d
+		}
+	}
+	return &PairwiseNetwork{Delays: m}
+}
+
+// Set overrides the delay from one process to another and returns the
+// network for chaining.
+func (n *PairwiseNetwork) Set(from, to ProcID, d simtime.Duration) *PairwiseNetwork {
+	n.Delays[from][to] = d
+	return n
+}
+
+// Delay implements Network.
+func (n *PairwiseNetwork) Delay(from, to ProcID, _ simtime.Time, _ int64) simtime.Duration {
+	return n.Delays[from][to]
+}
+
+// Validate checks that all delays lie in [d-u, d].
+func (n *PairwiseNetwork) Validate(p simtime.Params) error {
+	for i := range n.Delays {
+		for j := range n.Delays[i] {
+			if i == j {
+				continue
+			}
+			d := n.Delays[i][j]
+			if d < p.MinDelay() || d > p.D {
+				return fmt.Errorf("sim: delay p%d→p%d = %v outside [%v, %v]", i, j, d, p.MinDelay(), p.D)
+			}
+		}
+	}
+	return nil
+}
+
+// CirculantNetwork implements the delay matrix from Step 1 of the
+// Theorem 3 proof: for i, j < k the delay is d - ((i-j) mod k)·u/k, and
+// d - u/2 otherwise. u must be divisible by 2k for exactness.
+func CirculantNetwork(n, k int, d, u simtime.Duration) *PairwiseNetwork {
+	net := NewPairwiseNetwork(n, d-u/2)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			mod := ((i-j)%k + k) % k
+			net.Delays[i][j] = d - simtime.Duration(mod)*u/simtime.Duration(k)
+		}
+	}
+	return net
+}
+
+// RandomNetwork draws each message's delay independently and uniformly
+// from [d-u, d] with a deterministic seed.
+type RandomNetwork struct {
+	D, U simtime.Duration
+	rng  *rand.Rand
+}
+
+// NewRandomNetwork returns a seeded random network.
+func NewRandomNetwork(d, u simtime.Duration, seed int64) *RandomNetwork {
+	return &RandomNetwork{D: d, U: u, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay implements Network.
+func (n *RandomNetwork) Delay(ProcID, ProcID, simtime.Time, int64) simtime.Duration {
+	if n.U == 0 {
+		return n.D
+	}
+	return n.D - simtime.Duration(n.rng.Int63n(int64(n.U)+1))
+}
+
+// AdversarialNetwork stresses timestamp ordering: messages *from* lower
+// process ids travel at the maximum delay d while messages from higher ids
+// travel at the minimum d-u, maximizing reordering between processes.
+type AdversarialNetwork struct {
+	D, U simtime.Duration
+	N    int
+}
+
+// Delay implements Network.
+func (n AdversarialNetwork) Delay(from, _ ProcID, _ simtime.Time, _ int64) simtime.Duration {
+	if int(from) < n.N/2 {
+		return n.D
+	}
+	return n.D - n.U
+}
+
+// ClockOffsets builds clock-offset assignments.
+
+// ZeroOffsets gives every process offset 0 (perfectly synchronized).
+func ZeroOffsets(n int) []simtime.Duration { return make([]simtime.Duration, n) }
+
+// SpreadOffsets spreads offsets evenly across [0, ε], putting the maximum
+// allowed skew between the first and last process.
+func SpreadOffsets(n int, eps simtime.Duration) []simtime.Duration {
+	out := make([]simtime.Duration, n)
+	if n <= 1 {
+		return out
+	}
+	for i := range out {
+		out[i] = eps * simtime.Duration(i) / simtime.Duration(n-1)
+	}
+	return out
+}
+
+// AlternatingOffsets gives even processes offset 0 and odd processes
+// offset ε — the worst case for neighboring timestamp comparisons.
+func AlternatingOffsets(n int, eps simtime.Duration) []simtime.Duration {
+	out := make([]simtime.Duration, n)
+	for i := range out {
+		if i%2 == 1 {
+			out[i] = eps
+		}
+	}
+	return out
+}
+
+// RandomOffsets draws offsets uniformly from [0, ε] with a deterministic
+// seed.
+func RandomOffsets(n int, eps simtime.Duration, seed int64) []simtime.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]simtime.Duration, n)
+	for i := range out {
+		if eps > 0 {
+			out[i] = simtime.Duration(rng.Int63n(int64(eps) + 1))
+		}
+	}
+	return out
+}
+
+// ValidateOffsets checks that all pairwise skews are at most ε.
+func ValidateOffsets(offsets []simtime.Duration, eps simtime.Duration) error {
+	for i := range offsets {
+		for j := range offsets {
+			if (offsets[i] - offsets[j]).Abs() > eps {
+				return fmt.Errorf("sim: skew |c%d-c%d| = %v exceeds ε = %v",
+					i, j, (offsets[i] - offsets[j]).Abs(), eps)
+			}
+		}
+	}
+	return nil
+}

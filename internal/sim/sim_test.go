@@ -1,0 +1,593 @@
+package sim
+
+import (
+	"testing"
+
+	"lintime/internal/simtime"
+)
+
+// testParams is a small configuration used across the sim tests.
+func testParams(n int) simtime.Params {
+	return simtime.Params{N: n, D: 100, U: 40, Epsilon: 30, X: 20}
+}
+
+// echoNode responds to every invocation immediately with its argument.
+type echoNode struct{}
+
+func (echoNode) Init(Context) {}
+func (echoNode) OnInvoke(ctx Context, inv Invocation) {
+	ctx.Respond(inv.SeqID, inv.Arg)
+}
+func (echoNode) OnMessage(Context, ProcID, any) {}
+func (echoNode) OnTimer(Context, any)           {}
+
+// pingNode sends a message to its peer on invocation and responds when the
+// peer's acknowledgment arrives.
+type pingNode struct {
+	peer    ProcID
+	pending int64
+}
+
+func (n *pingNode) Init(Context) {}
+func (n *pingNode) OnInvoke(ctx Context, inv Invocation) {
+	n.pending = inv.SeqID
+	ctx.Send(n.peer, "ping")
+}
+func (n *pingNode) OnMessage(ctx Context, from ProcID, payload any) {
+	switch payload {
+	case "ping":
+		ctx.Send(from, "pong")
+	case "pong":
+		ctx.Respond(n.pending, "done")
+	}
+}
+func (n *pingNode) OnTimer(Context, any) {}
+
+// timerNode responds after a fixed timer delay and can cancel timers.
+type timerNode struct {
+	delay simtime.Duration
+}
+
+func (n *timerNode) Init(Context) {}
+func (n *timerNode) OnInvoke(ctx Context, inv Invocation) {
+	ctx.SetTimer(n.delay, inv.SeqID)
+}
+func (n *timerNode) OnMessage(Context, ProcID, any) {}
+func (n *timerNode) OnTimer(ctx Context, tag any) {
+	ctx.Respond(tag.(int64), "fired")
+}
+
+func newEngine(t *testing.T, params simtime.Params, offsets []simtime.Duration, net Network, nodes []Node) *Engine {
+	t.Helper()
+	eng, err := NewEngine(params, offsets, net, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestEchoImmediateResponse(t *testing.T) {
+	p := testParams(1)
+	eng := newEngine(t, p, ZeroOffsets(1), UniformNetwork{D: 100}, []Node{echoNode{}})
+	eng.InvokeAt(0, 10, "op", 42)
+	tr := eng.Run()
+	if err := tr.CheckComplete(); err != nil {
+		t.Fatal(err)
+	}
+	op := tr.Ops[0]
+	if op.Ret != 42 || op.InvokeTime != 10 || op.RespondTime != 10 {
+		t.Errorf("op record = %+v", op)
+	}
+	if op.Latency() != 0 {
+		t.Errorf("latency = %v, want 0", op.Latency())
+	}
+}
+
+func TestPingPongDelays(t *testing.T) {
+	p := testParams(2)
+	nodes := []Node{&pingNode{peer: 1}, &pingNode{peer: 0}}
+	eng := newEngine(t, p, ZeroOffsets(2), UniformNetwork{D: 80}, nodes)
+	eng.InvokeAt(0, 0, "rtt", nil)
+	tr := eng.Run()
+	if err := tr.CheckComplete(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Ops[0].Latency(); got != 160 {
+		t.Errorf("round trip latency = %v, want 160", got)
+	}
+	if len(tr.Msgs) != 2 {
+		t.Fatalf("recorded %d messages, want 2", len(tr.Msgs))
+	}
+	for _, m := range tr.Msgs {
+		if !m.Received() || m.Delay() != 80 {
+			t.Errorf("message %+v", m)
+		}
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	p := testParams(1)
+	eng := newEngine(t, p, ZeroOffsets(1), UniformNetwork{D: 100}, []Node{&timerNode{delay: 55}})
+	eng.InvokeAt(0, 100, "wait", nil)
+	tr := eng.Run()
+	if got := tr.Ops[0].Latency(); got != 55 {
+		t.Errorf("timer latency = %v, want 55", got)
+	}
+}
+
+// cancelNode sets two timers and cancels the earlier one.
+type cancelNode struct {
+	fired []string
+}
+
+func (n *cancelNode) Init(Context) {}
+func (n *cancelNode) OnInvoke(ctx Context, inv Invocation) {
+	early := ctx.SetTimer(10, "early")
+	ctx.SetTimer(20, inv.SeqID)
+	ctx.CancelTimer(early)
+}
+func (n *cancelNode) OnMessage(Context, ProcID, any) {}
+func (n *cancelNode) OnTimer(ctx Context, tag any) {
+	if s, ok := tag.(string); ok {
+		n.fired = append(n.fired, s)
+		return
+	}
+	ctx.Respond(tag.(int64), "late")
+}
+
+func TestTimerCancel(t *testing.T) {
+	p := testParams(1)
+	node := &cancelNode{}
+	eng := newEngine(t, p, ZeroOffsets(1), UniformNetwork{D: 100}, []Node{node})
+	eng.InvokeAt(0, 0, "op", nil)
+	tr := eng.Run()
+	if len(node.fired) != 0 {
+		t.Errorf("canceled timer fired: %v", node.fired)
+	}
+	if tr.Ops[0].Latency() != 20 {
+		t.Errorf("latency = %v, want 20", tr.Ops[0].Latency())
+	}
+}
+
+func TestLocalClockOffsets(t *testing.T) {
+	p := testParams(2)
+	offsets := []simtime.Duration{0, 25}
+	var locals []simtime.Time
+	probe := &probeNode{onInvoke: func(ctx Context, inv Invocation) {
+		locals = append(locals, ctx.LocalTime())
+		ctx.Respond(inv.SeqID, nil)
+	}}
+	eng := newEngine(t, p, offsets, UniformNetwork{D: 100}, []Node{probe, probe})
+	eng.InvokeAt(0, 50, "a", nil)
+	eng.InvokeAt(1, 200, "b", nil)
+	eng.Run()
+	if locals[0] != 50 {
+		t.Errorf("p0 local time = %v, want 50", locals[0])
+	}
+	if locals[1] != 225 {
+		t.Errorf("p1 local time = %v, want 225 (real 200 + offset 25)", locals[1])
+	}
+}
+
+// probeNode lets tests inject handler behavior.
+type probeNode struct {
+	onInvoke  func(Context, Invocation)
+	onMessage func(Context, ProcID, any)
+	onTimer   func(Context, any)
+}
+
+func (n *probeNode) Init(Context) {}
+func (n *probeNode) OnInvoke(ctx Context, inv Invocation) {
+	if n.onInvoke != nil {
+		n.onInvoke(ctx, inv)
+	}
+}
+func (n *probeNode) OnMessage(ctx Context, from ProcID, payload any) {
+	if n.onMessage != nil {
+		n.onMessage(ctx, from, payload)
+	}
+}
+func (n *probeNode) OnTimer(ctx Context, tag any) {
+	if n.onTimer != nil {
+		n.onTimer(ctx, tag)
+	}
+}
+
+func TestSetTimerAtLocal(t *testing.T) {
+	p := testParams(1)
+	offsets := []simtime.Duration{30}
+	var respondAt simtime.Time
+	probe := &probeNode{}
+	probe.onInvoke = func(ctx Context, inv Invocation) {
+		// Local clock reads real+30; fire when local clock reads 100,
+		// i.e. real time 70.
+		ctx.SetTimerAtLocal(100, inv.SeqID)
+	}
+	probe.onTimer = func(ctx Context, tag any) {
+		respondAt = ctx.Now()
+		ctx.Respond(tag.(int64), nil)
+	}
+	eng := newEngine(t, p, offsets, UniformNetwork{D: 100}, []Node{probe})
+	eng.InvokeAt(0, 0, "op", nil)
+	eng.Run()
+	if respondAt != 70 {
+		t.Errorf("timer fired at real %v, want 70", respondAt)
+	}
+}
+
+func TestPendingConstraintEnforced(t *testing.T) {
+	p := testParams(1)
+	// Node that never responds: the second invocation overlaps the first.
+	probe := &probeNode{}
+	eng := newEngine(t, p, ZeroOffsets(1), UniformNetwork{D: 100}, []Node{probe})
+	eng.InvokeAt(0, 0, "a", nil)
+	eng.InvokeAt(0, 5, "b", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on overlapping invocations at one process")
+		}
+	}()
+	eng.Run()
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	p := testParams(2)
+	probe := &probeNode{onInvoke: func(ctx Context, inv Invocation) {
+		ctx.Send(ctx.ID(), "boom")
+	}}
+	eng := newEngine(t, p, ZeroOffsets(2), UniformNetwork{D: 100}, []Node{probe, probe})
+	eng.InvokeAt(0, 0, "a", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on self-send")
+		}
+	}()
+	eng.Run()
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// Two identical engines produce identical traces.
+	run := func() *Trace {
+		p := testParams(3)
+		nodes := []Node{&pingNode{peer: 1}, &pingNode{peer: 2}, &pingNode{peer: 0}}
+		eng, _ := NewEngine(p, SpreadOffsets(3, p.Epsilon), NewRandomNetwork(p.D, p.U, 7), nodes)
+		eng.InvokeAt(0, 0, "a", nil)
+		eng.InvokeAt(1, 3, "b", nil)
+		eng.InvokeAt(2, 6, "c", nil)
+		return eng.Run()
+	}
+	a, b := run(), run()
+	if len(a.Ops) != len(b.Ops) || len(a.Msgs) != len(b.Msgs) || len(a.Steps) != len(b.Steps) {
+		t.Fatal("traces differ in size")
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Errorf("op %d differs: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
+	}
+	for i := range a.Msgs {
+		if a.Msgs[i].RecvTime != b.Msgs[i].RecvTime {
+			t.Errorf("msg %d differs", i)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	p := testParams(4)
+	var got []ProcID
+	recv := &probeNode{onMessage: func(ctx Context, from ProcID, payload any) {
+		got = append(got, ctx.ID())
+	}}
+	sender := &probeNode{onInvoke: func(ctx Context, inv Invocation) {
+		ctx.Broadcast("hello")
+		ctx.Respond(inv.SeqID, nil)
+	}}
+	eng := newEngine(t, p, ZeroOffsets(4), UniformNetwork{D: 90}, []Node{sender, recv, recv, recv})
+	eng.InvokeAt(0, 0, "b", nil)
+	tr := eng.Run()
+	if len(got) != 3 {
+		t.Errorf("broadcast reached %d processes, want 3", len(got))
+	}
+	if len(tr.Msgs) != 3 {
+		t.Errorf("trace has %d messages, want 3", len(tr.Msgs))
+	}
+}
+
+func TestOnRespondHookAndClosedLoop(t *testing.T) {
+	p := testParams(1)
+	eng := newEngine(t, p, ZeroOffsets(1), UniformNetwork{D: 100}, []Node{&timerNode{delay: 10}})
+	count := 0
+	eng.OnRespond = func(rec OpRecord) {
+		count++
+		if count < 5 {
+			eng.InvokeAt(rec.Proc, rec.RespondTime.Add(1), "next", count)
+		}
+	}
+	eng.InvokeAt(0, 0, "first", nil)
+	tr := eng.Run()
+	if len(tr.Ops) != 5 {
+		t.Errorf("closed loop ran %d ops, want 5", len(tr.Ops))
+	}
+	if err := tr.CheckComplete(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	p := testParams(1)
+	eng := newEngine(t, p, ZeroOffsets(1), UniformNetwork{D: 100}, []Node{&timerNode{delay: 50}})
+	eng.InvokeAt(0, 0, "op", nil)
+	tr := eng.RunUntil(30)
+	if err := tr.CheckComplete(); err == nil {
+		t.Error("op should still be pending at time 30")
+	}
+	tr = eng.RunUntil(simtime.Infinity)
+	if err := tr.CheckComplete(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeTimerPanics(t *testing.T) {
+	p := testParams(1)
+	probe := &probeNode{onInvoke: func(ctx Context, inv Invocation) {
+		ctx.SetTimer(-1, nil)
+	}}
+	eng := newEngine(t, p, ZeroOffsets(1), UniformNetwork{D: 100}, []Node{probe})
+	eng.InvokeAt(0, 0, "a", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative timer")
+		}
+	}()
+	eng.Run()
+}
+
+func TestEngineValidation(t *testing.T) {
+	p := testParams(2)
+	if _, err := NewEngine(p, ZeroOffsets(3), UniformNetwork{D: 100}, []Node{echoNode{}, echoNode{}}); err == nil {
+		t.Error("offset count mismatch should error")
+	}
+	if _, err := NewEngine(p, ZeroOffsets(2), UniformNetwork{D: 100}, []Node{echoNode{}}); err == nil {
+		t.Error("node count mismatch should error")
+	}
+	if _, err := NewEngine(p, []simtime.Duration{0, 31}, UniformNetwork{D: 100}, []Node{echoNode{}, echoNode{}}); err == nil {
+		t.Error("excessive skew should error")
+	}
+	bad := p
+	bad.U = 200
+	if _, err := NewEngine(bad, ZeroOffsets(2), UniformNetwork{D: 100}, []Node{echoNode{}, echoNode{}}); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestNetworkDelayOutOfRangePanics(t *testing.T) {
+	p := testParams(2)
+	probe := &probeNode{onInvoke: func(ctx Context, inv Invocation) {
+		ctx.Send(1, "x")
+	}}
+	eng := newEngine(t, p, ZeroOffsets(2), UniformNetwork{D: 10}, []Node{probe, probe}) // 10 < d-u = 60
+	eng.InvokeAt(0, 0, "a", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range delay")
+		}
+	}()
+	eng.Run()
+}
+
+func TestTraceAdmissibility(t *testing.T) {
+	p := testParams(2)
+	nodes := []Node{&pingNode{peer: 1}, &pingNode{peer: 0}}
+	eng := newEngine(t, p, SpreadOffsets(2, p.Epsilon), UniformNetwork{D: p.D}, nodes)
+	eng.InvokeAt(0, 0, "rtt", nil)
+	tr := eng.Run()
+	if err := tr.CheckAdmissible(); err != nil {
+		t.Errorf("engine-produced run must be admissible: %v", err)
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	p := testParams(2)
+	nodes := []Node{&timerNode{delay: 10}, &timerNode{delay: 30}}
+	eng := newEngine(t, p, ZeroOffsets(2), UniformNetwork{D: 100}, nodes)
+	eng.InvokeAt(0, 0, "fast", nil)
+	eng.InvokeAt(1, 5, "slow", nil)
+	tr := eng.Run()
+
+	ops := tr.CompletedOps()
+	if len(ops) != 2 || ops[0].Op != "fast" || ops[1].Op != "slow" {
+		t.Errorf("CompletedOps = %+v", ops)
+	}
+	if got := tr.OpsOf(1); len(got) != 1 || got[0].Op != "slow" {
+		t.Errorf("OpsOf(1) = %+v", got)
+	}
+	if max, ok := tr.MaxLatency("slow"); !ok || max != 30 {
+		t.Errorf("MaxLatency(slow) = %v, %v", max, ok)
+	}
+	if _, ok := tr.MaxLatency("missing"); ok {
+		t.Error("MaxLatency(missing) should report not found")
+	}
+	if tr.LastTime() != 35 {
+		t.Errorf("LastTime = %v, want 35", tr.LastTime())
+	}
+	if tr.LastTimeOf(0) != 10 {
+		t.Errorf("LastTimeOf(0) = %v, want 10", tr.LastTimeOf(0))
+	}
+	cl := tr.Clone()
+	cl.Ops[0].Op = "mutated"
+	if tr.Ops[0].Op != "fast" {
+		t.Error("Clone should not share op slices")
+	}
+}
+
+func TestCirculantNetwork(t *testing.T) {
+	// The Theorem 3 delay matrix: d_{ij} = d - ((i-j) mod k)·u/k.
+	d, u := simtime.Duration(100), simtime.Duration(40)
+	net := CirculantNetwork(4, 4, d, u)
+	if got := net.Delays[0][0]; got != 100 {
+		t.Errorf("d00 = %v, want 100", got)
+	}
+	if got := net.Delays[1][0]; got != 90 {
+		t.Errorf("d10 = %v, want 90 (mod=1)", got)
+	}
+	if got := net.Delays[0][1]; got != 70 {
+		t.Errorf("d01 = %v, want 70 (mod=3)", got)
+	}
+	if got := net.Delays[0][3]; got != 90 {
+		t.Errorf("d03 = %v, want 90 (mod=1)", got)
+	}
+	p := simtime.Params{N: 4, D: d, U: u, Epsilon: 30}
+	if err := net.Validate(p); err != nil {
+		t.Errorf("circulant delays must be admissible: %v", err)
+	}
+}
+
+func TestOffsetsHelpers(t *testing.T) {
+	if got := SpreadOffsets(3, 30); got[0] != 0 || got[1] != 15 || got[2] != 30 {
+		t.Errorf("SpreadOffsets = %v", got)
+	}
+	if got := AlternatingOffsets(4, 9); got[0] != 0 || got[1] != 9 || got[2] != 0 || got[3] != 9 {
+		t.Errorf("AlternatingOffsets = %v", got)
+	}
+	if got := SpreadOffsets(1, 30); got[0] != 0 {
+		t.Errorf("SpreadOffsets(1) = %v", got)
+	}
+	ro := RandomOffsets(5, 30, 3)
+	if err := ValidateOffsets(ro, 30); err != nil {
+		t.Errorf("RandomOffsets out of range: %v", err)
+	}
+	if err := ValidateOffsets([]simtime.Duration{0, 50}, 30); err == nil {
+		t.Error("ValidateOffsets should reject skew 50 > 30")
+	}
+}
+
+func TestRandomNetworkRange(t *testing.T) {
+	net := NewRandomNetwork(100, 40, 11)
+	for i := 0; i < 200; i++ {
+		d := net.Delay(0, 1, 0, int64(i))
+		if d < 60 || d > 100 {
+			t.Fatalf("random delay %v outside [60, 100]", d)
+		}
+	}
+	zero := NewRandomNetwork(100, 0, 11)
+	if zero.Delay(0, 1, 0, 0) != 100 {
+		t.Error("u=0 must give delay d")
+	}
+}
+
+func TestAdversarialNetwork(t *testing.T) {
+	net := AdversarialNetwork{D: 100, U: 40, N: 4}
+	if net.Delay(0, 3, 0, 0) != 100 {
+		t.Error("low senders should see max delay")
+	}
+	if net.Delay(3, 0, 0, 0) != 60 {
+		t.Error("high senders should see min delay")
+	}
+}
+
+func TestPairwiseNetworkValidate(t *testing.T) {
+	p := testParams(2)
+	net := NewPairwiseNetwork(2, p.D)
+	if err := net.Validate(p); err != nil {
+		t.Error(err)
+	}
+	net.Set(0, 1, 10) // below d-u = 60
+	if err := net.Validate(p); err == nil {
+		t.Error("out-of-range pairwise delay should fail validation")
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	// A runaway algorithm (timer loop) trips the MaxSteps guard instead
+	// of hanging.
+	p := testParams(1)
+	probe := &probeNode{}
+	probe.onInvoke = func(ctx Context, inv Invocation) { ctx.SetTimer(1, "loop") }
+	probe.onTimer = func(ctx Context, tag any) { ctx.SetTimer(1, tag) }
+	eng := newEngine(t, p, ZeroOffsets(1), UniformNetwork{D: 100}, []Node{probe})
+	eng.MaxSteps = 50
+	eng.InvokeAt(0, 0, "spin", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected MaxSteps panic")
+		}
+	}()
+	eng.Run()
+}
+
+func TestCheckAdmissibleNegativeCases(t *testing.T) {
+	p := testParams(2)
+	base := func() *Trace {
+		return &Trace{Params: p, Offsets: []simtime.Duration{0, 0}}
+	}
+
+	tr := base()
+	tr.Offsets[1] = p.Epsilon + 1
+	if err := tr.CheckAdmissible(); err == nil {
+		t.Error("excess skew should fail")
+	}
+
+	tr = base()
+	tr.Msgs = []MsgRecord{{ID: 1, From: 0, To: 1, SendTime: 0, RecvTime: simtime.Time(p.D + 1)}}
+	if err := tr.CheckAdmissible(); err == nil {
+		t.Error("slow message should fail")
+	}
+
+	tr = base()
+	tr.Msgs = []MsgRecord{{ID: 1, From: 0, To: 1, SendTime: 0, RecvTime: simtime.Time(p.MinDelay() - 1)}}
+	if err := tr.CheckAdmissible(); err == nil {
+		t.Error("fast message should fail")
+	}
+
+	// Unreceived message: fine if the recipient stopped before send+d...
+	tr = base()
+	tr.Msgs = []MsgRecord{{ID: 1, From: 0, To: 1, SendTime: 0, RecvTime: simtime.Infinity}}
+	tr.Steps = []StepRecord{{Proc: 1, Time: simtime.Time(p.D - 1), Kind: StepTimer}}
+	if err := tr.CheckAdmissible(); err != nil {
+		t.Errorf("halted recipient should be fine: %v", err)
+	}
+	// ...but not if it stayed alive past send+d.
+	tr.Steps[0].Time = simtime.Time(p.D)
+	if err := tr.CheckAdmissible(); err == nil {
+		t.Error("alive recipient with unreceived message should fail")
+	}
+}
+
+func TestDeliverBeforeTimerAtSameInstant(t *testing.T) {
+	// The tie-breaking rule: a message arriving at the exact instant a
+	// timer fires is processed first.
+	p := testParams(2)
+	var order []string
+	receiver := &probeNode{
+		onMessage: func(Context, ProcID, any) { order = append(order, "msg") },
+		onTimer: func(ctx Context, tag any) {
+			order = append(order, "timer")
+			ctx.Respond(tag.(int64), nil)
+		},
+	}
+	sender := &probeNode{onInvoke: func(ctx Context, inv Invocation) {
+		ctx.Send(1, "x")
+		ctx.Respond(inv.SeqID, nil)
+	}}
+	receiver.onInvoke = func(ctx Context, inv Invocation) {
+		// Timer fires exactly when the message (delay 100, sent at 0)
+		// arrives.
+		ctx.SetTimer(100, inv.SeqID)
+	}
+	eng := newEngine(t, p, ZeroOffsets(2), UniformNetwork{D: 100}, []Node{sender, receiver})
+	eng.InvokeAt(0, 0, "send", nil) // message arrives at 100
+	eng.InvokeAt(1, 0, "arm", nil)  // timer fires at 100
+	eng.Run()
+	if len(order) != 2 || order[0] != "msg" || order[1] != "timer" {
+		t.Errorf("order = %v, want [msg timer]", order)
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	if StepInvoke.String() != "invoke" || StepDeliver.String() != "deliver" || StepTimer.String() != "timer" {
+		t.Error("step kind names wrong")
+	}
+	if StepKind(9).String() != "StepKind(9)" {
+		t.Error("unknown step kind should format numerically")
+	}
+}

@@ -1,0 +1,198 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeAddSub(t *testing.T) {
+	tm := Time(100)
+	if got := tm.Add(50); got != Time(150) {
+		t.Errorf("Add: got %v, want 150", got)
+	}
+	if got := tm.Add(-200); got != Time(-100) {
+		t.Errorf("Add negative: got %v, want -100", got)
+	}
+	if got := Time(150).Sub(Time(100)); got != Duration(50) {
+		t.Errorf("Sub: got %v, want 50", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{Time(42), "42"},
+		{Time(-7), "-7"},
+		{Infinity, "+inf"},
+		{NegInfinity, "-inf"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min wrong")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max wrong")
+	}
+	if MinTime(3, 5) != 3 || MaxTime(3, 5) != 5 {
+		t.Error("MinTime/MaxTime wrong")
+	}
+}
+
+func TestDurationAbs(t *testing.T) {
+	if Duration(-7).Abs() != 7 {
+		t.Error("Abs(-7) != 7")
+	}
+	if Duration(7).Abs() != 7 {
+		t.Error("Abs(7) != 7")
+	}
+	if Duration(0).Abs() != 0 {
+		t.Error("Abs(0) != 0")
+	}
+}
+
+func TestQuantumDivisibility(t *testing.T) {
+	for div := Duration(2); div <= 10; div++ {
+		if Quantum%div != 0 {
+			t.Errorf("Quantum %d not divisible by %d", Quantum, div)
+		}
+	}
+	// Divisible by 2k for all experiment process counts k up to 8, so the
+	// Theorem 3 shift amounts -(k-1)/(2k)·u are exact.
+	for k := Duration(2); k <= 8; k++ {
+		if Quantum%(2*k) != 0 {
+			t.Errorf("Quantum %d not divisible by 2k=%d", Quantum, 2*k)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	valid := Params{N: 3, D: 100, U: 50, Epsilon: 25, X: 30}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"zero processes", Params{N: 0, D: 100, U: 50, Epsilon: 25}},
+		{"zero d", Params{N: 3, D: 0, U: 0, Epsilon: 0}},
+		{"negative d", Params{N: 3, D: -5, U: 0, Epsilon: 0}},
+		{"u exceeds d", Params{N: 3, D: 100, U: 101, Epsilon: 0}},
+		{"negative u", Params{N: 3, D: 100, U: -1, Epsilon: 0}},
+		{"negative epsilon", Params{N: 3, D: 100, U: 50, Epsilon: -1}},
+		{"X negative", Params{N: 3, D: 100, U: 50, Epsilon: 25, X: -1}},
+		{"X exceeds d-eps", Params{N: 3, D: 100, U: 50, Epsilon: 25, X: 76}},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); err == nil {
+			t.Errorf("%s: expected error, got nil", c.name)
+		}
+	}
+}
+
+func TestParamsXBoundary(t *testing.T) {
+	// X = 0 and X = d-ε are both allowed.
+	for _, x := range []Duration{0, 75} {
+		p := Params{N: 3, D: 100, U: 50, Epsilon: 25, X: x}
+		if err := p.Validate(); err != nil {
+			t.Errorf("X=%v should be valid: %v", x, err)
+		}
+	}
+}
+
+func TestMinDelay(t *testing.T) {
+	p := Params{N: 3, D: 100, U: 30, Epsilon: 10}
+	if got := p.MinDelay(); got != 70 {
+		t.Errorf("MinDelay: got %v, want 70", got)
+	}
+}
+
+func TestOptimalEpsilon(t *testing.T) {
+	cases := []struct {
+		n    int
+		u    Duration
+		want Duration
+	}{
+		{2, 100, 50},
+		{4, 100, 75},
+		{5, 100, 80},
+		{1, 100, 0},
+		{0, 100, 0},
+		{10, Quantum, Quantum - Quantum/10},
+	}
+	for _, c := range cases {
+		if got := OptimalEpsilon(c.n, c.u); got != c.want {
+			t.Errorf("OptimalEpsilon(%d, %v) = %v, want %v", c.n, c.u, got, c.want)
+		}
+	}
+}
+
+func TestOptimalEpsilonBelowU(t *testing.T) {
+	// ε = (1-1/n)u < u for all n ≥ 1, u > 0.
+	f := func(n uint8, u uint16) bool {
+		nn := int(n%16) + 1
+		uu := Duration(u) + 1
+		eps := OptimalEpsilon(nn, uu)
+		return eps < uu && eps >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(5)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+	if p.N != 5 {
+		t.Errorf("N = %d, want 5", p.N)
+	}
+	if p.D != 2*Quantum {
+		t.Errorf("D = %v, want %v", p.D, 2*Quantum)
+	}
+	if p.U != p.D/2 {
+		t.Errorf("U = %v, want D/2 = %v", p.U, p.D/2)
+	}
+	if p.Epsilon != OptimalEpsilon(5, p.U) {
+		t.Errorf("Epsilon = %v, want optimal %v", p.Epsilon, OptimalEpsilon(5, p.U))
+	}
+	if p.X != p.Epsilon {
+		t.Errorf("X = %v, want ε = %v", p.X, p.Epsilon)
+	}
+}
+
+func TestDefaultParamsExactFractions(t *testing.T) {
+	// The fractions used in the lower-bound constructions must be exact for
+	// the default configurations.
+	for n := 2; n <= 8; n++ {
+		p := DefaultParams(n)
+		if p.U%4 != 0 {
+			t.Errorf("n=%d: u/4 inexact for u=%v", n, p.U)
+		}
+		if p.D%3 != 0 {
+			t.Errorf("n=%d: d/3 inexact for d=%v", n, p.D)
+		}
+		if p.U%Duration(2*n) != 0 {
+			t.Errorf("n=%d: u/(2n) inexact for u=%v", n, p.U)
+		}
+	}
+}
+
+func TestFrac(t *testing.T) {
+	if got := Frac(120, 1, 3); got != 40 {
+		t.Errorf("Frac(120,1,3) = %v, want 40", got)
+	}
+	if got := Frac(100, 3, 4); got != 75 {
+		t.Errorf("Frac(100,3,4) = %v, want 75", got)
+	}
+}

@@ -1,0 +1,250 @@
+package spec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// toyCounter is a minimal DataType used to test the spec machinery without
+// importing the adt package (which would create an import cycle in tests).
+type toyCounter struct{}
+
+func (toyCounter) Name() string { return "toy" }
+func (toyCounter) Ops() []OpInfo {
+	return []OpInfo{
+		{Name: "inc", Args: []Value{nil}},
+		{Name: "get", Args: []Value{nil}},
+	}
+}
+func (toyCounter) Initial() State { return toyState(0) }
+
+type toyState int
+
+func (s toyState) Apply(op string, arg Value) (Value, State) {
+	switch op {
+	case "inc":
+		return nil, s + 1
+	case "get":
+		return int(s), s
+	default:
+		return "error", s
+	}
+}
+func (s toyState) Fingerprint() string { return fmt.Sprintf("toy:%d", int(s)) }
+
+func inc() Instance      { return Instance{Op: "inc"} }
+func get(v int) Instance { return Instance{Op: "get", Ret: v} }
+
+func TestValuesEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, 0, false},
+		{0, nil, false},
+		{1, 1, true},
+		{1, 2, false},
+		{"x", "x", true},
+		{"x", "y", false},
+		{1, "1", false},
+		{true, true, true},
+		{[]int{1, 2}, []int{1, 2}, true},
+		{[]int{1, 2}, []int{2, 1}, false},
+	}
+	for _, c := range cases {
+		if got := ValuesEqual(c.a, c.b); got != c.want {
+			t.Errorf("ValuesEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	if FormatValue(nil) != "⊥" {
+		t.Error("nil should format as ⊥")
+	}
+	if FormatValue(42) != "42" {
+		t.Error("int format wrong")
+	}
+	if FormatValue("abc") != "abc" {
+		t.Error("string format wrong")
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	in := Instance{Op: "write", Arg: 5, Ret: nil}
+	if got := in.String(); got != "write(5, ⊥)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestInvocationString(t *testing.T) {
+	iv := Invocation{Op: "read"}
+	if got := iv.String(); got != "read(⊥)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestLegalEmptySequence(t *testing.T) {
+	if !Legal(toyCounter{}, nil) {
+		t.Error("empty sequence must be legal (Prefix Closure base case)")
+	}
+}
+
+func TestLegalSequences(t *testing.T) {
+	dt := toyCounter{}
+	cases := []struct {
+		seq  []Instance
+		want bool
+	}{
+		{[]Instance{get(0)}, true},
+		{[]Instance{get(1)}, false},
+		{[]Instance{inc(), get(1)}, true},
+		{[]Instance{inc(), get(0)}, false},
+		{[]Instance{inc(), inc(), get(2), inc(), get(3)}, true},
+		{[]Instance{inc(), inc(), get(2), inc(), get(2)}, false},
+	}
+	for _, c := range cases {
+		if got := Legal(dt, c.seq); got != c.want {
+			t.Errorf("Legal(%s) = %v, want %v", FormatSeq(c.seq), got, c.want)
+		}
+	}
+}
+
+func TestPrefixClosure(t *testing.T) {
+	// Every prefix of a legal sequence is legal.
+	dt := toyCounter{}
+	seq := []Instance{inc(), get(1), inc(), inc(), get(3)}
+	if !Legal(dt, seq) {
+		t.Fatal("base sequence should be legal")
+	}
+	for i := 0; i <= len(seq); i++ {
+		if !Legal(dt, seq[:i]) {
+			t.Errorf("prefix of length %d not legal", i)
+		}
+	}
+}
+
+func TestReplayLegalReportsFirstViolation(t *testing.T) {
+	dt := toyCounter{}
+	seq := []Instance{inc(), get(1), get(99), get(1)}
+	_, bad := ReplayLegal(dt.Initial(), seq)
+	if bad != 2 {
+		t.Errorf("first illegal index = %d, want 2", bad)
+	}
+}
+
+func TestReplayIgnoresReturns(t *testing.T) {
+	dt := toyCounter{}
+	// Replay applies invocations regardless of recorded (wrong) returns.
+	s := Replay(dt.Initial(), []Instance{inc(), get(999), inc()})
+	if s.Fingerprint() != "toy:2" {
+		t.Errorf("state after replay = %s, want toy:2", s.Fingerprint())
+	}
+}
+
+func TestComplete(t *testing.T) {
+	dt := toyCounter{}
+	invs := []Invocation{{Op: "inc"}, {Op: "get"}, {Op: "inc"}, {Op: "get"}}
+	out := Complete(dt.Initial(), invs)
+	want := []Instance{inc(), get(1), inc(), get(2)}
+	if len(out) != len(want) {
+		t.Fatalf("length %d, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i].Op != want[i].Op || !ValuesEqual(out[i].Ret, want[i].Ret) {
+			t.Errorf("instance %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if !Legal(dt, out) {
+		t.Error("completed sequence must be legal (Completeness)")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Completing the same invocations twice gives identical instances.
+	dt := toyCounter{}
+	invs := []Invocation{{Op: "inc"}, {Op: "get"}}
+	a := Complete(dt.Initial(), invs)
+	b := Complete(dt.Initial(), invs)
+	for i := range a {
+		if !ValuesEqual(a[i].Ret, b[i].Ret) {
+			t.Errorf("nondeterministic return at %d: %v vs %v", i, a[i].Ret, b[i].Ret)
+		}
+	}
+}
+
+func TestResponse(t *testing.T) {
+	dt := toyCounter{}
+	if got := Response(dt.Initial(), "get", nil); got != 0 {
+		t.Errorf("Response = %v, want 0", got)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	dt := toyCounter{}
+	// get does not change state: ρ ≡ ρ.get.
+	rho := []Instance{inc(), get(1)}
+	rhoGet := []Instance{inc(), get(1), get(1)}
+	if !Equivalent(dt, rho, rhoGet) {
+		t.Error("appending an accessor should preserve equivalence")
+	}
+	// inc changes state: ρ ≢ ρ.inc.
+	rhoInc := []Instance{inc(), get(1), inc()}
+	if Equivalent(dt, rho, rhoInc) {
+		t.Error("appending a mutator should break equivalence")
+	}
+}
+
+func TestEquivalentPanicsOnIllegal(t *testing.T) {
+	dt := toyCounter{}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on illegal sequence")
+		}
+	}()
+	Equivalent(dt, []Instance{get(7)}, nil)
+}
+
+func TestLegalFrom(t *testing.T) {
+	dt := toyCounter{}
+	s := Replay(dt.Initial(), []Instance{inc(), inc()})
+	if !LegalFrom(s, []Instance{get(2)}) {
+		t.Error("get(2) should be legal from state 2")
+	}
+	if LegalFrom(s, []Instance{get(0)}) {
+		t.Error("get(0) should be illegal from state 2")
+	}
+}
+
+func TestOpNamesAndFindOp(t *testing.T) {
+	dt := toyCounter{}
+	names := OpNames(dt)
+	if len(names) != 2 || names[0] != "inc" || names[1] != "get" {
+		t.Errorf("OpNames = %v", names)
+	}
+	if op, ok := FindOp(dt, "inc"); !ok || op.Name != "inc" {
+		t.Error("FindOp(inc) failed")
+	}
+	if _, ok := FindOp(dt, "nope"); ok {
+		t.Error("FindOp(nope) should fail")
+	}
+}
+
+func TestFormatSeq(t *testing.T) {
+	if FormatSeq(nil) != "ε" {
+		t.Error("empty sequence should format as ε")
+	}
+	got := FormatSeq([]Instance{inc(), get(1)})
+	if got != "inc(⊥, ⊥).get(⊥, 1)" {
+		t.Errorf("FormatSeq = %q", got)
+	}
+}
+
+func TestSortValues(t *testing.T) {
+	vs := []Value{3, 1, 2}
+	SortValues(vs)
+	if vs[0] != 1 || vs[1] != 2 || vs[2] != 3 {
+		t.Errorf("SortValues = %v", vs)
+	}
+}

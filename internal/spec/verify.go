@@ -1,0 +1,144 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// VerifyAxioms checks a data-type implementation against the §2.1 axioms
+// and this framework's additional contracts by randomized testing:
+//
+//   - Determinism: identical invocation sequences yield identical
+//     responses.
+//   - Completeness/totality: Apply handles every sampled argument and
+//     arbitrary junk arguments without panicking and returns a non-nil
+//     state.
+//   - Immutability: Apply never mutates the receiver state.
+//   - Fingerprint soundness: states with equal fingerprints respond
+//     identically to every sampled invocation.
+//   - Sample coverage: every declared operation has at least one sample
+//     argument.
+//
+// It is intended for users adding their own DataType implementations:
+// call it from a test with a fixed seed. The adt package's own types are
+// verified the same way.
+func VerifyAxioms(dt DataType, seed int64, trials int) (err error) {
+	defer func() {
+		// A defective Apply (e.g. one returning a nil state that a later
+		// call dereferences) surfaces as a panic; report it as a failure.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("spec: %s panicked during verification (nil state or defective Apply?): %v",
+				dt.Name(), r)
+		}
+	}()
+	ops := dt.Ops()
+	if len(ops) == 0 {
+		return fmt.Errorf("spec: %s declares no operations", dt.Name())
+	}
+	for _, op := range ops {
+		if len(op.Args) == 0 {
+			return fmt.Errorf("spec: %s.%s has no sample arguments", dt.Name(), op.Name)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	randomInvs := func(length int) []Invocation {
+		invs := make([]Invocation, length)
+		for i := range invs {
+			op := ops[rng.Intn(len(ops))]
+			invs[i] = Invocation{Op: op.Name, Arg: op.Args[rng.Intn(len(op.Args))]}
+		}
+		return invs
+	}
+
+	type probed struct {
+		state State
+		fp    string
+	}
+	var states []probed
+
+	for trial := 0; trial < trials; trial++ {
+		invs := randomInvs(3 + rng.Intn(10))
+
+		// Determinism.
+		a := Complete(dt.Initial(), invs)
+		b := Complete(dt.Initial(), invs)
+		for i := range a {
+			if !ValuesEqual(a[i].Ret, b[i].Ret) {
+				return fmt.Errorf("spec: %s nondeterministic at %s: %v vs %v",
+					dt.Name(), a[i].String(), a[i].Ret, b[i].Ret)
+			}
+		}
+		// Completeness: the completed sequence must be legal.
+		if !Legal(dt, a) {
+			return fmt.Errorf("spec: %s completed sequence illegal: %s", dt.Name(), FormatSeq(a))
+		}
+		// Prefix Closure on the completed sequence.
+		for i := 0; i <= len(a); i++ {
+			if !Legal(dt, a[:i]) {
+				return fmt.Errorf("spec: %s prefix of length %d illegal", dt.Name(), i)
+			}
+		}
+
+		// Immutability: replay to a state, apply everything, re-check.
+		s := Replay(dt.Initial(), a)
+		before := s.Fingerprint()
+		for _, op := range ops {
+			for _, arg := range op.Args {
+				if _, next := s.Apply(op.Name, arg); next == nil {
+					return fmt.Errorf("spec: %s.%s(%v) returned nil state", dt.Name(), op.Name, arg)
+				}
+			}
+		}
+		if got := s.Fingerprint(); got != before {
+			return fmt.Errorf("spec: %s state mutated in place: %q → %q", dt.Name(), before, got)
+		}
+		states = append(states, probed{s, before})
+
+		// Totality on junk arguments.
+		junk := []Value{nil, "junk", 2.5, []byte{1}, struct{ Z int }{1}}
+		for _, op := range ops {
+			for _, arg := range junk {
+				if err := applySafely(s, op.Name, arg); err != nil {
+					return fmt.Errorf("spec: %s.%s: %w", dt.Name(), op.Name, err)
+				}
+			}
+		}
+		if err := applySafely(s, "no-such-operation", 1); err != nil {
+			return fmt.Errorf("spec: %s unknown op: %w", dt.Name(), err)
+		}
+	}
+
+	// Fingerprint soundness across the probed states.
+	for i := range states {
+		for j := i + 1; j < len(states); j++ {
+			if states[i].fp != states[j].fp {
+				continue
+			}
+			for _, op := range ops {
+				for _, arg := range op.Args {
+					ri, _ := states[i].state.Apply(op.Name, arg)
+					rj, _ := states[j].state.Apply(op.Name, arg)
+					if !ValuesEqual(ri, rj) {
+						return fmt.Errorf("spec: %s states with fingerprint %q disagree on %s(%v): %v vs %v",
+							dt.Name(), states[i].fp, op.Name, arg, ri, rj)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// applySafely converts Apply panics into errors.
+func applySafely(s State, op string, arg Value) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("Apply(%v) panicked: %v", arg, r)
+		}
+	}()
+	_, next := s.Apply(op, arg)
+	if next == nil {
+		return fmt.Errorf("Apply(%v) returned nil state", arg)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestVerifyAxiomsAcceptsToyCounter(t *testing.T) {
+	if err := VerifyAxioms(toyCounter{}, 1, 20); err != nil {
+		t.Errorf("toy counter should pass: %v", err)
+	}
+}
+
+// brokenType wraps toyCounter and injects one configurable defect.
+type brokenType struct {
+	defect string
+}
+
+func (b brokenType) Name() string { return "broken-" + b.defect }
+func (b brokenType) Ops() []OpInfo {
+	if b.defect == "no-args" {
+		return []OpInfo{{Name: "inc"}}
+	}
+	if b.defect == "no-ops" {
+		return nil
+	}
+	return []OpInfo{
+		{Name: "inc", Args: []Value{nil}},
+		{Name: "get", Args: []Value{nil}},
+	}
+}
+func (b brokenType) Initial() State { return &brokenState{defect: b.defect} }
+
+type brokenState struct {
+	defect string
+	count  int
+	reads  int
+}
+
+func (s *brokenState) Apply(op string, arg Value) (Value, State) {
+	switch s.defect {
+	case "mutates-in-place":
+		if op == "inc" {
+			s.count++ // mutates the receiver!
+			return nil, s
+		}
+		return s.count, s
+	case "nondeterministic":
+		if op == "get" {
+			s.reads++ // reads change hidden state → different later replays
+			return s.count + s.reads%2, s
+		}
+		next := *s
+		next.count++
+		return nil, &next
+	case "panics":
+		if _, ok := arg.(string); ok {
+			panic("junk argument")
+		}
+		next := *s
+		if op == "inc" {
+			next.count++
+			return nil, &next
+		}
+		return s.count, &next
+	case "nil-state":
+		return nil, nil
+	default:
+		next := *s
+		if op == "inc" {
+			next.count++
+			return nil, &next
+		}
+		return s.count, &next
+	}
+}
+
+func (s *brokenState) Fingerprint() string {
+	if s.defect == "bad-fingerprint" {
+		return "constant" // all states collide
+	}
+	return fmt.Sprintf("bs:%d", s.count)
+}
+
+func TestVerifyAxiomsCatchesDefects(t *testing.T) {
+	cases := []struct {
+		defect  string
+		keyword string
+	}{
+		{"no-ops", "no operations"},
+		{"no-args", "no sample arguments"},
+		{"mutates-in-place", "mutated in place"},
+		{"panics", "panicked"},
+		{"nil-state", "nil state"}, // caught via the panic guard
+		{"bad-fingerprint", "disagree"},
+	}
+	for _, c := range cases {
+		t.Run(c.defect, func(t *testing.T) {
+			err := VerifyAxioms(brokenType{defect: c.defect}, 7, 30)
+			if err == nil {
+				t.Fatalf("defect %q not caught", c.defect)
+			}
+			if !strings.Contains(err.Error(), c.keyword) {
+				t.Errorf("defect %q produced %q, want mention of %q", c.defect, err, c.keyword)
+			}
+		})
+	}
+}
