@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# check is the tier-1 gate: vet, build, full tests, and a short
+# race-detector pass over the concurrency-bearing packages.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/rtnet/ ./internal/harness/ ./internal/lincheck/ ./internal/sim/
+
+bench:
+	$(GO) test -bench . -benchmem ./...

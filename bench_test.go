@@ -9,6 +9,7 @@ package lintime
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"lintime/internal/adt"
@@ -344,6 +345,51 @@ func BenchmarkLincheck(b *testing.B) {
 		if !lincheck.CheckTrace(dt, res.Trace).Linearizable {
 			b.Fatal("trace should be linearizable")
 		}
+	}
+}
+
+// benchWidths returns the worker-pool widths to benchmark: sequential,
+// a couple of fixed fan-outs, and the machine's core count.
+func benchWidths() []int {
+	widths := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		widths = append(widths, n)
+	}
+	return widths
+}
+
+// BenchmarkAllTables regenerates all five measured tables through the
+// worker pool at several widths. Output is identical at every width (the
+// pool derives per-run seeds from run identity, not scheduling), so the
+// sub-benchmarks measure pure scheduling overhead/speedup.
+func BenchmarkAllTables(b *testing.B) {
+	p := benchParams()
+	for _, parallel := range benchWidths() {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tabs, err := harness.MeasureAllTablesParallel(p, 17, parallel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tabs) != 5 {
+					b.Fatal("wrong table count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepParallel measures the X-sweep fan-out at several widths.
+func BenchmarkSweepParallel(b *testing.B) {
+	p := benchParams()
+	for _, parallel := range benchWidths() {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.SweepXParallel(p, "queue", 8, 29, parallel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,6 +2,7 @@
 //
 //	lintime tables              reprint Tables 1-5 (closed-form bounds)
 //	lintime tables -measured    regenerate the tables with measured columns
+//	lintime tables -all         regenerate all five measured tables
 //	lintime tables -optimal     measure each op at its per-class optimal X
 //	lintime classify            computed operation classifications
 //	lintime classify -figure11  the computed class diagram (Figure 11)
@@ -13,13 +14,18 @@
 //
 // Common flags: -n (processes), -d, -u (delay bound and uncertainty),
 // -eps (clock skew; default optimal (1-1/n)u), -x (tradeoff parameter;
-// default ε).
+// default ε). Measurement commands take -parallel N (default: all CPUs)
+// to fan independent simulator runs across a worker pool; output is
+// byte-identical at every parallelism level because per-run RNG seeds are
+// derived from the master seed and the run's identity, never from
+// scheduling order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"lintime/internal/adt"
@@ -72,7 +78,8 @@ func usage() {
 commands:
   tables      print the paper's Tables 1-5 evaluated for the model
               parameters; -measured adds worst-case latencies measured in
-              the simulator and the centralized baseline
+              the simulator and the centralized baseline; -all regenerates
+              every measured table, fanned across -parallel workers
   classify    print the computed algebraic classification of each data
               type's operations and the bounds derived from it
   lowerbound  execute the mechanized Theorem 2/3/4/5 constructions at a
@@ -116,8 +123,10 @@ func cmdTables(args []string) error {
 	getParams := paramFlags(fs)
 	table := fs.Int("table", 0, "print only this table (1-5)")
 	measured := fs.Bool("measured", false, "run the simulator and add measured columns")
+	all := fs.Bool("all", false, "regenerate all five tables with measured columns")
 	optimal := fs.Bool("optimal", false, "measure each operation at its per-class optimal X (the paper's table entries)")
 	seed := fs.Int64("seed", 1, "workload seed")
+	parallel := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,11 +136,21 @@ func cmdTables(args []string) error {
 	}
 	if *optimal {
 		for _, typeName := range []string{"rmwregister", "queue", "stack", "tree"} {
-			rows, err := harness.MeasureOptimal(typeName, p, *seed)
+			rows, err := harness.MeasureOptimalParallel(typeName, p, *seed, *parallel)
 			if err != nil {
 				return err
 			}
 			fmt.Println(harness.FormatOptimal(typeName, rows))
+		}
+		return nil
+	}
+	if *all {
+		tables, err := harness.MeasureAllTablesParallel(p, *seed, *parallel)
+		if err != nil {
+			return err
+		}
+		for _, mt := range tables {
+			fmt.Println(mt)
 		}
 		return nil
 	}
@@ -140,7 +159,7 @@ func cmdTables(args []string) error {
 			continue
 		}
 		if *measured {
-			mt, err := harness.MeasureTable(no, p, *seed)
+			mt, err := harness.MeasureTableParallel(no, p, *seed, *parallel)
 			if err != nil {
 				return err
 			}
@@ -150,6 +169,12 @@ func cmdTables(args []string) error {
 		}
 	}
 	return nil
+}
+
+// parallelFlag registers the shared worker-pool width flag.
+func parallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", runtime.NumCPU(),
+		"max simulator runs in flight (results are identical for any value)")
 }
 
 func cmdClassify(args []string) error {
@@ -337,6 +362,7 @@ func cmdSweep(args []string) error {
 	typeName := fs.String("type", "queue", "data type")
 	points := fs.Int("points", 8, "number of sweep intervals")
 	seed := fs.Int64("seed", 1, "workload seed")
+	parallel := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -344,7 +370,7 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	pts, err := harness.SweepX(p, *typeName, *points, *seed)
+	pts, err := harness.SweepXParallel(p, *typeName, *points, *seed, *parallel)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"lintime/internal/adt"
 	"lintime/internal/classify"
@@ -167,11 +168,18 @@ func (r *Result) String() string {
 	return s
 }
 
-// classesCache avoids re-running the classifier per experiment.
-var classesCache = map[string]map[string]classify.Class{}
+// classesCache avoids re-running the classifier per experiment. Guarded
+// by classesMu: experiments run concurrently under the worker pool.
+var (
+	classesMu    sync.Mutex
+	classesCache = map[string]map[string]classify.Class{}
+)
 
-// ClassesFor returns (cached) operation classes for a data type.
+// ClassesFor returns (cached) operation classes for a data type. Safe for
+// concurrent use; the returned map must be treated as read-only.
 func ClassesFor(dt spec.DataType) map[string]classify.Class {
+	classesMu.Lock()
+	defer classesMu.Unlock()
 	if c, ok := classesCache[dt.Name()]; ok {
 		return c
 	}

@@ -88,24 +88,36 @@ var classRepresentatives = map[string]string{
 // worst-case latencies from a deterministic workload battery: Algorithm 1
 // and the centralized baseline run the same closed-loop workload on the
 // table's data type under the worst-case network (uniform delay d).
+// MeasureTable runs sequentially; MeasureTableParallel fans the runs out.
 func MeasureTable(number int, p simtime.Params, seed int64) (*MeasuredTable, error) {
+	return MeasureTableParallel(number, p, seed, 1)
+}
+
+// MeasureTableParallel is MeasureTable with the algorithm and baseline
+// runs fanned across at most parallel workers. The master seed is split
+// into independent sub-seeds for the workload stream and the
+// network/offset configuration stream (they must not alias — a coupled
+// stream correlates operation gaps with message delays), so the output is
+// deterministic and identical for every parallelism level.
+func MeasureTableParallel(number int, p simtime.Params, seed int64, parallel int) (*MeasuredTable, error) {
 	typeName, err := tableType(number)
 	if err != nil {
 		return nil, err
 	}
 	static := bounds.AllTables(p)[number-1]
-	wl := Workload{OpsPerProc: 12, MaxGap: p.D / 2, Seed: seed}
+	wl := Workload{OpsPerProc: 12, MaxGap: p.D / 2, Seed: DeriveSeed(seed, "table/workload")}
+	cfgSeed := DeriveSeed(seed, "table/config")
 
-	coreRes, err := Run(Config{Params: p, TypeName: typeName, Algorithm: AlgCore,
-		Network: NetUniform, Offsets: OffZero, Seed: seed}, wl)
+	results, err := RunJobs([]Job{
+		{Config: Config{Params: p, TypeName: typeName, Algorithm: AlgCore,
+			Network: NetUniform, Offsets: OffZero, Seed: cfgSeed}, Workload: wl},
+		{Config: Config{Params: p, TypeName: typeName, Algorithm: AlgCentral,
+			Network: NetUniform, Offsets: OffZero, Seed: cfgSeed}, Workload: wl},
+	}, Parallelism(parallel))
 	if err != nil {
 		return nil, err
 	}
-	baseRes, err := Run(Config{Params: p, TypeName: typeName, Algorithm: AlgCentral,
-		Network: NetUniform, Offsets: OffZero, Seed: seed}, wl)
-	if err != nil {
-		return nil, err
-	}
+	coreRes, baseRes := results[0], results[1]
 	if !coreRes.Converged() {
 		return nil, fmt.Errorf("harness: core replicas diverged measuring table %d", number)
 	}
@@ -152,15 +164,26 @@ func MeasureTable(number int, p simtime.Params, seed int64) (*MeasuredTable, err
 	return out, nil
 }
 
-// MeasureAllTables regenerates Tables 1-5.
+// MeasureAllTables regenerates Tables 1-5 sequentially.
 func MeasureAllTables(p simtime.Params, seed int64) ([]*MeasuredTable, error) {
-	out := make([]*MeasuredTable, 0, 5)
-	for no := 1; no <= 5; no++ {
-		t, err := MeasureTable(no, p, seed)
+	return MeasureAllTablesParallel(p, seed, 1)
+}
+
+// MeasureAllTablesParallel regenerates Tables 1-5 with the per-table
+// simulator runs fanned across at most parallel workers. Output is
+// bit-identical to the sequential MeasureAllTables.
+func MeasureAllTablesParallel(p simtime.Params, seed int64, parallel int) ([]*MeasuredTable, error) {
+	out := make([]*MeasuredTable, 5)
+	err := runIndexed(5, Parallelism(parallel), func(i int) error {
+		t, err := MeasureTableParallel(i+1, p, seed, parallel)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, t)
+		out[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -184,27 +207,34 @@ type OptimalRow struct {
 // pure mutators and mixed ops) and once at X=d-ε (optimal for pure
 // accessors), and each operation reports the run matching its class.
 func MeasureOptimal(typeName string, p simtime.Params, seed int64) ([]OptimalRow, error) {
+	return MeasureOptimalParallel(typeName, p, seed, 1)
+}
+
+// MeasureOptimalParallel is MeasureOptimal with the two workload runs
+// (X=0 and X=d-ε) fanned across workers.
+func MeasureOptimalParallel(typeName string, p simtime.Params, seed int64, parallel int) ([]OptimalRow, error) {
 	dt, err := adt.Lookup(typeName)
 	if err != nil {
 		return nil, err
 	}
 	classes := ClassesFor(dt)
-	wl := Workload{OpsPerProc: 12, MaxGap: p.D / 2, Seed: seed}
+	wl := Workload{OpsPerProc: 12, MaxGap: p.D / 2, Seed: DeriveSeed(seed, "optimal/workload")}
+	cfgSeed := DeriveSeed(seed, "optimal/config")
 
-	runAt := func(x simtime.Duration) (*Result, error) {
+	configAt := func(x simtime.Duration) Config {
 		q := p
 		q.X = x
-		return Run(Config{Params: q, TypeName: typeName, Algorithm: AlgCore,
-			Network: NetUniform, Offsets: OffZero, Seed: seed}, wl)
+		return Config{Params: q, TypeName: typeName, Algorithm: AlgCore,
+			Network: NetUniform, Offsets: OffZero, Seed: cfgSeed}
 	}
-	atZero, err := runAt(0)
+	results, err := RunJobs([]Job{
+		{Config: configAt(0), Workload: wl},
+		{Config: configAt(p.D - p.Epsilon), Workload: wl},
+	}, Parallelism(parallel))
 	if err != nil {
 		return nil, err
 	}
-	atMax, err := runAt(p.D - p.Epsilon)
-	if err != nil {
-		return nil, err
-	}
+	atZero, atMax := results[0], results[1]
 
 	var rows []OptimalRow
 	for _, op := range dt.Ops() {
@@ -260,6 +290,14 @@ type SweepPoint struct {
 // X across [0, d-ε], run the workload and record worst-case latencies per
 // operation class alongside the formulas d-X+ε, X+ε, d+ε.
 func SweepX(p simtime.Params, typeName string, points int, seed int64) ([]SweepPoint, error) {
+	return SweepXParallel(p, typeName, points, seed, 1)
+}
+
+// SweepXParallel is SweepX with the per-X simulator runs fanned across at
+// most parallel workers. Each sweep point draws its workload and config
+// streams from sub-seeds derived from (seed, point index), so the curve
+// is deterministic and identical at every parallelism level.
+func SweepXParallel(p simtime.Params, typeName string, points int, seed int64, parallel int) ([]SweepPoint, error) {
 	if points < 1 {
 		return nil, fmt.Errorf("harness: need at least 1 sweep interval")
 	}
@@ -268,16 +306,17 @@ func SweepX(p simtime.Params, typeName string, points int, seed int64) ([]SweepP
 		return nil, err
 	}
 	classes := ClassesFor(dt)
-	var out []SweepPoint
+	out := make([]SweepPoint, points+1)
 	span := p.D - p.Epsilon
-	for i := 0; i <= points; i++ {
+	err = runIndexed(points+1, Parallelism(parallel), func(i int) error {
 		q := p
 		q.X = span * simtime.Duration(i) / simtime.Duration(points)
+		runID := fmt.Sprintf("sweep/%d", i)
 		res, err := Run(Config{Params: q, TypeName: typeName, Algorithm: AlgCore,
-			Network: NetUniform, Offsets: OffZero, Seed: seed},
-			Workload{OpsPerProc: 10, MaxGap: q.D / 2, Seed: seed + int64(i)})
+			Network: NetUniform, Offsets: OffZero, Seed: DeriveSeed(seed, runID+"/config")},
+			Workload{OpsPerProc: 10, MaxGap: q.D / 2, Seed: DeriveSeed(seed, runID+"/workload")})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pt := SweepPoint{
 			X:        q.X,
@@ -295,7 +334,11 @@ func SweepX(p simtime.Params, typeName string, points int, seed int64) ([]SweepP
 				pt.OOPMax = simtime.Max(pt.OOPMax, st.Max)
 			}
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lintime/internal/simtime"
+)
+
+func TestDeriveSeedIndependentStreams(t *testing.T) {
+	master := int64(17)
+	ids := []string{"workload", "config", "sweep/0/config", "sweep/1/config", "table/workload"}
+	seen := map[int64]string{}
+	for _, id := range ids {
+		s := DeriveSeed(master, id)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("streams %q and %q alias to seed %d", prev, id, s)
+		}
+		seen[s] = id
+		if s == master {
+			t.Errorf("stream %q derived the master seed itself", id)
+		}
+		if again := DeriveSeed(master, id); again != s {
+			t.Errorf("DeriveSeed(%d, %q) not deterministic: %d vs %d", master, id, s, again)
+		}
+	}
+	if DeriveSeed(1, "x") == DeriveSeed(2, "x") {
+		t.Error("distinct masters must derive distinct sub-seeds")
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	if Parallelism(4) != 4 {
+		t.Error("explicit parallelism not honored")
+	}
+	if Parallelism(0) < 1 || Parallelism(-3) < 1 {
+		t.Error("defaulted parallelism must be at least 1")
+	}
+}
+
+func TestRunIndexedOrderAndErrors(t *testing.T) {
+	for _, parallel := range []int{1, 4} {
+		var mu sync.Mutex
+		ran := map[int]bool{}
+		err := runIndexed(10, parallel, func(i int) error {
+			mu.Lock()
+			ran[i] = true
+			mu.Unlock()
+			return nil
+		})
+		if err != nil || len(ran) != 10 {
+			t.Errorf("parallel=%d: ran %d indices, err %v", parallel, len(ran), err)
+		}
+		// Lowest-index error wins deterministically.
+		err = runIndexed(10, parallel, func(i int) error {
+			if i >= 3 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Errorf("parallel=%d: got error %v, want fail-3", parallel, err)
+		}
+	}
+}
+
+// jobBattery builds a mixed batch of independent experiments.
+func jobBattery(master int64) []Job {
+	p := simtime.DefaultParams(4)
+	var jobs []Job
+	for i, alg := range []string{AlgCore, AlgCentral, AlgSequencer, AlgCore} {
+		runID := fmt.Sprintf("battery/%d", i)
+		jobs = append(jobs, Job{
+			Config: Config{Params: p, TypeName: "queue", Algorithm: alg,
+				Network: NetRandom, Offsets: OffSpread,
+				Seed: DeriveSeed(master, runID+"/config")},
+			Workload: Workload{OpsPerProc: 5, MaxGap: 40,
+				Seed: DeriveSeed(master, runID+"/workload")},
+		})
+	}
+	return jobs
+}
+
+// TestRunJobsBitIdenticalAcrossParallelism is the determinism contract of
+// the worker pool: the same batch must produce identical traces at every
+// parallelism level, including repeated parallel executions (scheduling
+// must not leak into results).
+func TestRunJobsBitIdenticalAcrossParallelism(t *testing.T) {
+	ref, err := RunJobs(jobBattery(7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{2, 4, 8} {
+		got, err := RunJobs(jobBattery(7), parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("parallel=%d: %d results, want %d", parallel, len(got), len(ref))
+		}
+		for j := range got {
+			if got[j].String() != ref[j].String() {
+				t.Errorf("parallel=%d job %d: stats differ from sequential run", parallel, j)
+			}
+			if len(got[j].Trace.Ops) != len(ref[j].Trace.Ops) {
+				t.Fatalf("parallel=%d job %d: trace sizes differ", parallel, j)
+			}
+			for k := range got[j].Trace.Ops {
+				if got[j].Trace.Ops[k] != ref[j].Trace.Ops[k] {
+					t.Fatalf("parallel=%d job %d: op %d differs from sequential run", parallel, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestRunJobsPropagatesError(t *testing.T) {
+	jobs := jobBattery(7)
+	jobs[2].Config.Algorithm = "nope"
+	if _, err := RunJobs(jobs, 4); err == nil {
+		t.Error("bad job must fail the batch")
+	}
+}
+
+// TestMeasureAllTablesParallelIdentical asserts the full table suite
+// renders byte-identically at every parallelism level.
+func TestMeasureAllTablesParallelIdentical(t *testing.T) {
+	p := simtime.DefaultParams(4)
+	ref, err := MeasureAllTables(p, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{2, 4} {
+		got, err := MeasureAllTablesParallel(p, 21, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i].String() != ref[i].String() {
+				t.Errorf("parallel=%d: table %d differs from sequential:\n%s\nvs\n%s",
+					parallel, i+1, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestSweepXParallelIdentical asserts the sweep curve is identical at
+// every parallelism level.
+func TestSweepXParallelIdentical(t *testing.T) {
+	p := simtime.DefaultParams(4)
+	ref, err := SweepX(p, "queue", 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{2, 8} {
+		got, err := SweepXParallel(p, "queue", 4, 31, parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("parallel=%d: %d points, want %d", parallel, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Errorf("parallel=%d point %d: %+v != %+v", parallel, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMeasureOptimalParallelIdentical asserts per-class optimal-X
+// measurement is parallelism-independent.
+func TestMeasureOptimalParallelIdentical(t *testing.T) {
+	p := simtime.DefaultParams(4)
+	ref, err := MeasureOptimal("queue", p, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MeasureOptimalParallel("queue", p, 51, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("row counts differ: %d vs %d", len(got), len(ref))
+	}
+	for i := range got {
+		if got[i].Operation != ref[i].Operation || got[i].Measured != ref[i].Measured ||
+			got[i].BestX != ref[i].BestX {
+			t.Errorf("row %d differs: %+v vs %+v", i, got[i], ref[i])
+		}
+	}
+}

@@ -152,11 +152,20 @@ func (c *Cluster) loop(proc sim.ProcID) {
 func (c *Cluster) Stop() {
 	close(c.stopped)
 	c.mu.Lock()
-	for _, t := range c.timers {
+	for id, t := range c.timers {
 		t.Stop()
+		delete(c.timers, id)
 	}
 	c.mu.Unlock()
 	c.wg.Wait()
+}
+
+// timerCount returns the number of registered timers that have neither
+// fired nor been canceled; the map must drain as timers fire.
+func (c *Cluster) timerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
 }
 
 // now returns the elapsed virtual time since Start.
@@ -220,16 +229,18 @@ func (x *rtCtx) SetTimer(after simtime.Duration, tag any) sim.TimerID {
 	if after < 0 {
 		panic(fmt.Sprintf("rtnet: negative timer %v", after))
 	}
+	proc := x.proc
+	// Allocate the id and register the timer in one critical section:
+	// a short timer can fire and have its event consumed before SetTimer
+	// returns, and the event loop treats an unregistered id as canceled —
+	// registering after arming both dropped the firing and leaked the
+	// entry, since the fire-side delete had already run.
 	x.c.mu.Lock()
 	x.c.timerID++
 	id := x.c.timerID
-	x.c.mu.Unlock()
-	proc := x.proc
-	t := time.AfterFunc(time.Duration(after)*x.c.tick, func() {
+	x.c.timers[id] = time.AfterFunc(time.Duration(after)*x.c.tick, func() {
 		x.c.post(proc, event{kind: 2, timerID: id, tag: tag})
 	})
-	x.c.mu.Lock()
-	x.c.timers[id] = t
 	x.c.mu.Unlock()
 	return id
 }

@@ -81,6 +81,12 @@ func (m MsgRecord) Delay() simtime.Duration { return m.RecvTime.Sub(m.SendTime) 
 // per-process timed views (step times), matched messages, and operation
 // instances. It contains everything the shifting machinery of Section 2.4
 // and the linearizability checker need.
+//
+// A Trace is immutable once its run finishes: every method is read-only
+// (the sorting accessors sort copies), so a completed trace may be read
+// from any number of goroutines concurrently — the parallel experiment
+// runner in internal/harness relies on this. Mutating transformations
+// (shift, chop) operate on Clone()s.
 type Trace struct {
 	Params  simtime.Params
 	Offsets []simtime.Duration

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"lintime/internal/simtime"
+)
+
+// TestTraceConcurrentReaders exercises every read-only Trace accessor
+// from many goroutines at once; run under -race this asserts that a
+// completed trace is safe to share across the parallel experiment
+// runner's workers.
+func TestTraceConcurrentReaders(t *testing.T) {
+	tr := &Trace{
+		Params:  simtime.Params{N: 3, D: 100, U: 50, Epsilon: 25, X: 25},
+		Offsets: []simtime.Duration{0, 10, 20},
+	}
+	for i := 0; i < 60; i++ {
+		proc := ProcID(i % 3)
+		at := simtime.Time(i * 10)
+		tr.Steps = append(tr.Steps, StepRecord{Proc: proc, Time: at, Kind: StepInvoke})
+		tr.Ops = append(tr.Ops, OpRecord{
+			Proc: proc, SeqID: int64(i), Op: "op",
+			InvokeTime: at, RespondTime: at.Add(50),
+		})
+		if i%2 == 0 {
+			tr.Msgs = append(tr.Msgs, MsgRecord{
+				ID: int64(i), From: proc, To: (proc + 1) % 3,
+				SendTime: at, RecvTime: at.Add(75),
+			})
+		}
+	}
+	// One pending op so both branches of the latency helpers run.
+	tr.Ops = append(tr.Ops, OpRecord{Proc: 0, SeqID: 99, Op: "pending",
+		InvokeTime: 700, RespondTime: simtime.Infinity})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := tr.LastTime(); got != 590 {
+					t.Errorf("LastTime = %v, want 590", got)
+				}
+				tr.LastTimeOf(1)
+				if n := len(tr.CompletedOps()); n != 60 {
+					t.Errorf("CompletedOps = %d, want 60", n)
+				}
+				tr.OpsOf(2)
+				if max, ok := tr.MaxLatency("op"); !ok || max != 50 {
+					t.Errorf("MaxLatency = %v,%v, want 50,true", max, ok)
+				}
+				if err := tr.CheckAdmissible(); err != nil {
+					t.Errorf("CheckAdmissible: %v", err)
+				}
+				tr.Clone()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -24,16 +24,78 @@ const Infinity Time = 1<<62 - 1
 // NegInfinity is a sentinel Time earlier than any event in a run.
 const NegInfinity Time = -(1<<62 - 1)
 
+// InfDuration is a sentinel Duration longer than any measurable span,
+// e.g. the latency of a pending operation whose response time is
+// Infinity.
+const InfDuration Duration = 1<<62 - 1
+
+// NegInfDuration is the negative sentinel counterpart of InfDuration.
+const NegInfDuration Duration = -(1<<62 - 1)
+
 // Quantum is the recommended divisor for experiment parameters. It is
 // 2^5·3^2·5·7 = 10080, divisible by every k in 2..10 and by 4 and 3, so
 // u/4, d/3 and (1-1/k)·u are all exact for the experiment configurations.
 const Quantum Duration = 10080
 
-// Add returns t+dd.
-func (t Time) Add(dd Duration) Time { return t + Time(dd) }
+// Add returns t+dd, saturating at the sentinels: adding any duration to
+// ±Infinity leaves it unchanged, and a result that would reach or pass a
+// sentinel clamps to it instead of wrapping.
+func (t Time) Add(dd Duration) Time {
+	if t >= Infinity {
+		return Infinity
+	}
+	if t <= NegInfinity {
+		return NegInfinity
+	}
+	if dd >= InfDuration {
+		return Infinity
+	}
+	if dd <= NegInfDuration {
+		return NegInfinity
+	}
+	sum := int64(t) + int64(dd)
+	if dd >= 0 {
+		if sum < int64(t) || sum >= int64(Infinity) {
+			return Infinity
+		}
+	} else if sum > int64(t) || sum <= int64(NegInfinity) {
+		return NegInfinity
+	}
+	return Time(sum)
+}
 
-// Sub returns the duration from s to t.
-func (t Time) Sub(s Time) Duration { return Duration(t - s) }
+// Sub returns the duration from s to t, saturating at the sentinels:
+// the distance from a finite time to ±Infinity is ±InfDuration, two
+// like-signed infinities are 0 apart, and a finite difference that would
+// reach a sentinel clamps to it.
+func (t Time) Sub(s Time) Duration {
+	switch {
+	case t >= Infinity:
+		if s >= Infinity {
+			return 0
+		}
+		return InfDuration
+	case t <= NegInfinity:
+		if s <= NegInfinity {
+			return 0
+		}
+		return NegInfDuration
+	case s >= Infinity:
+		return NegInfDuration
+	case s <= NegInfinity:
+		return InfDuration
+	}
+	// Both finite: |t|, |s| < 2^62, so the int64 difference cannot wrap,
+	// but it can exceed the sentinel magnitude; clamp.
+	diff := int64(t) - int64(s)
+	if diff >= int64(InfDuration) {
+		return InfDuration
+	}
+	if diff <= int64(NegInfDuration) {
+		return NegInfDuration
+	}
+	return Duration(diff)
+}
 
 // String renders the time in ticks.
 func (t Time) String() string {
@@ -47,7 +109,15 @@ func (t Time) String() string {
 }
 
 // String renders the duration in ticks.
-func (d Duration) String() string { return fmt.Sprintf("%d", int64(d)) }
+func (d Duration) String() string {
+	switch d {
+	case InfDuration:
+		return "+inf"
+	case NegInfDuration:
+		return "-inf"
+	}
+	return fmt.Sprintf("%d", int64(d))
+}
 
 // Min returns the smaller of two durations.
 func Min(a, b Duration) Duration {

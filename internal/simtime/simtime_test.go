@@ -18,6 +18,68 @@ func TestTimeAddSub(t *testing.T) {
 	}
 }
 
+func TestSentinelArithmeticSaturates(t *testing.T) {
+	addCases := []struct {
+		name string
+		t    Time
+		d    Duration
+		want Time
+	}{
+		{"inf plus positive stays inf", Infinity, 100, Infinity},
+		{"inf plus inf-duration stays inf", Infinity, InfDuration, Infinity},
+		{"inf plus negative stays inf", Infinity, -100, Infinity},
+		{"neg-inf plus positive stays neg-inf", NegInfinity, 100, NegInfinity},
+		{"neg-inf plus negative stays neg-inf", NegInfinity, -100, NegInfinity},
+		{"finite overflow clamps to inf", Infinity - 1, 100, Infinity},
+		{"finite plus inf-duration clamps to inf", 5, InfDuration, Infinity},
+		{"finite underflow clamps to neg-inf", NegInfinity + 1, -100, NegInfinity},
+		{"finite plus neg-inf-duration clamps", 5, NegInfDuration, NegInfinity},
+		{"finite stays exact", 100, 50, 150},
+		{"finite negative stays exact", 100, -250, -150},
+		{"zero delta is identity", 7, 0, 7},
+	}
+	for _, c := range addCases {
+		if got := c.t.Add(c.d); got != c.want {
+			t.Errorf("%s: %v.Add(%v) = %v, want %v", c.name, c.t, c.d, got, c.want)
+		}
+	}
+	subCases := []struct {
+		name string
+		t, s Time
+		want Duration
+	}{
+		{"pending latency saturates", Infinity, 100, InfDuration},
+		{"pending latency from negative invoke", Infinity, -100, InfDuration},
+		{"inf minus inf is zero", Infinity, Infinity, 0},
+		{"neg-inf minus neg-inf is zero", NegInfinity, NegInfinity, 0},
+		{"neg-inf minus finite saturates", NegInfinity, 100, NegInfDuration},
+		{"finite minus inf saturates", 100, Infinity, NegInfDuration},
+		{"finite minus neg-inf saturates", 100, NegInfinity, InfDuration},
+		{"inf minus neg-inf saturates", Infinity, NegInfinity, InfDuration},
+		{"neg-inf minus inf saturates", NegInfinity, Infinity, NegInfDuration},
+		{"near-sentinel finite difference clamps", Infinity - 1, NegInfinity + 1, InfDuration},
+		{"finite difference stays exact", 150, 100, 50},
+		{"finite negative difference stays exact", 100, 150, -50},
+	}
+	for _, c := range subCases {
+		if got := c.t.Sub(c.s); got != c.want {
+			t.Errorf("%s: %v.Sub(%v) = %v, want %v", c.name, c.t, c.s, got, c.want)
+		}
+	}
+}
+
+func TestSentinelDurationString(t *testing.T) {
+	if got := InfDuration.String(); got != "+inf" {
+		t.Errorf("InfDuration.String() = %q, want %q", got, "+inf")
+	}
+	if got := NegInfDuration.String(); got != "-inf" {
+		t.Errorf("NegInfDuration.String() = %q, want %q", got, "-inf")
+	}
+	if got := Duration(42).String(); got != "42" {
+		t.Errorf("Duration(42).String() = %q, want %q", got, "42")
+	}
+}
+
 func TestTimeString(t *testing.T) {
 	cases := []struct {
 		in   Time
