@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench fuzz-smoke fuzz-native
 
 # check is the tier-1 gate: vet, build, full tests, and a short
 # race-detector pass over the concurrency-bearing packages.
@@ -16,7 +16,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/rtnet/ ./internal/harness/ ./internal/lincheck/ ./internal/sim/
+	$(GO) test -race -count=1 ./internal/rtnet/ ./internal/harness/ ./internal/lincheck/ ./internal/sim/ ./internal/adversary/
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# fuzz-smoke runs a deterministic adversarial-schedule campaign: the full
+# mutant kill matrix (every seeded bug must die, the control must stay
+# clean) plus a clean sweep of the corrected algorithm.
+fuzz-smoke:
+	$(GO) run ./cmd/lintime fuzz -budget 200 -seed 1 -mutant all
+	$(GO) run ./cmd/lintime fuzz -budget 500 -seed 1
+
+# fuzz-native runs the Go native fuzzers briefly against their checked-in
+# corpora (coverage-guided; not deterministic — a finder, not a gate).
+fuzz-native:
+	$(GO) test -fuzz FuzzCheck -fuzztime 20s ./internal/lincheck/
+	$(GO) test -fuzz FuzzTimeArith -fuzztime 10s ./internal/simtime/

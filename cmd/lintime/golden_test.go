@@ -1,0 +1,150 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput so far:\n%s", ferr, out)
+	}
+	return out
+}
+
+// checkGolden compares output against testdata/<name>.golden, rewriting
+// it under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output differs from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+			name, path, got, want)
+	}
+}
+
+// TestGoldenTables pins the closed-form Table 1 output: pure formula
+// evaluation, no randomness.
+func TestGoldenTables(t *testing.T) {
+	got := captureStdout(t, func() error {
+		return cmdTables([]string{"-table", "1"})
+	})
+	checkGolden(t, "tables-1", got)
+}
+
+// TestGoldenLowerbound pins the mechanized Theorem 2 construction, which
+// is deterministic for fixed parameters.
+func TestGoldenLowerbound(t *testing.T) {
+	got := captureStdout(t, func() error {
+		return cmdLowerbound([]string{"-thm", "2", "-n", "3"})
+	})
+	checkGolden(t, "lowerbound-thm2", got)
+}
+
+// TestGoldenFuzz pins a small fuzzing campaign against a seeded mutant:
+// the campaign, the shrunk counterexample, and the rendered diagram are
+// all deterministic functions of (seed, budget).
+func TestGoldenFuzz(t *testing.T) {
+	args := []string{"-budget", "100", "-seed", "7", "-mutant", "aop-no-eps"}
+	got := captureStdout(t, func() error {
+		return cmdFuzz(args)
+	})
+	checkGolden(t, "fuzz-aop-no-eps", got)
+
+	// The same campaign must be byte-identical at every parallelism level.
+	for _, par := range []string{"1", "4"} {
+		out := captureStdout(t, func() error {
+			return cmdFuzz(append([]string{"-parallel", par}, args...))
+		})
+		if out != got {
+			t.Errorf("fuzz output at -parallel %s differs from default:\n--- got ---\n%s\n--- want ---\n%s", par, out, got)
+		}
+	}
+}
+
+// TestGoldenFuzzClean pins a clean campaign over the corrected algorithm.
+func TestGoldenFuzzClean(t *testing.T) {
+	got := captureStdout(t, func() error {
+		return cmdFuzz([]string{"-budget", "100", "-seed", "7"})
+	})
+	checkGolden(t, "fuzz-clean", got)
+}
+
+// TestCmdFuzzErrors exercises fuzz flag validation.
+func TestCmdFuzzErrors(t *testing.T) {
+	if err := cmdFuzz([]string{"-mutant", "bogus", "-budget", "1"}); err == nil {
+		t.Error("unknown mutant should error")
+	}
+	if err := cmdFuzz([]string{"-type", "bogus", "-budget", "1"}); err == nil {
+		t.Error("unknown type should error")
+	}
+	if err := cmdFuzz([]string{"-strategies", "bogus", "-budget", "1"}); err == nil {
+		t.Error("unknown strategy should error")
+	}
+}
+
+// TestCmdFuzzKillMatrix runs the full kill matrix end-to-end through the
+// CLI: every seeded mutant must die and the control must stay clean.
+func TestCmdFuzzKillMatrix(t *testing.T) {
+	got := captureStdout(t, func() error {
+		return cmdFuzz([]string{"-budget", "64", "-seed", "1", "-mutant", "all"})
+	})
+	for _, want := range []string{
+		"correct        clean",
+		"aop-no-eps     killed: non-linearizable",
+		"literal-drain  killed:",
+		"exec-no-eps    killed:",
+		"addself-zero   killed:",
+		"mop-zero       killed:",
+	} {
+		if !hasLineWithPrefix(got, want) {
+			t.Errorf("kill matrix output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func hasLineWithPrefix(s, prefix string) bool {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -11,6 +11,8 @@
 //	lintime run -diagram        render the run as a space-time diagram
 //	lintime sweep               the X accessor/mutator tradeoff sweep
 //	lintime sync                the clock-synchronization round (§5's ε)
+//	lintime fuzz                adversarial schedule fuzzing with shrinking
+//	lintime fuzz -mutant all    the seeded-bug kill matrix
 //
 // Common flags: -n (processes), -d, -u (delay bound and uncertainty),
 // -eps (clock skew; default optimal (1-1/n)u), -x (tradeoff parameter;
@@ -29,6 +31,7 @@ import (
 	"strings"
 
 	"lintime/internal/adt"
+	"lintime/internal/adversary"
 	"lintime/internal/bounds"
 	"lintime/internal/classify"
 	"lintime/internal/clocksync"
@@ -59,6 +62,8 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "sync":
 		err = cmdSync(os.Args[2:])
+	case "fuzz":
+		err = cmdFuzz(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -89,6 +94,10 @@ commands:
               latency tradeoff
   sync        run the Lundelius-Lynch clock synchronization round the
               paper assumes, showing skew before/after vs (1-1/n)u
+  fuzz        explore admissible adversarial schedules (delays, clock
+              offsets, invocation timings) for linearizability violations,
+              shrinking each to a minimal counterexample; -mutant runs a
+              seeded bug (or 'all' for the full kill matrix)
 
 run 'lintime <command> -h' for command flags`)
 }
@@ -377,6 +386,62 @@ func cmdSweep(args []string) error {
 	fmt.Printf("X tradeoff sweep on %s (n=%d d=%v u=%v ε=%v):\n", *typeName, p.N, p.D, p.U, p.Epsilon)
 	fmt.Print(harness.FormatSweep(pts))
 	return nil
+}
+
+func cmdFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	getParams := paramFlags(fs)
+	typeName := fs.String("type", "queue", "data type ("+strings.Join(adt.Names(), ", ")+")")
+	alg := fs.String("alg", harness.AlgCore, "algorithm ("+strings.Join(harness.Algorithms(), ", ")+")")
+	mutant := fs.String("mutant", "", "seeded bug to hunt ("+strings.Join(adversary.MutantNames(), ", ")+"); 'all' runs the kill matrix")
+	budget := fs.Int("budget", 1000, "schedules to explore (per target)")
+	seed := fs.Int64("seed", 1, "master seed for schedule generation")
+	strategies := fs.String("strategies", "", "comma-separated strategies ("+strings.Join(adversary.Strategies(), ", ")+"; default all)")
+	noShrink := fs.Bool("no-shrink", false, "report raw violating schedules without delta-debugging them")
+	parallel := parallelFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	dt, err := adt.Lookup(*typeName)
+	if err != nil {
+		return err
+	}
+	var strats []string
+	if *strategies != "" {
+		strats = strings.Split(*strategies, ",")
+	}
+	opts := adversary.Options{
+		Params:     p,
+		DT:         dt,
+		Target:     adversary.Target{Algorithm: *alg, Mutant: *mutant},
+		Seed:       *seed,
+		Budget:     *budget,
+		Strategies: strats,
+		Parallel:   *parallel,
+		Shrink:     !*noShrink,
+	}
+	runner := &adversary.Runner{Params: p, DT: dt, Target: opts.Target}
+	if *mutant == "all" {
+		opts.Target.Mutant = ""
+		runner.Target.Mutant = ""
+		entries, err := adversary.KillMatrix(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mutant kill matrix on %s (n=%d d=%v u=%v eps=%v X=%v, budget %d, seed %d):\n\n",
+			dt.Name(), p.N, p.D, p.U, p.Epsilon, p.X, *budget, *seed)
+		return adversary.WriteKillMatrix(os.Stdout, runner, entries)
+	}
+	opts.StopEarly = *mutant != ""
+	rep, err := adversary.Fuzz(opts)
+	if err != nil {
+		return err
+	}
+	return adversary.WriteReport(os.Stdout, runner, rep)
 }
 
 func cmdSync(args []string) error {

@@ -1,0 +1,47 @@
+package lintime
+
+// Smoke tests for the example programs: every program under examples/
+// must build and run to completion (exit status 0). The examples are the
+// repository's documentation of record — README.md walks through them —
+// so a broken example is a broken build.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile and run full simulations; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no example programs found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			main := filepath.Join("examples", name, "main.go")
+			if _, err := os.Stat(main); err != nil {
+				t.Fatalf("example %s has no main.go: %v", name, err)
+			}
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

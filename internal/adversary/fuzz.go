@@ -1,0 +1,258 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"lintime/internal/harness"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// batchSize is the number of schedules evaluated between feedback points.
+// The coverage pool and the stop-early decision are updated only at batch
+// boundaries, in index order, so the set of schedules a fuzz run evaluates
+// depends on (seed, budget, strategies) alone — never on parallelism.
+const batchSize = 64
+
+// poolCap bounds the coverage strategy's novelty pool (oldest evicted).
+const poolCap = 128
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	Params simtime.Params
+	DT     spec.DataType
+	Target Target
+	Seed   int64
+	Budget int // total schedules to evaluate (rounded up to a batch)
+	// Strategies to interleave (round-robin by schedule index); nil
+	// selects all of Strategies().
+	Strategies []string
+	// Parallel is the worker count for batch evaluation (harness
+	// semantics: < 1 selects GOMAXPROCS).
+	Parallel int
+	// StopEarly stops at the end of the first batch containing a
+	// violation — the mode used for mutant hunts, where one
+	// counterexample suffices.
+	StopEarly bool
+	// Shrink reduces each reported violation to a minimal schedule.
+	Shrink bool
+	// CheckWorkers is passed through to the linearizability checker.
+	CheckWorkers int
+}
+
+// Violation is one schedule that broke a checked property.
+type Violation struct {
+	Index      int    // schedule index within the campaign
+	Strategy   string // generating strategy
+	Kind       string // KindNonLinearizable, KindDiverged, KindIncomplete
+	Schedule   Schedule
+	Shrunk     *Schedule // minimal reduction (when Options.Shrink)
+	ShrunkKind string    // violation kind of the shrunk schedule
+	Runs       int       // shrinker executions spent
+}
+
+// Report summarizes a fuzzing campaign.
+type Report struct {
+	Target     Target
+	Schedules  int // schedules evaluated
+	Signatures int // distinct event-ordering signatures observed
+	ByStrategy map[string]int
+	Violations []Violation
+}
+
+// Fuzz runs a campaign and returns its report. The report is a pure
+// function of Options (minus Parallel): batches fan out through
+// harness.RunIndexed with per-index derived seeds and fold results in
+// index order.
+func Fuzz(opts Options) (*Report, error) {
+	p := opts.Params
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	enabled := opts.Strategies
+	if len(enabled) == 0 {
+		enabled = Strategies()
+	}
+	for _, s := range enabled {
+		switch s {
+		case StratBoundary, StratRandom, StratCoverage:
+		default:
+			return nil, fmt.Errorf("adversary: unknown strategy %q (have %s)", s, strings.Join(Strategies(), ", "))
+		}
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = batchSize
+	}
+	ops := opsFor(opts.DT)
+	runner := &Runner{Params: p, DT: opts.DT, Target: opts.Target, CheckWorkers: opts.CheckWorkers}
+
+	rep := &Report{Target: opts.Target, ByStrategy: map[string]int{}}
+	seen := map[uint64]bool{}
+	var pool []Schedule // coverage novelty pool, index order
+
+	type slot struct {
+		strategy string
+		sched    Schedule
+		outcome  *Outcome
+	}
+
+	for base := 0; base < opts.Budget; base += batchSize {
+		count := batchSize
+		if base+count > opts.Budget {
+			count = opts.Budget - base
+		}
+		// Snapshot the pool: workers read it concurrently while the fold
+		// below (after the batch barrier) is the only writer.
+		poolSnap := append([]Schedule(nil), pool...)
+		slots := make([]slot, count)
+		err := harness.RunIndexed(count, opts.Parallel, func(k int) error {
+			i := base + k
+			strat := enabled[i%len(enabled)]
+			ordinal := i / len(enabled)
+			var (
+				sched Schedule
+				out   *Outcome
+				err   error
+			)
+			switch strat {
+			case StratBoundary:
+				cand := boundaryCandidate(p, ops, opts.Seed, ordinal)
+				sched, out, err = runner.RunRule(cand.offsets, cand.plans, cand.net)
+			case StratRandom:
+				cand := randomCandidate(p, ops, opts.Seed, "random", ordinal)
+				sched = cand.sched
+				out, err = runner.Run(sched)
+			case StratCoverage:
+				if len(poolSnap) == 0 {
+					cand := randomCandidate(p, ops, opts.Seed, "coverage-seed", ordinal)
+					sched = cand.sched
+				} else {
+					rng := rand.New(rand.NewSource(harness.DeriveSeed(opts.Seed, fmt.Sprintf("adversary/coverage/%d", ordinal))))
+					parent := poolSnap[rng.Intn(len(poolSnap))]
+					sched = mutateSchedule(parent, p, ops, rng)
+				}
+				out, err = runner.Run(sched)
+			}
+			if err != nil {
+				return err
+			}
+			slots[k] = slot{strategy: strat, sched: sched, outcome: out}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Fold in index order: coverage pool, signature set, violations.
+		batchViolated := false
+		for k := 0; k < count; k++ {
+			sl := slots[k]
+			rep.Schedules++
+			rep.ByStrategy[sl.strategy]++
+			sig := sl.outcome.Signature()
+			if !seen[sig] {
+				seen[sig] = true
+				if len(pool) == poolCap {
+					pool = pool[1:]
+				}
+				pool = append(pool, sl.sched)
+			}
+			if kind := sl.outcome.Violation(); kind != "" {
+				batchViolated = true
+				v := Violation{
+					Index:    base + k,
+					Strategy: sl.strategy,
+					Kind:     kind,
+					Schedule: sl.sched,
+				}
+				if opts.Shrink {
+					shrunk, shrunkKind, runs, err := Shrink(runner, sl.sched, ShrinkOptions{})
+					if err != nil {
+						return nil, err
+					}
+					v.Shrunk = &shrunk
+					v.ShrunkKind = shrunkKind
+					v.Runs = runs
+				}
+				rep.Violations = append(rep.Violations, v)
+			}
+		}
+		if opts.StopEarly && batchViolated {
+			break
+		}
+	}
+	rep.Signatures = len(seen)
+	return rep, nil
+}
+
+// KillEntry is one row of a mutant kill matrix.
+type KillEntry struct {
+	Mutant     string
+	Desc       string
+	Killed     bool
+	Kind       string // violation kind that killed it
+	Schedules  int    // schedules evaluated before the kill (or budget)
+	Shrunk     *Schedule
+	ShrunkKind string
+}
+
+// KillMatrix fuzzes every seeded mutant (plus the correct algorithm as a
+// control) with the given per-mutant budget and reports which died. The
+// control row has Mutant == "correct" and must never be killed.
+func KillMatrix(opts Options) ([]KillEntry, error) {
+	targets := []Mutant{{Name: Correct}}
+	targets = append(targets, Mutants()...)
+	entries := make([]KillEntry, 0, len(targets))
+	for _, m := range targets {
+		o := opts
+		o.Target = Target{Algorithm: opts.Target.Algorithm, Mutant: m.Name}
+		o.StopEarly = true
+		rep, err := Fuzz(o)
+		if err != nil {
+			return nil, err
+		}
+		e := KillEntry{
+			Mutant:    m.Name,
+			Desc:      m.Desc,
+			Killed:    len(rep.Violations) > 0,
+			Schedules: rep.Schedules,
+		}
+		if e.Mutant == Correct {
+			e.Mutant = "correct"
+			e.Desc = "corrected Algorithm 1 (control)"
+		}
+		if e.Killed {
+			v := rep.Violations[0]
+			e.Kind = v.Kind
+			e.Schedules = v.Index + 1
+			e.Shrunk = v.Shrunk
+			e.ShrunkKind = v.ShrunkKind
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// SortedStrategies returns the strategy names of a report's counter map
+// in fixed registry order (for deterministic rendering).
+func (r *Report) SortedStrategies() []string {
+	names := make([]string, 0, len(r.ByStrategy))
+	for _, s := range Strategies() {
+		if r.ByStrategy[s] > 0 {
+			names = append(names, s)
+		}
+	}
+	// Defensive: include any unknown keys deterministically.
+	extra := make([]string, 0)
+	for s := range r.ByStrategy {
+		switch s {
+		case StratBoundary, StratRandom, StratCoverage:
+		default:
+			extra = append(extra, s)
+		}
+	}
+	sort.Strings(extra)
+	return append(names, extra...)
+}

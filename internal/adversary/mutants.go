@@ -1,0 +1,107 @@
+package adversary
+
+import (
+	"fmt"
+	"strings"
+
+	"lintime/internal/core"
+	"lintime/internal/simtime"
+)
+
+// Mutant is one deliberately broken variant of Algorithm 1, obtained by
+// weakening a single wait (or reinstating the paper's literal pseudocode
+// where the reproduction corrects it). Each mutant corresponds to a
+// documented failure mode — see EXPERIMENTS.md's ablation table and
+// Finding 1 — and the fuzzer's kill matrix asserts that schedule
+// exploration rediscovers every one of them from scratch, while never
+// flagging the corrected algorithm. The matrix is evaluated at the
+// default parameters (ε > 0, X > 0); a mutant whose weakened wait is not
+// exercised by the parameters (e.g. a dropped +ε at ε = 0) is genuinely
+// correct there and has nothing to kill.
+type Mutant struct {
+	Name string
+	Desc string
+	// Timers builds the (broken) timer durations.
+	Timers func(p simtime.Params) core.Timers
+	// LiteralDrain enables the paper's literal accessor drain commit.
+	LiteralDrain bool
+}
+
+// Correct is the name of the non-mutant: the corrected Algorithm 1.
+const Correct = ""
+
+// Mutants returns the seeded-bug registry in fixed order.
+func Mutants() []Mutant {
+	return []Mutant{
+		{
+			Name: "aop-no-eps",
+			Desc: "pure-accessor wait d-X without the +ε correction (paper's literal bound; EXPERIMENTS.md Finding 1)",
+			Timers: func(p simtime.Params) core.Timers {
+				t := core.DefaultTimers(p)
+				t.AOPRespond = p.D - p.X
+				return t
+			},
+		},
+		{
+			Name: "literal-drain",
+			Desc: "paper's d-X wait plus the literal drain that permanently commits the accessor's view (replicas diverge)",
+			Timers: func(p simtime.Params) core.Timers {
+				t := core.DefaultTimers(p)
+				t.AOPRespond = p.D - p.X
+				return t
+			},
+			LiteralDrain: true,
+		},
+		{
+			Name: "exec-no-eps",
+			Desc: "execute stabilization wait u instead of u+ε (skewed concurrent mutators commit in different orders)",
+			Timers: func(p simtime.Params) core.Timers {
+				t := core.DefaultTimers(p)
+				t.ExecuteWait = p.U
+				return t
+			},
+		},
+		{
+			Name: "addself-zero",
+			Desc: "d-u self-delay removed (a mixed op executes before a completed remote mutator arrives)",
+			Timers: func(p simtime.Params) core.Timers {
+				t := core.DefaultTimers(p)
+				t.AddSelf = 0
+				return t
+			},
+		},
+		{
+			Name: "mop-zero",
+			Desc: "pure mutators respond immediately instead of after X+ε (a later op on a lagging clock gets a smaller timestamp)",
+			Timers: func(p simtime.Params) core.Timers {
+				t := core.DefaultTimers(p)
+				t.MOPRespond = 0
+				return t
+			},
+		},
+	}
+}
+
+// MutantNames lists the registry names in order.
+func MutantNames() []string {
+	ms := Mutants()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// LookupMutant resolves a mutant by name; the empty name selects the
+// corrected Algorithm 1.
+func LookupMutant(name string) (Mutant, error) {
+	if name == Correct || name == "none" {
+		return Mutant{Name: Correct, Desc: "corrected Algorithm 1", Timers: core.DefaultTimers}, nil
+	}
+	for _, m := range Mutants() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mutant{}, fmt.Errorf("adversary: unknown mutant %q (have %s)", name, strings.Join(MutantNames(), ", "))
+}

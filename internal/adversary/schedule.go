@@ -1,0 +1,327 @@
+// Package adversary searches the space of admissible executions of the
+// paper's model for linearizability violations. The paper's guarantees
+// quantify over *every* execution with message delays in [d-u, d] and
+// clock skew at most ε; the hand-picked runs in the unit tests visit only
+// a few corners of that space. This package generates admissible
+// adversaries — explicit per-message delay assignments, per-process clock
+// offsets, and operation-invocation timings — and drives Algorithm 1, the
+// folklore baselines, and deliberately broken mutants through them,
+// checking every resulting trace with the linearizability checker.
+//
+// Three generation strategies are provided (boundary/corner schedules,
+// biased-random schedules, and a coverage-greedy mode that maximizes
+// distinct event-ordering signatures), plus a delta-debugging shrinker
+// that reduces any violating schedule to a minimal counterexample and
+// renders it as a space-time diagram. The whole pipeline follows the
+// repository's determinism convention: every random stream is derived
+// from (master seed, stream id) via harness.DeriveSeed, batches fan out
+// through harness.RunIndexed, and results are folded in index order, so
+// output is byte-identical at every parallelism level.
+package adversary
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"lintime/internal/core"
+	"lintime/internal/folklore"
+	"lintime/internal/harness"
+	"lintime/internal/lincheck"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// PlannedOp is one operation of a process's invocation plan. For the
+// first op of a plan Gap is the absolute invocation time; for every later
+// op it is the wait between the previous response and the next
+// invocation, so plans always respect the model's one-pending-op-per-
+// process constraint.
+type PlannedOp struct {
+	Op  string
+	Arg spec.Value
+	Gap simtime.Duration
+}
+
+// Schedule is one fully explicit admissible adversary: clock offsets per
+// process (within the skew bound), a delay for each message by global
+// send order (within [d-u, d]; sends past the end of the vector get the
+// maximum delay d), and an invocation plan per process.
+type Schedule struct {
+	Offsets []simtime.Duration
+	Delays  []simtime.Duration
+	Plans   [][]PlannedOp
+}
+
+// Clone returns a deep copy (argument values are shared).
+func (s Schedule) Clone() Schedule {
+	out := Schedule{
+		Offsets: append([]simtime.Duration(nil), s.Offsets...),
+		Delays:  append([]simtime.Duration(nil), s.Delays...),
+		Plans:   make([][]PlannedOp, len(s.Plans)),
+	}
+	for i, plan := range s.Plans {
+		out.Plans[i] = append([]PlannedOp(nil), plan...)
+	}
+	return out
+}
+
+// NumOps returns the total number of planned invocations.
+func (s Schedule) NumOps() int {
+	n := 0
+	for _, plan := range s.Plans {
+		n += len(plan)
+	}
+	return n
+}
+
+// Validate checks the schedule against the model parameters and the data
+// type: offsets within the skew bound, delays within [d-u, d],
+// nonnegative gaps, and every planned op declared by dt.
+func (s Schedule) Validate(p simtime.Params, dt spec.DataType) error {
+	if len(s.Offsets) != p.N {
+		return fmt.Errorf("adversary: %d offsets for n=%d", len(s.Offsets), p.N)
+	}
+	if err := sim.ValidateOffsets(s.Offsets, p.Epsilon); err != nil {
+		return err
+	}
+	if err := (sim.SequenceNetwork{Delays: s.Delays, Default: p.D}).Validate(p); err != nil {
+		return err
+	}
+	if len(s.Plans) != p.N {
+		return fmt.Errorf("adversary: %d plans for n=%d", len(s.Plans), p.N)
+	}
+	for proc, plan := range s.Plans {
+		for i, op := range plan {
+			if op.Gap < 0 {
+				return fmt.Errorf("adversary: p%d op %d has negative gap %v", proc, i, op.Gap)
+			}
+			if _, ok := spec.FindOp(dt, op.Op); !ok {
+				return fmt.Errorf("adversary: type %s has no operation %q", dt.Name(), op.Op)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the schedule compactly; '@' marks the absolute start of
+// a plan's first op, '@+' the gap after the previous response.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "offsets %v\n", s.Offsets)
+	fmt.Fprintf(&b, "delays  %v (then d)\n", s.Delays)
+	for proc, plan := range s.Plans {
+		if len(plan) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "p%d:", proc)
+		for i, op := range plan {
+			sep := " "
+			at := fmt.Sprintf("@+%v", op.Gap)
+			if i == 0 {
+				at = fmt.Sprintf("@%v", op.Gap)
+			} else {
+				sep = " | "
+			}
+			fmt.Fprintf(&b, "%s%s(%s)%s", sep, op.Op, spec.FormatValue(op.Arg), at)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Violation kinds.
+const (
+	KindNonLinearizable = "non-linearizable"
+	KindDiverged        = "diverged"
+	KindIncomplete      = "incomplete"
+)
+
+// Outcome is the checked result of driving one schedule through a target.
+type Outcome struct {
+	Trace        *sim.Trace
+	Check        lincheck.Result
+	Fingerprints []string // per-replica object state (core targets only)
+	Incomplete   bool     // some invocation never responded
+}
+
+// Converged reports whether all replicas ended in the same state (always
+// true for targets that do not expose per-replica state).
+func (o *Outcome) Converged() bool {
+	for i := 1; i < len(o.Fingerprints); i++ {
+		if o.Fingerprints[i] != o.Fingerprints[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Violation returns the most severe property violated by the outcome, or
+// "" if the run satisfied every checked property. Non-linearizability is
+// reported first: it is the black-box condition the paper promises.
+// Divergence (replicas committing different states) is caught even when
+// no accessor happened to observe it yet.
+func (o *Outcome) Violation() string {
+	switch {
+	case !o.Check.Linearizable:
+		return KindNonLinearizable
+	case o.Incomplete:
+		return KindIncomplete
+	case !o.Converged():
+		return KindDiverged
+	default:
+		return ""
+	}
+}
+
+// Signature is a hash of the run's event ordering: the sequence of
+// (event kind, process) pairs in processing order plus each message's
+// endpoints in delivery order. Two runs with the same signature exercised
+// the same interleaving; the coverage-greedy strategy hunts for schedules
+// whose signatures have not been seen before.
+func (o *Outcome) Signature() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 2)
+	for _, st := range o.Trace.Steps {
+		buf[0] = byte(st.Kind)
+		buf[1] = byte(st.Proc)
+		h.Write(buf)
+	}
+	for _, m := range o.Trace.Msgs {
+		buf[0] = byte(m.From)
+		buf[1] = byte(m.To)
+		h.Write(buf)
+	}
+	return h.Sum64()
+}
+
+// Target selects the implementation under test: one of the harness
+// algorithm names, plus (for the core algorithm) an optional seeded
+// mutant from the Mutants registry.
+type Target struct {
+	Algorithm string // harness.AlgCore (default ""), AlgCentral, AlgSequencer
+	Mutant    string // core only; "" = the corrected Algorithm 1
+}
+
+// String renders the target for reports.
+func (t Target) String() string {
+	alg := t.Algorithm
+	if alg == "" {
+		alg = harness.AlgCore
+	}
+	if t.Mutant == "" {
+		return alg
+	}
+	return alg + "+" + t.Mutant
+}
+
+// buildNodes constructs the replicas for the target.
+func (t Target) buildNodes(p simtime.Params, dt spec.DataType) ([]sim.Node, []*core.Replica, error) {
+	switch t.Algorithm {
+	case harness.AlgCore, "":
+		m, err := LookupMutant(t.Mutant)
+		if err != nil {
+			return nil, nil, err
+		}
+		classes := harness.ClassesFor(dt)
+		timers := m.Timers(p)
+		replicas := make([]*core.Replica, p.N)
+		nodes := make([]sim.Node, p.N)
+		for i := range nodes {
+			replicas[i] = core.NewReplica(dt, classes, timers)
+			replicas[i].LiteralAOPDrain = m.LiteralDrain
+			nodes[i] = replicas[i]
+		}
+		return nodes, replicas, nil
+	case harness.AlgCentral:
+		if t.Mutant != "" {
+			return nil, nil, fmt.Errorf("adversary: mutants apply only to the core algorithm")
+		}
+		return folklore.NewCentralNodes(p.N, dt), nil, nil
+	case harness.AlgSequencer:
+		if t.Mutant != "" {
+			return nil, nil, fmt.Errorf("adversary: mutants apply only to the core algorithm")
+		}
+		return folklore.NewSequencerNodes(p.N, dt), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("adversary: unknown algorithm %q", t.Algorithm)
+	}
+}
+
+// Runner executes schedules against one target and checks the traces.
+type Runner struct {
+	Params simtime.Params
+	DT     spec.DataType
+	Target Target
+	// CheckWorkers is passed to lincheck.CheckTraceParallel (default 2).
+	CheckWorkers int
+}
+
+// Run drives the schedule's explicit delay assignment through the target
+// and checks the trace. The schedule must be valid.
+func (r *Runner) Run(s Schedule) (*Outcome, error) {
+	return r.runWith(s, sim.SequenceNetwork{Delays: s.Delays, Default: r.Params.D})
+}
+
+// RunRule drives a rule-based candidate (offsets + plans + an arbitrary
+// admissible network) and concretizes it: the returned schedule carries
+// the explicit per-message delays the rule produced, so replaying it with
+// Run reproduces the identical execution — the form the shrinker and the
+// coverage mutator operate on.
+func (r *Runner) RunRule(offsets []simtime.Duration, plans [][]PlannedOp, net sim.Network) (Schedule, *Outcome, error) {
+	s := Schedule{Offsets: offsets, Plans: plans}
+	out, err := r.runWith(s, net)
+	if err != nil {
+		return Schedule{}, nil, err
+	}
+	s.Delays = make([]simtime.Duration, len(out.Trace.Msgs))
+	for i, m := range out.Trace.Msgs {
+		s.Delays[i] = m.Delay()
+	}
+	return s, out, nil
+}
+
+func (r *Runner) runWith(s Schedule, net sim.Network) (*Outcome, error) {
+	if err := s.Validate(r.Params, r.DT); err != nil {
+		return nil, err
+	}
+	nodes, replicas, err := r.Target.buildNodes(r.Params, r.DT)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.NewEngine(r.Params, s.Offsets, net, nodes)
+	if err != nil {
+		return nil, err
+	}
+	cursor := make([]int, r.Params.N)
+	eng.OnRespond = func(rec sim.OpRecord) {
+		plan := s.Plans[rec.Proc]
+		cursor[rec.Proc]++
+		if i := cursor[rec.Proc]; i < len(plan) {
+			eng.InvokeAt(rec.Proc, rec.RespondTime.Add(plan[i].Gap), plan[i].Op, plan[i].Arg)
+		}
+	}
+	for proc, plan := range s.Plans {
+		if len(plan) > 0 {
+			eng.InvokeAt(sim.ProcID(proc), simtime.Time(plan[0].Gap), plan[0].Op, plan[0].Arg)
+		}
+	}
+	tr := eng.Run()
+	if err := tr.CheckAdmissible(); err != nil {
+		return nil, fmt.Errorf("adversary: generated inadmissible run: %w", err)
+	}
+	workers := r.CheckWorkers
+	if workers == 0 {
+		workers = 2
+	}
+	out := &Outcome{
+		Trace:      tr,
+		Check:      lincheck.CheckTraceParallel(r.DT, tr, workers),
+		Incomplete: tr.CheckComplete() != nil,
+	}
+	for _, rep := range replicas {
+		out.Fingerprints = append(out.Fingerprints, rep.StateFingerprint())
+	}
+	return out, nil
+}

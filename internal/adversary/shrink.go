@@ -1,0 +1,137 @@
+package adversary
+
+import (
+	"lintime/internal/simtime"
+)
+
+// ShrinkOptions bounds the shrinking search.
+type ShrinkOptions struct {
+	// MaxRuns caps the number of schedule executions (default 2000).
+	MaxRuns int
+}
+
+// Shrink reduces a violating schedule to a locally minimal counterexample
+// by delta debugging: it repeatedly tries simplifying edits — dropping
+// operations, normalizing delays to the extremes of [d-u, d], zeroing
+// clock offsets and invocation gaps, truncating the delay vector — and
+// keeps any edit under which the run still violates *some* checked
+// property (the violation kind may shift as the schedule shrinks, e.g.
+// from non-linearizable to diverged; the final kind is returned). Edits
+// are applied in a fixed order to a fixpoint, so the result is
+// deterministic. Returns the shrunk schedule, its violation kind, and
+// the number of executions spent.
+func Shrink(r *Runner, s Schedule, opts ShrinkOptions) (Schedule, string, int, error) {
+	maxRuns := opts.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 2000
+	}
+	runs := 0
+	// violates replays a candidate and reports its violation kind ("" if
+	// the candidate no longer fails). An execution error (which a pure
+	// simplification cannot cause) aborts the shrink.
+	violates := func(c Schedule) (string, error) {
+		runs++
+		out, err := r.Run(c)
+		if err != nil {
+			return "", err
+		}
+		return out.Violation(), nil
+	}
+
+	cur := s.Clone()
+	kind, err := violates(cur)
+	if err != nil {
+		return Schedule{}, "", runs, err
+	}
+	if kind == "" {
+		// Not actually violating (caller bug or a rule/explicit mismatch):
+		// return the input unchanged.
+		return cur, "", runs, nil
+	}
+
+	p := r.Params
+	improved := true
+	for improved && runs < maxRuns {
+		improved = false
+
+		// Pass 1: drop operations, one at a time, later ops first (probes
+		// and trailing noise go before the ops that seed the violation).
+		for proc := len(cur.Plans) - 1; proc >= 0 && runs < maxRuns; proc-- {
+			for i := len(cur.Plans[proc]) - 1; i >= 0 && runs < maxRuns; i-- {
+				if cur.NumOps() <= 1 {
+					break
+				}
+				cand := cur.Clone()
+				cand.Plans[proc] = append(cand.Plans[proc][:i:i], cand.Plans[proc][i+1:]...)
+				if k, err := violates(cand); err != nil {
+					return Schedule{}, "", runs, err
+				} else if k != "" {
+					cur, kind, improved = cand, k, true
+				}
+			}
+		}
+
+		// Pass 2: normalize every delay to d, then to d-u.
+		for i := 0; i < len(cur.Delays) && runs < maxRuns; i++ {
+			for _, v := range []simtime.Duration{p.D, p.MinDelay()} {
+				if cur.Delays[i] == v {
+					break // already the preferred extreme
+				}
+				cand := cur.Clone()
+				cand.Delays[i] = v
+				if k, err := violates(cand); err != nil {
+					return Schedule{}, "", runs, err
+				} else if k != "" {
+					cur, kind, improved = cand, k, true
+					break
+				}
+			}
+		}
+
+		// Pass 3: zero clock offsets.
+		for i := 0; i < len(cur.Offsets) && runs < maxRuns; i++ {
+			if cur.Offsets[i] == 0 {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Offsets[i] = 0
+			if k, err := violates(cand); err != nil {
+				return Schedule{}, "", runs, err
+			} else if k != "" {
+				cur, kind, improved = cand, k, true
+			}
+		}
+
+		// Pass 4: zero invocation gaps.
+		for proc := 0; proc < len(cur.Plans) && runs < maxRuns; proc++ {
+			for i := 0; i < len(cur.Plans[proc]) && runs < maxRuns; i++ {
+				if cur.Plans[proc][i].Gap == 0 {
+					continue
+				}
+				cand := cur.Clone()
+				cand.Plans[proc][i].Gap = 0
+				if k, err := violates(cand); err != nil {
+					return Schedule{}, "", runs, err
+				} else if k != "" {
+					cur, kind, improved = cand, k, true
+				}
+			}
+		}
+	}
+
+	// Final tidy: truncate the delay vector to the messages actually sent
+	// (the tail is dead weight; replay is unchanged since out-of-range
+	// sends already default to d).
+	if out, err := r.Run(cur); err == nil {
+		runs++
+		if n := len(out.Trace.Msgs); n < len(cur.Delays) {
+			cand := cur.Clone()
+			cand.Delays = cand.Delays[:n]
+			if k, err2 := violates(cand); err2 == nil && k != "" {
+				cur, kind = cand, k
+			}
+		}
+	}
+
+	return cur, kind, runs, nil
+}

@@ -137,3 +137,86 @@ func TestPad(t *testing.T) {
 		t.Errorf("rune truncation = %q", got)
 	}
 }
+
+// TestRenderTable pins exact rendered output for small hand-built traces
+// across option combinations: custom widths, argument formatting, the
+// stable ordering of simultaneous events, and empty traces.
+func TestRenderTable(t *testing.T) {
+	mk := func(ops []sim.OpRecord, msgs []sim.MsgRecord, offsets ...simtime.Duration) *sim.Trace {
+		return &sim.Trace{Offsets: offsets, Ops: ops, Msgs: msgs}
+	}
+	cases := []struct {
+		name string
+		tr   *sim.Trace
+		opts Options
+		want string
+	}{
+		{
+			name: "single op custom width",
+			tr: mk([]sim.OpRecord{
+				{Proc: 0, Op: "inc", Arg: nil, Ret: 1, InvokeTime: 0, RespondTime: 5},
+			}, nil, 0, 0),
+			opts: Options{Width: 12, SuppressMessages: true},
+			want: "time       p0 (offset 0) p1 (offset 0)\n" +
+				"---------- ------------ ------------\n" +
+				"0          +inc()       .           \n" +
+				"5          -inc 1       .           \n",
+		},
+		{
+			name: "simultaneous events keep insertion order",
+			tr: mk([]sim.OpRecord{
+				{Proc: 0, Op: "a", InvokeTime: 3, RespondTime: 3},
+				{Proc: 1, Op: "b", InvokeTime: 3, RespondTime: 3},
+			}, nil, 0, 0),
+			opts: Options{Width: 8, SuppressMessages: true},
+			want: "time       p0 (offset 0) p1 (offset 0)\n" +
+				"---------- -------- --------\n" +
+				"3          +a()     .       \n" +
+				"3          -a ⊥     .       \n" +
+				"3          .        +b()    \n" +
+				"3          .        -b ⊥    \n",
+		},
+		{
+			name: "message annotations",
+			tr: mk(nil, []sim.MsgRecord{
+				{ID: 1, From: 0, To: 1, SendTime: 2, RecvTime: 9},
+			}, 0, 0),
+			opts: Options{Width: 12},
+			want: "time       p0 (offset 0) p1 (offset 0)\n" +
+				"---------- ------------ ------------\n" +
+				"2          >m1 to p1    .           \n" +
+				"9          .            <m1 from p0 \n",
+		},
+		{
+			name: "empty trace renders header only",
+			tr:   mk(nil, nil, 0),
+			opts: Options{Width: 10},
+			want: "time       p0 (offset 0)\n" +
+				"---------- ----------\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Render(tc.tr, tc.opts)
+			if got != tc.want {
+				t.Errorf("Render mismatch\n--- got ---\n%s\n--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRenderUnreceivedMessage checks that a message with no receipt
+// renders only its send annotation.
+func TestRenderUnreceivedMessage(t *testing.T) {
+	tr := &sim.Trace{
+		Offsets: []simtime.Duration{0, 0},
+		Msgs:    []sim.MsgRecord{{ID: 3, From: 1, To: 0, SendTime: 4, RecvTime: simtime.Infinity}},
+	}
+	out := Render(tr, Options{})
+	if !strings.Contains(out, ">m3 to p0") {
+		t.Errorf("send annotation missing:\n%s", out)
+	}
+	if strings.Contains(out, "<m3") {
+		t.Errorf("unreceived message rendered a receipt:\n%s", out)
+	}
+}

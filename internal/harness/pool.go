@@ -68,6 +68,17 @@ func runIndexed(n, parallel int, f func(i int) error) error {
 	return nil
 }
 
+// RunIndexed executes f(0..n-1) across at most parallel workers
+// (Parallelism semantics: < 1 selects GOMAXPROCS) and returns the
+// lowest-index error. It is the generic deterministic fan-out primitive
+// behind RunJobs, exported for subsystems (e.g. internal/adversary) that
+// run non-Config work items: as long as f(i) depends only on i — derive
+// per-index seeds with DeriveSeed — results are identical at every
+// parallelism level.
+func RunIndexed(n, parallel int, f func(i int) error) error {
+	return runIndexed(n, Parallelism(parallel), f)
+}
+
 // Job is one experiment of a batch: a configuration plus its workload.
 type Job struct {
 	Config   Config

@@ -191,3 +191,70 @@ func TestMeasureOptimalParallelIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestRunIndexed covers the exported deterministic fan-out primitive:
+// every index runs exactly once at any parallelism, sequential execution
+// preserves index order, and the reported error is the lowest-indexed one
+// regardless of scheduling.
+func TestRunIndexed(t *testing.T) {
+	for _, parallel := range []int{1, 2, 4, 0} {
+		var mu sync.Mutex
+		ran := make([]int, 16)
+		if err := RunIndexed(16, parallel, func(i int) error {
+			mu.Lock()
+			ran[i]++
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i, c := range ran {
+			if c != 1 {
+				t.Errorf("parallel=%d: index %d ran %d times", parallel, i, c)
+			}
+		}
+	}
+
+	// Sequential mode runs strictly in index order.
+	var order []int
+	if err := RunIndexed(8, 1, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order %v", order)
+		}
+	}
+
+	// The lowest-indexed error wins, at every parallelism.
+	for _, parallel := range []int{1, 3, 8} {
+		err := RunIndexed(12, parallel, func(i int) error {
+			if i%3 == 2 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-2" {
+			t.Errorf("parallel=%d: err = %v, want fail-2", parallel, err)
+		}
+	}
+
+	// Sequential mode stops at the first error; parallel mode still
+	// reports the lowest-indexed one.
+	calls := 0
+	_ = RunIndexed(10, 1, func(i int) error {
+		calls++
+		return fmt.Errorf("boom")
+	})
+	if calls != 1 {
+		t.Errorf("sequential run made %d calls after error, want 1", calls)
+	}
+
+	// Zero items is a no-op.
+	if err := RunIndexed(0, 4, func(int) error { return fmt.Errorf("never") }); err != nil {
+		t.Errorf("empty run: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"lintime/internal/adt"
 	"lintime/internal/harness"
 	"lintime/internal/lincheck"
+	"lintime/internal/sim"
 	"lintime/internal/simtime"
 	"lintime/internal/spec"
 )
@@ -146,5 +147,111 @@ func TestTreeHistoryRoundTrip(t *testing.T) {
 	}
 	if !lincheck.Check(dt, ops).Linearizable {
 		t.Error("tree history should be linearizable")
+	}
+}
+
+// TestWriteTraceRejectsUnsupportedValues covers WriteTrace's error paths:
+// an op whose argument or return value has no JSON encoding must fail
+// with a descriptive error rather than write a partial document.
+func TestWriteTraceRejectsUnsupportedValues(t *testing.T) {
+	type odd struct{ X int }
+	cases := []struct {
+		name string
+		op   sim.OpRecord
+	}{
+		{"unsupported arg", sim.OpRecord{Op: "enqueue", Arg: odd{1}, InvokeTime: 0, RespondTime: 5}},
+		{"unsupported ret", sim.OpRecord{Op: "dequeue", Ret: odd{2}, InvokeTime: 0, RespondTime: 5}},
+		{"unsupported pending arg", sim.OpRecord{Op: "enqueue", Arg: odd{3}, InvokeTime: 0, RespondTime: simtime.Infinity}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := &sim.Trace{Ops: []sim.OpRecord{tc.op}}
+			var buf bytes.Buffer
+			err := WriteTrace(&buf, "queue", tr)
+			if err == nil {
+				t.Fatalf("expected error, wrote: %s", buf.String())
+			}
+			if !strings.Contains(err.Error(), "unsupported value") {
+				t.Errorf("error %q does not mention the unsupported value", err)
+			}
+		})
+	}
+	// A pending op's return value is never encoded, so an unsupported Ret
+	// on a pending op must NOT fail.
+	tr := &sim.Trace{Ops: []sim.OpRecord{
+		{Op: "dequeue", Ret: odd{4}, InvokeTime: 0, RespondTime: simtime.Infinity},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, "queue", tr); err != nil {
+		t.Errorf("pending op with unencodable ret should not fail: %v", err)
+	}
+}
+
+// TestWriteTraceSortsByInvocation checks that ops are serialized in
+// invocation order with SeqID tiebreaks, regardless of trace order.
+func TestWriteTraceSortsByInvocation(t *testing.T) {
+	tr := &sim.Trace{Ops: []sim.OpRecord{
+		{SeqID: 2, Op: "peek", InvokeTime: 9, RespondTime: 10},
+		{SeqID: 1, Op: "enqueue", Arg: 1, InvokeTime: 0, RespondTime: 5},
+		{SeqID: 0, Op: "dequeue", InvokeTime: 9, RespondTime: 12},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, "queue", tr); err != nil {
+		t.Fatal(err)
+	}
+	_, ops, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNames := make([]string, len(ops))
+	for i, op := range ops {
+		gotNames[i] = op.Name
+	}
+	want := []string{"enqueue", "dequeue", "peek"}
+	for i := range want {
+		if gotNames[i] != want[i] {
+			t.Fatalf("serialized order = %v, want %v", gotNames, want)
+		}
+	}
+}
+
+// TestDecodeValueTable covers the object-decoding corner cases: edge and
+// KV shapes, near-miss objects, and non-integer numbers.
+func TestDecodeValueTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		raw     string
+		want    spec.Value
+		wantErr bool
+	}{
+		{"edge", `{"p":1,"c":2}`, adt.Edge{P: 1, C: 2}, false},
+		{"kv", `{"k":"a","v":3}`, adt.KV{K: "a", V: 3}, false},
+		{"negative int", `-17`, -17, false},
+		{"bool", `true`, true, false},
+		{"null", `null`, nil, false},
+		{"empty raw", ``, nil, false},
+		{"fractional number", `1.5`, nil, true},
+		{"fractional edge field", `{"p":1.5,"c":2}`, nil, true},
+		{"kv with non-string key", `{"k":7,"v":3}`, nil, true},
+		{"kv with fractional value", `{"k":"a","v":0.5}`, nil, true},
+		{"unknown object", `{"x":1}`, nil, true},
+		{"array", `[1,2]`, nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecodeValue([]byte(tc.raw))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("expected error, got %v", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !spec.ValuesEqual(got, tc.want) {
+				t.Errorf("DecodeValue(%s) = %v, want %v", tc.raw, got, tc.want)
+			}
+		})
 	}
 }

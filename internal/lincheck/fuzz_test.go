@@ -1,0 +1,125 @@
+package lincheck
+
+import (
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// refCheck is a brute-force reference linearizability checker: plain
+// recursive enumeration of every permutation respecting the real-time
+// precedence order (an op may come next only if no untaken op responded
+// strictly before its invocation), with completed ops required to match
+// their recorded returns and pending ops free to take any effect or be
+// dropped. No memoization, no pruning beyond legality — slow but
+// obviously correct for the tiny histories the fuzzer builds.
+func refCheck(dt spec.DataType, history []Op) bool {
+	taken := make([]bool, len(history))
+	var rec func(st spec.State, completedLeft int) bool
+	rec = func(st spec.State, completedLeft int) bool {
+		if completedLeft == 0 {
+			return true
+		}
+		minRespond := simtime.Infinity
+		for i, t := range taken {
+			if !t && history[i].Respond < minRespond {
+				minRespond = history[i].Respond
+			}
+		}
+		for i, t := range taken {
+			if t {
+				continue
+			}
+			op := history[i]
+			if op.Invoke > minRespond {
+				continue
+			}
+			ret, next := st.Apply(op.Name, op.Arg)
+			if !op.Pending() && !spec.ValuesEqual(ret, op.Ret) {
+				continue
+			}
+			left := completedLeft
+			if !op.Pending() {
+				left--
+			}
+			taken[i] = true
+			if rec(next, left) {
+				taken[i] = false
+				return true
+			}
+			taken[i] = false
+		}
+		return false
+	}
+	completed := 0
+	for _, op := range history {
+		if !op.Pending() {
+			completed++
+		}
+	}
+	return rec(dt.Initial(), completed)
+}
+
+// decodeHistory turns fuzz bytes into a small queue history: each op
+// consumes four bytes (kind, argument, invocation time, duration/return),
+// capped so the reference checker's factorial search stays fast.
+func decodeHistory(data []byte) []Op {
+	const maxOps = 6
+	var history []Op
+	for i := 0; i+4 <= len(data) && len(history) < maxOps; i += 4 {
+		kind, argB, invB, durB := data[i], data[i+1], data[i+2], data[i+3]
+		op := Op{ID: len(history), Invoke: simtime.Time(invB % 16)}
+		// Durations 0-6 complete the op; 7 leaves it pending.
+		if dur := durB % 8; dur == 7 {
+			op.Respond = simtime.Infinity
+		} else {
+			op.Respond = op.Invoke.Add(simtime.Duration(dur))
+		}
+		arg := int(argB % 4)
+		// The high bits of durB pick the recorded return for completed
+		// accessors: ⊥ or a small int (possibly an illegal one — both
+		// checkers must agree it is illegal).
+		retChoice := int(durB/8) % 6
+		var ret spec.Value
+		if retChoice > 0 {
+			ret = retChoice - 1
+		}
+		switch kind % 3 {
+		case 0:
+			op.Name, op.Arg, op.Ret = "enqueue", arg, nil
+		case 1:
+			op.Name, op.Ret = "dequeue", ret
+		case 2:
+			op.Name, op.Ret = "peek", ret
+		}
+		if op.Pending() {
+			op.Ret = nil
+		}
+		history = append(history, op)
+	}
+	return history
+}
+
+// FuzzCheck cross-checks the production checker (sequential and parallel)
+// against the brute-force reference on randomly generated histories.
+func FuzzCheck(f *testing.F) {
+	// A linearizable overlap, an illegal return, a pending enqueue that
+	// must be linearized for a later dequeue, and a real-time violation.
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 10})
+	f.Add([]byte{0, 2, 0, 1, 2, 0, 5, 3})
+	f.Add([]byte{0, 3, 0, 7, 1, 0, 8, 12})
+	f.Add([]byte{2, 0, 0, 1, 0, 1, 4, 2, 1, 0, 9, 14})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dt := adt.NewQueue()
+		history := decodeHistory(data)
+		want := refCheck(dt, history)
+		if got := Check(dt, history); got.Linearizable != want {
+			t.Fatalf("Check = %v, reference = %v\nhistory: %+v", got.Linearizable, want, history)
+		}
+		if got := CheckParallel(dt, history, 4); got.Linearizable != want {
+			t.Fatalf("CheckParallel = %v, reference = %v\nhistory: %+v", got.Linearizable, want, history)
+		}
+	})
+}

@@ -63,6 +63,8 @@ type Cluster struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	seq     int64
+	msgIdx  int64
+	delays  sim.Network
 	pending map[int64]*pendingCall
 	timers  map[sim.TimerID]*time.Timer
 	timerID sim.TimerID
@@ -106,6 +108,16 @@ func NewCluster(p simtime.Params, tick time.Duration, offsets []simtime.Duration
 	}
 	return c, nil
 }
+
+// UseNetwork overrides the default random per-message delay draw with a
+// deterministic sim.Network (e.g. an adversary schedule's
+// sim.SequenceNetwork), so the same delay assignments that drive the
+// virtual-time simulator can drive the real-time substrate. Delays are
+// indexed by global send order, exactly as in sim.Engine. Returned delays
+// are clamped to the lower half of [d-u, d] like the default draw: real
+// scheduling jitter only adds latency, so sampling low keeps actual
+// deliveries within the admissible window. Must be called before Start.
+func (c *Cluster) UseNetwork(net sim.Network) { c.delays = net }
 
 // Start launches the node goroutines and starts the cluster clock.
 func (c *Cluster) Start() {
@@ -270,8 +282,22 @@ func (x *rtCtx) Send(to sim.ProcID, payload any) {
 	// jitter only adds latency, so sampling low keeps actual deliveries
 	// within the admissible window.
 	x.c.mu.Lock()
-	span := int64(x.c.params.U)/2 + 1
-	delay := x.c.params.MinDelay() + simtime.Duration(x.c.rng.Int63n(span))
+	lo := x.c.params.MinDelay()
+	hi := lo + x.c.params.U/2
+	var delay simtime.Duration
+	if x.c.delays != nil {
+		idx := x.c.msgIdx
+		x.c.msgIdx++
+		delay = x.c.delays.Delay(x.proc, to, x.c.now(), idx)
+		if delay < lo {
+			delay = lo
+		}
+		if delay > hi {
+			delay = hi
+		}
+	} else {
+		delay = lo + simtime.Duration(x.c.rng.Int63n(int64(hi-lo)+1))
+	}
 	x.c.mu.Unlock()
 	from := x.proc
 	time.AfterFunc(time.Duration(delay)*x.c.tick, func() {

@@ -182,3 +182,40 @@ func TestRealTimeStopTerminates(t *testing.T) {
 		t.Fatal("Stop did not terminate")
 	}
 }
+
+// TestRealTimeUseNetwork drives the cluster's delays from a deterministic
+// sim.Network instead of the random draw: the run must complete with the
+// replicas converged, and out-of-range rule values must be clamped into
+// the lower half of [d-u, d] (the band the default draw uses, chosen so
+// scheduling jitter cannot push deliveries past d).
+func TestRealTimeUseNetwork(t *testing.T) {
+	p := rtParams(3)
+	c, replicas := newQueueCluster(t, 3)
+	// Rule asks for delays far outside the admissible window on both
+	// sides; the cluster must clamp to [d-u, d-u/2].
+	c.UseNetwork(sim.SequenceNetwork{
+		Delays:  []simtime.Duration{0, 1 << 40, p.MinDelay(), p.MinDelay() + p.U/2},
+		Default: p.MinDelay(),
+	})
+	c.Start()
+	defer c.Stop()
+
+	if r := c.Call(0, adt.OpEnqueue, 5); r.Ret != nil {
+		t.Errorf("enqueue returned %v", r.Ret)
+	}
+	time.Sleep(5 * time.Duration(p.D) * tick)
+	if r := c.Call(1, adt.OpPeek, nil); !spec.ValuesEqual(r.Ret, 5) {
+		t.Errorf("peek returned %v, want 5", r.Ret)
+	}
+	time.Sleep(5 * time.Duration(p.D) * tick)
+	fps := make([]string, len(replicas))
+	for i, rep := range replicas {
+		i, rep := i, rep
+		c.Inspect(sim.ProcID(i), func() { fps[i] = rep.StateFingerprint() })
+	}
+	for i := range fps {
+		if fps[i] != fps[0] {
+			t.Errorf("replica %d diverged: %q vs %q", i, fps[i], fps[0])
+		}
+	}
+}

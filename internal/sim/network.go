@@ -105,6 +105,40 @@ func (n *RandomNetwork) Delay(ProcID, ProcID, simtime.Time, int64) simtime.Durat
 	return n.D - simtime.Duration(n.rng.Int63n(int64(n.U)+1))
 }
 
+// SequenceNetwork replays an explicit per-message delay assignment: the
+// msgIndex-th message sent in the run (global send order) gets
+// Delays[msgIndex], and messages past the end of the vector get Default.
+// This is the substrate of internal/adversary's schedule exploration: an
+// adversary is free to fix every delay individually as long as each stays
+// in [d-u, d], and the engine panics if one strays, so generated
+// schedules are admissible by construction.
+type SequenceNetwork struct {
+	Delays  []simtime.Duration
+	Default simtime.Duration
+}
+
+// Delay implements Network.
+func (n SequenceNetwork) Delay(_, _ ProcID, _ simtime.Time, msgIndex int64) simtime.Duration {
+	if msgIndex >= 0 && msgIndex < int64(len(n.Delays)) {
+		return n.Delays[msgIndex]
+	}
+	return n.Default
+}
+
+// Validate checks that every assigned delay (and the default) lies in
+// [d-u, d].
+func (n SequenceNetwork) Validate(p simtime.Params) error {
+	if n.Default < p.MinDelay() || n.Default > p.D {
+		return fmt.Errorf("sim: default delay %v outside [%v, %v]", n.Default, p.MinDelay(), p.D)
+	}
+	for i, d := range n.Delays {
+		if d < p.MinDelay() || d > p.D {
+			return fmt.Errorf("sim: delay[%d] = %v outside [%v, %v]", i, d, p.MinDelay(), p.D)
+		}
+	}
+	return nil
+}
+
 // AdversarialNetwork stresses timestamp ordering: messages *from* lower
 // process ids travel at the maximum delay d while messages from higher ids
 // travel at the minimum d-u, maximizing reordering between processes.

@@ -591,3 +591,58 @@ func TestStepKindString(t *testing.T) {
 		t.Error("unknown step kind should format numerically")
 	}
 }
+
+func TestSequenceNetwork(t *testing.T) {
+	p := simtime.Params{N: 2, D: 100, U: 40}
+	net := SequenceNetwork{Delays: []simtime.Duration{60, 100, 75}, Default: 80}
+	if err := net.Validate(p); err != nil {
+		t.Fatalf("valid sequence rejected: %v", err)
+	}
+	// Delays are indexed by global send order; past the end, Default.
+	for i, want := range []simtime.Duration{60, 100, 75, 80, 80} {
+		if got := net.Delay(0, 1, 0, int64(i)); got != want {
+			t.Errorf("msg %d: delay %v, want %v", i, got, want)
+		}
+	}
+	if got := net.Delay(0, 1, 0, -1); got != 80 {
+		t.Errorf("negative index: delay %v, want Default", got)
+	}
+	// Validation catches out-of-range entries and defaults.
+	bad := []SequenceNetwork{
+		{Delays: []simtime.Duration{59}, Default: 80},  // below d-u
+		{Delays: []simtime.Duration{101}, Default: 80}, // above d
+		{Delays: nil, Default: 101},                    // default above d
+		{Delays: nil, Default: 59},                     // default below d-u
+	}
+	for i, n := range bad {
+		if err := n.Validate(p); err == nil {
+			t.Errorf("bad network %d accepted", i)
+		}
+	}
+}
+
+func TestSequenceNetworkDrivesEngine(t *testing.T) {
+	// Replaying an explicit delay vector must reproduce delays exactly, in
+	// global send order.
+	p := simtime.Params{N: 2, D: 100, U: 40}
+	delays := []simtime.Duration{60, 100, 80}
+	eng, err := NewEngine(p, ZeroOffsets(2), SequenceNetwork{Delays: delays, Default: p.D},
+		[]Node{&pingNode{peer: 1}, &pingNode{peer: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.InvokeAt(0, 0, "ping", nil)
+	tr := eng.Run()
+	if len(tr.Msgs) == 0 {
+		t.Fatal("no messages recorded")
+	}
+	for i, m := range tr.Msgs {
+		want := p.D
+		if i < len(delays) {
+			want = delays[i]
+		}
+		if got := m.Delay(); got != want {
+			t.Errorf("msg %d delay %v, want %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package simtime
+
+import (
+	"math/big"
+	"testing"
+)
+
+// clampBig saturates an arbitrary-precision expected value into the
+// sentinel range, mirroring the documented Add/Sub semantics.
+func clampBig(v *big.Int, lo, hi int64) int64 {
+	if v.Cmp(big.NewInt(hi)) >= 0 {
+		return hi
+	}
+	if v.Cmp(big.NewInt(lo)) <= 0 {
+		return lo
+	}
+	return v.Int64()
+}
+
+// FuzzTimeArith cross-checks the saturating sentinel arithmetic against
+// arbitrary-precision integers: Add and Sub must behave like exact
+// integer arithmetic clamped to the sentinel range, with the documented
+// absorbing rules for inputs already at a sentinel.
+func FuzzTimeArith(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0))
+	f.Add(int64(Infinity), int64(-1), int64(5))
+	f.Add(int64(NegInfinity), int64(1), int64(InfDuration))
+	f.Add(int64(1)<<61, int64(1)<<61, int64(1)<<61)
+	f.Add(int64(-42), int64(InfDuration), int64(NegInfDuration))
+	f.Fuzz(func(t *testing.T, tRaw, sRaw, dRaw int64) {
+		// Clamp inputs into the legal domain: times and durations outside
+		// the sentinel range do not occur (the sentinels absorb first).
+		clampT := func(v int64) int64 {
+			if v > int64(Infinity) {
+				return int64(Infinity)
+			}
+			if v < int64(NegInfinity) {
+				return int64(NegInfinity)
+			}
+			return v
+		}
+		t0, s0, d0 := Time(clampT(tRaw)), Time(clampT(sRaw)), Duration(clampT(dRaw))
+
+		// Add: absorbing at sentinels, otherwise exact-then-clamped.
+		got := t0.Add(d0)
+		var want int64
+		switch {
+		case t0 >= Infinity:
+			want = int64(Infinity)
+		case t0 <= NegInfinity:
+			want = int64(NegInfinity)
+		case d0 >= InfDuration:
+			want = int64(Infinity)
+		case d0 <= NegInfDuration:
+			want = int64(NegInfinity)
+		default:
+			sum := new(big.Int).Add(big.NewInt(int64(t0)), big.NewInt(int64(d0)))
+			want = clampBig(sum, int64(NegInfinity), int64(Infinity))
+		}
+		if int64(got) != want {
+			t.Errorf("%v.Add(%v) = %v, want %d", t0, d0, got, want)
+		}
+
+		// Sub: infinities of like sign cancel, otherwise exact-then-clamped.
+		gotD := t0.Sub(s0)
+		switch {
+		case t0 >= Infinity && s0 >= Infinity, t0 <= NegInfinity && s0 <= NegInfinity:
+			want = 0
+		case t0 >= Infinity:
+			want = int64(InfDuration)
+		case t0 <= NegInfinity:
+			want = int64(NegInfDuration)
+		case s0 >= Infinity:
+			want = int64(NegInfDuration)
+		case s0 <= NegInfinity:
+			want = int64(InfDuration)
+		default:
+			diff := new(big.Int).Sub(big.NewInt(int64(t0)), big.NewInt(int64(s0)))
+			want = clampBig(diff, int64(NegInfDuration), int64(InfDuration))
+		}
+		if int64(gotD) != want {
+			t.Errorf("%v.Sub(%v) = %v, want %d", t0, s0, gotD, want)
+		}
+
+		// Algebraic spot-checks that hold even at the sentinels.
+		if t0.Add(0) != t0 && t0 > NegInfinity && t0 < Infinity {
+			t.Errorf("%v.Add(0) = %v, want identity", t0, t0.Add(0))
+		}
+		if d := t0.Sub(t0); d != 0 {
+			t.Errorf("%v.Sub(self) = %v, want 0", t0, d)
+		}
+		if fin := t0 > NegInfinity && t0 < Infinity; fin && d0 > NegInfDuration && d0 < InfDuration {
+			back := t0.Add(d0).Sub(t0)
+			if sum := t0.Add(d0); sum > NegInfinity && sum < Infinity && back != d0 {
+				t.Errorf("(%v+%v)-%v = %v, want %v", t0, d0, t0, back, d0)
+			}
+		}
+	})
+}
