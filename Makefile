@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz-smoke fuzz-native
+.PHONY: check vet build test race bench fuzz-smoke fuzz-native soak soak-smoke load-bench
 
 # check is the tier-1 gate: vet, build, full tests, and a short
 # race-detector pass over the concurrency-bearing packages.
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/rtnet/ ./internal/harness/ ./internal/lincheck/ ./internal/sim/ ./internal/adversary/
+	$(GO) test -race -count=1 ./internal/rtnet/ ./internal/serve/ ./internal/harness/ ./internal/lincheck/ ./internal/sim/ ./internal/adversary/
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -27,6 +27,25 @@ bench:
 fuzz-smoke:
 	$(GO) run ./cmd/lintime fuzz -budget 200 -seed 1 -mutant all
 	$(GO) run ./cmd/lintime fuzz -budget 500 -seed 1
+
+# soak-smoke is CI's short serving soak: a 5s race-hardened closed-loop
+# run (linearizability + graceful drain + leak checks) plus the
+# deterministic load-summary golden check.
+soak-smoke:
+	$(GO) test -race -count=1 -run TestSoakClosedLoop ./internal/serve/ -soak 5s -v
+	$(GO) test -count=1 -run "TestGoldenServeDryRun|TestGoldenLoadSim" ./cmd/lintime/
+
+# soak is the full 30-second serving soak under the race detector.
+soak:
+	$(GO) test -race -count=1 -run TestSoakClosedLoop ./internal/serve/ -soak 30s -v -timeout 300s
+
+# load-bench drives the closed-loop load generator against an in-process
+# 5-replica cluster and records the per-class latency quantiles next to
+# the paper's formulas; -require-slo fails if any class's p99 exceeds its
+# formula plus the scheduling-jitter budget.
+load-bench:
+	$(GO) run ./cmd/lintime load -n 5 -clients 8 -duration 10s \
+		-mix "enqueue=2,dequeue=1,peek=1" -seed 1 -require-slo -o BENCH_serve.json
 
 # fuzz-native runs the Go native fuzzers briefly against their checked-in
 # corpora (coverage-guided; not deterministic — a finder, not a gate).

@@ -107,6 +107,41 @@ func TestGoldenFuzzClean(t *testing.T) {
 	checkGolden(t, "fuzz-clean", got)
 }
 
+// TestGoldenServeDryRun pins the resolved serving configuration echo:
+// classes, per-class formula ticks and the jitter budget are pure
+// functions of the flags, so the JSON is byte-stable.
+func TestGoldenServeDryRun(t *testing.T) {
+	got := captureStdout(t, func() error {
+		return cmdServe([]string{"-dry-run", "-n", "5", "-seed", "3", "-offsets", "spread"})
+	})
+	checkGolden(t, "serve-dry-run", got)
+}
+
+// TestGoldenLoadSim pins a load summary produced on the virtual-time
+// engine — the fixed-clock mode: latencies are tick-exact, so the whole
+// document (quantiles included) is a deterministic function of the
+// flags.
+func TestGoldenLoadSim(t *testing.T) {
+	got := captureStdout(t, func() error {
+		return cmdLoad([]string{"-sim", "-ops", "20", "-seed", "3", "-n", "3",
+			"-mix", "enqueue=2,dequeue=1,peek=1"})
+	})
+	checkGolden(t, "load-sim", got)
+}
+
+// TestCmdLoadErrors exercises load flag validation.
+func TestCmdLoadErrors(t *testing.T) {
+	if err := cmdLoad([]string{"-sim"}); err == nil {
+		t.Error("-sim without -ops should error")
+	}
+	if err := cmdLoad([]string{"-mix", "enqueue=x", "-ops", "1"}); err == nil {
+		t.Error("malformed mix should error")
+	}
+	if err := cmdLoad([]string{"-type", "bogus", "-ops", "1"}); err == nil {
+		t.Error("unknown type should error")
+	}
+}
+
 // TestCmdFuzzErrors exercises fuzz flag validation.
 func TestCmdFuzzErrors(t *testing.T) {
 	if err := cmdFuzz([]string{"-mutant", "bogus", "-budget", "1"}); err == nil {

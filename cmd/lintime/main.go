@@ -64,6 +64,10 @@ func main() {
 		err = cmdSync(os.Args[2:])
 	case "fuzz":
 		err = cmdFuzz(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -98,14 +102,29 @@ commands:
               offsets, invocation timings) for linearizability violations,
               shrinking each to a minimal counterexample; -mutant runs a
               seeded bug (or 'all' for the full kill matrix)
+  serve       boot an n-replica real-time cluster behind a length-prefixed
+              JSON protocol over TCP; SIGINT drains gracefully (pending
+              operations complete) and prints latency statistics
+  load        drive a closed-loop load against a served cluster (in-process
+              by default, -addr for a remote server, -sim for the
+              virtual-time engine) and report per-class latency quantiles
+              against the paper's formulas
 
 run 'lintime <command> -h' for command flags`)
 }
 
-// paramFlags registers the shared model-parameter flags.
+// paramFlags registers the shared model-parameter flags with the
+// simulator's default magnitudes.
 func paramFlags(fs *flag.FlagSet) func() (simtime.Params, error) {
+	return paramFlagsDefault(fs, int64(2*simtime.Quantum))
+}
+
+// paramFlagsDefault registers the shared model-parameter flags with a
+// chosen default for d; the real-time commands (serve, load) use a small
+// d so wall-clock latencies stay in the tens of milliseconds.
+func paramFlagsDefault(fs *flag.FlagSet, defaultD int64) func() (simtime.Params, error) {
 	n := fs.Int("n", 5, "number of processes")
-	d := fs.Int64("d", int64(2*simtime.Quantum), "maximum message delay d")
+	d := fs.Int64("d", defaultD, "maximum message delay d")
 	u := fs.Int64("u", -1, "delay uncertainty u (default d/2)")
 	eps := fs.Int64("eps", -1, "clock skew ε (default optimal (1-1/n)u)")
 	x := fs.Int64("x", -1, "tradeoff parameter X (default ε)")

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lintime/internal/adt"
+	"lintime/internal/harness"
+	"lintime/internal/serve"
+	"lintime/internal/simtime"
+)
+
+// serveParamFlags registers the model-parameter flags with real-time
+// defaults: the serving layer runs on a wall clock, so d defaults to 40
+// ticks (40ms at the default 1ms tick) instead of the simulator's
+// 2·Quantum, which would make every operation take multiple seconds.
+func serveParamFlags(fs *flag.FlagSet) func() (simtime.Params, error) {
+	return paramFlagsDefault(fs, 40)
+}
+
+// serveEcho is the stable JSON rendering of a resolved serving
+// configuration, printed by `lintime serve -dry-run` and pinned by a
+// golden test: field order is fixed and map keys are sorted by
+// encoding/json.
+type serveEcho struct {
+	Type        string           `json:"type"`
+	Addr        string           `json:"addr"`
+	N           int              `json:"n"`
+	D           int64            `json:"d"`
+	U           int64            `json:"u"`
+	Epsilon     int64            `json:"eps"`
+	X           int64            `json:"x"`
+	TickNS      int64            `json:"tick_ns"`
+	Offsets     string           `json:"offsets"`
+	OffsetTicks []int64          `json:"offset_ticks"`
+	Seed        int64            `json:"seed"`
+	QueueDepth  int              `json:"queue_depth"`
+	Classes     map[string]string `json:"classes"`
+	// FormulaTicks maps each class to its Algorithm 1 worst-case latency
+	// in ticks; BudgetTicks is the scheduling-jitter allowance the load
+	// generator's SLO check adds on top.
+	FormulaTicks map[string]int64 `json:"formula_ticks"`
+	BudgetTicks  int64            `json:"jitter_budget_ticks"`
+}
+
+func buildServeEcho(s *serve.Server, addr string, tick time.Duration) serveEcho {
+	cfg := s.Config()
+	p := cfg.Params
+	classes := map[string]string{}
+	for op, class := range s.Classes() {
+		classes[op] = class.String()
+	}
+	formulas := map[string]int64{}
+	for _, class := range s.Classes() {
+		formulas[class.String()] = int64(serve.FormulaTicks(p, class))
+	}
+	offsets := s.Trace().Offsets
+	offsetTicks := make([]int64, len(offsets))
+	for i, off := range offsets {
+		offsetTicks[i] = int64(off)
+	}
+	return serveEcho{
+		Type: cfg.TypeName, Addr: addr,
+		N: p.N, D: int64(p.D), U: int64(p.U), Epsilon: int64(p.Epsilon), X: int64(p.X),
+		TickNS: tick.Nanoseconds(), Offsets: cfg.Offsets, OffsetTicks: offsetTicks,
+		Seed: cfg.Seed, QueueDepth: cfg.QueueDepth, Classes: classes,
+		FormulaTicks: formulas, BudgetTicks: int64(serve.JitterBudget(tick)),
+	}
+}
+
+func writeJSON(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	getParams := serveParamFlags(fs)
+	typeName := fs.String("type", "queue", "data type to serve ("+strings.Join(adt.Names(), ", ")+")")
+	addr := fs.String("addr", "127.0.0.1:8377", "TCP listen address")
+	tick := fs.Duration("tick", time.Millisecond, "wall-clock duration of one virtual tick")
+	offsets := fs.String("offsets", harness.OffZero, "clock offsets (zero, spread, alternating, random)")
+	seed := fs.Int64("seed", 1, "master seed (delay draws, offset assignment)")
+	queueDepth := fs.Int("queue-depth", 64, "per-replica request queue bound (backpressure)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight operations")
+	dryRun := fs.Bool("dry-run", false, "print the resolved serving configuration as JSON and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(serve.Config{
+		Params: p, TypeName: *typeName, Tick: *tick,
+		Offsets: *offsets, Seed: *seed, QueueDepth: *queueDepth,
+	})
+	if err != nil {
+		return err
+	}
+	if *dryRun {
+		return writeJSON(buildServeEcho(s, *addr, *tick))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	s.Start()
+	fmt.Fprintf(os.Stderr, "lintime serve: %s cluster (n=%d d=%v u=%v ε=%v X=%v) on %s, tick %v\n",
+		*typeName, p.N, p.D, p.U, p.Epsilon, p.X, ln.Addr(), *tick)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(ln) }()
+	var serveErr error
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "lintime serve: %v — draining (pending operations complete, budget %v)\n",
+			sig, *drainTimeout)
+		if err := s.Drain(*drainTimeout); err != nil {
+			serveErr = err
+		}
+		<-errCh // Serve returns nil on a drain-initiated close
+	case serveErr = <-errCh:
+		// Listener failure: still shut the cluster down cleanly.
+		if err := s.Drain(*drainTimeout); err != nil && serveErr == nil {
+			serveErr = err
+		}
+	}
+	if err := writeJSON(s.Stats()); err != nil && serveErr == nil {
+		serveErr = err
+	}
+	return serveErr
+}
+
+// parseMix parses "enqueue=3,dequeue=1,peek" (weight defaults to 1) into
+// a workload mix; empty input means uniform over all declared operations.
+func parseMix(s string) ([]harness.OpPick, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var mix []harness.OpPick
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, weight := part, 1
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			var err error
+			op = part[:eq]
+			weight, err = strconv.Atoi(part[eq+1:])
+			if err != nil {
+				return nil, fmt.Errorf("bad mix entry %q (want op=weight): %v", part, err)
+			}
+		}
+		mix = append(mix, harness.OpPick{Op: op, Weight: weight})
+	}
+	return mix, nil
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	getParams := serveParamFlags(fs)
+	typeName := fs.String("type", "queue", "data type ("+strings.Join(adt.Names(), ", ")+")")
+	clients := fs.Int("clients", 8, "closed-loop client count")
+	duration := fs.Duration("duration", 5*time.Second, "run length (ignored when -ops is set)")
+	ops := fs.Int("ops", 0, "operations per client (0 = run for -duration)")
+	mixFlag := fs.String("mix", "", "op mix, e.g. enqueue=2,dequeue=1,peek=1 (default uniform)")
+	seed := fs.Int64("seed", 1, "master seed; per-client streams are derived")
+	addr := fs.String("addr", "", "drive a remote `lintime serve` at this address (model flags must match the server)")
+	tick := fs.Duration("tick", time.Millisecond, "tick duration of the driven cluster")
+	offsets := fs.String("offsets", harness.OffZero, "clock offsets for the in-process cluster")
+	simMode := fs.Bool("sim", false, "run the workload on the virtual-time engine instead (deterministic, tick-exact; clients = n, requires -ops)")
+	outFile := fs.String("o", "", "write the JSON summary to this file instead of stdout")
+	requireSLO := fs.Bool("require-slo", false, "exit nonzero unless every class's p99 is within formula + jitter budget")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for the in-process cluster")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	dt, err := adt.Lookup(*typeName)
+	if err != nil {
+		return err
+	}
+
+	var sum *serve.Summary
+	switch {
+	case *simMode:
+		if *ops <= 0 {
+			return fmt.Errorf("load: -sim needs -ops (virtual time has no wall-clock duration)")
+		}
+		res, err := harness.Run(
+			harness.Config{Params: p, TypeName: *typeName, Algorithm: harness.AlgCore,
+				Network: harness.NetRandom, Offsets: *offsets, Seed: *seed},
+			harness.Workload{OpsPerProc: *ops, MaxGap: p.D / 2, Seed: *seed, Mix: mix})
+		if err != nil {
+			return err
+		}
+		echo := serve.SummaryConfig{
+			Type: *typeName, Mode: "sim", Clients: p.N, OpsPerClient: *ops,
+			Mix: serve.FormatMix(mix), Seed: *seed,
+			N: p.N, D: int64(p.D), U: int64(p.U), Epsilon: int64(p.Epsilon), X: int64(p.X),
+		}
+		sum = serve.Summarize(p, 0, harness.ClassesFor(dt), res.Trace.Ops, echo)
+	case *addr != "":
+		c, err := serve.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		sum, err = serve.RunLoad(c, dt, p, *tick, serve.LoadConfig{
+			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		sum.Config.Mode = "tcp"
+	default:
+		s, err := serve.New(serve.Config{
+			Params: p, TypeName: *typeName, Tick: *tick, Offsets: *offsets, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		s.Start()
+		sum, err = serve.RunLoad(s, dt, p, *tick, serve.LoadConfig{
+			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
+		})
+		if drainErr := s.Drain(*drainTimeout); drainErr != nil && err == nil {
+			err = drainErr
+		}
+		if err != nil {
+			return err
+		}
+		sum.Config.Mode = "inproc"
+	}
+
+	b, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lintime load: summary written to %s (SLO met: %v)\n", *outFile, sum.SLOMet())
+	} else {
+		fmt.Println(string(b))
+	}
+	if *requireSLO && !sum.SLOMet() {
+		return fmt.Errorf("load: latency SLO violated (a class's p99 exceeds its formula + jitter budget)")
+	}
+	return nil
+}

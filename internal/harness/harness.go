@@ -236,8 +236,14 @@ func buildNetwork(cfg Config) (sim.Network, error) {
 
 // buildOffsets constructs the clock-offset assignment.
 func buildOffsets(cfg Config) ([]simtime.Duration, error) {
-	p := cfg.Params
-	switch cfg.Offsets {
+	return Offsets(cfg.Offsets, cfg.Params, cfg.Seed+2)
+}
+
+// Offsets constructs the named clock-offset assignment for p; seed feeds
+// the random assignment only. The real-time serving layer shares this
+// resolver with the simulator configs.
+func Offsets(name string, p simtime.Params, seed int64) ([]simtime.Duration, error) {
+	switch name {
 	case OffZero, "":
 		return sim.ZeroOffsets(p.N), nil
 	case OffSpread:
@@ -245,9 +251,9 @@ func buildOffsets(cfg Config) ([]simtime.Duration, error) {
 	case OffAlternating:
 		return sim.AlternatingOffsets(p.N, p.Epsilon), nil
 	case OffRandom:
-		return sim.RandomOffsets(p.N, p.Epsilon, cfg.Seed+2), nil
+		return sim.RandomOffsets(p.N, p.Epsilon, seed), nil
 	default:
-		return nil, fmt.Errorf("harness: unknown offsets %q", cfg.Offsets)
+		return nil, fmt.Errorf("harness: unknown offsets %q", name)
 	}
 }
 
@@ -321,6 +327,14 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		res.Fingerprints = append(res.Fingerprints, r.StateFingerprint())
 	}
 	return res, nil
+}
+
+// ExpandMix resolves a workload mix into a weighted pick list: each
+// operation appears Weight times, so a uniform draw over the list realizes
+// the mix. An empty mix expands to one entry per declared operation. The
+// load generator in internal/serve shares this resolver with Run.
+func ExpandMix(dt spec.DataType, mix []OpPick) ([]string, error) {
+	return expandMix(dt, mix)
 }
 
 // expandMix resolves the workload mix into a weighted pick list.

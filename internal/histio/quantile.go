@@ -1,0 +1,124 @@
+package histio
+
+import (
+	"fmt"
+	"sort"
+
+	"lintime/internal/simtime"
+)
+
+// Histogram accumulates latency samples (virtual ticks) and extracts
+// order statistics. It keeps the raw samples — workloads here are at most
+// tens of thousands of operations, so exact quantiles are affordable and
+// there is no binning error to reason about when comparing against the
+// tick-exact formulas.
+//
+// A Histogram is not safe for concurrent use; callers that record from
+// multiple goroutines (the serving layer's recorder) must wrap it in
+// their own lock.
+type Histogram struct {
+	samples []simtime.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d simtime.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Quantile returns the nearest-rank q-quantile (q in [0, 1]): the
+// smallest sample s such that at least ⌈q·count⌉ samples are ≤ s.
+// Quantile(0) is the minimum, Quantile(1) the maximum. An empty
+// histogram returns 0.
+func (h *Histogram) Quantile(q float64) simtime.Duration {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[n-1]
+	}
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return h.samples[rank-1]
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() simtime.Duration { return h.Quantile(0) }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() simtime.Duration { return h.Quantile(1) }
+
+// Mean returns the average sample, rounded toward zero (0 when empty).
+func (h *Histogram) Mean() simtime.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, s := range h.samples {
+		sum += int64(s)
+	}
+	return simtime.Duration(sum / int64(len(h.samples)))
+}
+
+// Merge folds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, other.samples...)
+	h.sorted = false
+}
+
+// Quantiles is the JSON-ready summary of a histogram, in virtual ticks.
+type Quantiles struct {
+	Count int   `json:"count"`
+	Min   int64 `json:"min"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+	Max   int64 `json:"max"`
+	Mean  int64 `json:"mean"`
+}
+
+// Summary extracts the standard quantile set.
+func (h *Histogram) Summary() Quantiles {
+	return Quantiles{
+		Count: h.Count(),
+		Min:   int64(h.Min()),
+		P50:   int64(h.Quantile(0.50)),
+		P95:   int64(h.Quantile(0.95)),
+		P99:   int64(h.Quantile(0.99)),
+		Max:   int64(h.Max()),
+		Mean:  int64(h.Mean()),
+	}
+}
+
+// String renders the summary compactly.
+func (q Quantiles) String() string {
+	return fmt.Sprintf("count=%d min=%d p50=%d p95=%d p99=%d max=%d",
+		q.Count, q.Min, q.P50, q.P95, q.P99, q.Max)
+}

@@ -1,0 +1,104 @@
+package histio
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lintime/internal/simtime"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram not all-zero: %+v", h.Summary())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Add(42)
+	s := h.Summary()
+	if s.Count != 1 || s.Min != 42 || s.P50 != 42 || s.P95 != 42 || s.P99 != 42 || s.Max != 42 || s.Mean != 42 {
+		t.Errorf("single-sample summary wrong: %+v", s)
+	}
+}
+
+// TestHistogramNearestRank checks the nearest-rank definition against a
+// hand-computed example: 1..100 has p50=50, p95=95, p99=99.
+func TestHistogramNearestRank(t *testing.T) {
+	var h Histogram
+	for i := 100; i >= 1; i-- { // insert unsorted
+		h.Add(simtime.Duration(i))
+	}
+	cases := []struct {
+		q    float64
+		want simtime.Duration
+	}{
+		{0, 1}, {0.01, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+		{0.501, 51}, // ⌈0.501·100⌉ = 51
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if m := h.Mean(); m != 50 { // (1+..+100)/100 = 50.5, truncated
+		t.Errorf("Mean = %v, want 50", m)
+	}
+}
+
+// TestHistogramQuantileAgainstSort cross-checks random data against a
+// direct nearest-rank computation on the sorted slice.
+func TestHistogramQuantileAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	var raw []int64
+	for i := 0; i < 1000; i++ {
+		v := rng.Int63n(10000)
+		raw = append(raw, v)
+		h.Add(simtime.Duration(v))
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(q * 1000)
+		if float64(rank) < q*1000 {
+			rank++
+		}
+		want := simtime.Duration(raw[rank-1])
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramAddAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	h.Add(20)
+	if h.Max() != 20 {
+		t.Fatalf("max = %v", h.Max())
+	}
+	h.Add(5) // must invalidate the sorted cache
+	if h.Min() != 5 || h.Max() != 20 {
+		t.Errorf("after late add: min=%v max=%v, want 5/20", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(1)
+	a.Add(3)
+	b.Add(2)
+	b.Add(4)
+	a.Merge(&b)
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	s := a.Summary()
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("merged summary wrong: %+v", s)
+	}
+}

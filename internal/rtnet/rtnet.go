@@ -20,16 +20,21 @@ import (
 	"sync"
 	"time"
 
+	"lintime/internal/classify"
+	"lintime/internal/harness"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
 )
 
 // Response is the completed result of an asynchronous invocation.
 type Response struct {
+	Proc    sim.ProcID // process the operation was invoked at
+	Seq     int64      // cluster-unique invocation id
 	Op      string
 	Arg     any
 	Ret     any
-	Invoke  simtime.Time // virtual ticks since cluster start
+	Class   classify.Class // operation class (Mixed unless SetClasses was called)
+	Invoke  simtime.Time   // virtual ticks since cluster start
 	Respond simtime.Time
 }
 
@@ -54,14 +59,24 @@ type Cluster struct {
 	tick    time.Duration
 	offsets []simtime.Duration
 	nodes   []sim.Node
+	classes map[string]classify.Class // read-only after Start
 
-	inboxes []chan event
-	start   time.Time
-	wg      sync.WaitGroup
-	stopped chan struct{}
+	inboxes  []chan event
+	start    time.Time
+	wg       sync.WaitGroup
+	stopped  chan struct{}
+	stopOnce sync.Once
+
+	// sendRngs holds one delay-draw stream per process, seeded from the
+	// cluster seed and the process id via harness.DeriveSeed. A process
+	// only sends from inside its own event-loop goroutine (handlers run
+	// there, and Init runs before the loops start), so each stream is
+	// confined to one goroutine: no lock, and the sequence of draws a
+	// process makes is reproducible regardless of how the other
+	// processes are scheduled.
+	sendRngs []*rand.Rand
 
 	mu      sync.Mutex
-	rng     *rand.Rand
 	seq     int64
 	msgIdx  int64
 	delays  sim.Network
@@ -71,6 +86,7 @@ type Cluster struct {
 }
 
 type pendingCall struct {
+	proc   sim.ProcID
 	op     string
 	arg    any
 	invoke simtime.Time
@@ -93,21 +109,40 @@ func NewCluster(p simtime.Params, tick time.Duration, offsets []simtime.Duration
 		return nil, fmt.Errorf("rtnet: tick must be positive")
 	}
 	c := &Cluster{
-		params:  p,
-		tick:    tick,
-		offsets: append([]simtime.Duration(nil), offsets...),
-		nodes:   nodes,
-		inboxes: make([]chan event, p.N),
-		stopped: make(chan struct{}),
-		rng:     rand.New(rand.NewSource(seed)),
-		pending: map[int64]*pendingCall{},
-		timers:  map[sim.TimerID]*time.Timer{},
+		params:   p,
+		tick:     tick,
+		offsets:  append([]simtime.Duration(nil), offsets...),
+		nodes:    nodes,
+		inboxes:  make([]chan event, p.N),
+		stopped:  make(chan struct{}),
+		sendRngs: make([]*rand.Rand, p.N),
+		pending:  map[int64]*pendingCall{},
+		timers:   map[sim.TimerID]*time.Timer{},
 	}
 	for i := range c.inboxes {
 		c.inboxes[i] = make(chan event, 1024)
+		c.sendRngs[i] = rand.New(rand.NewSource(
+			harness.DeriveSeed(seed, fmt.Sprintf("rtnet/send/p%d", i))))
 	}
 	return c, nil
 }
+
+// SetClasses installs the operation classification used to tag responses
+// (per-class latency accounting in the serving layer). Unclassified
+// operations report Mixed, matching core.Replica's conservative default.
+// Must be called before Start.
+func (c *Cluster) SetClasses(classes map[string]classify.Class) { c.classes = classes }
+
+// Params returns the cluster's model parameters.
+func (c *Cluster) Params() simtime.Params { return c.params }
+
+// Offsets returns a copy of the per-process clock offsets.
+func (c *Cluster) Offsets() []simtime.Duration {
+	return append([]simtime.Duration(nil), c.offsets...)
+}
+
+// Tick returns the wall-clock duration of one virtual tick.
+func (c *Cluster) Tick() time.Duration { return c.tick }
 
 // UseNetwork overrides the default random per-message delay draw with a
 // deterministic sim.Network (e.g. an adversary schedule's
@@ -161,8 +196,9 @@ func (c *Cluster) loop(proc sim.ProcID) {
 }
 
 // Stop terminates the cluster. Pending invocations never complete.
+// Stopping an already-stopped cluster is a no-op.
 func (c *Cluster) Stop() {
-	close(c.stopped)
+	c.stopOnce.Do(func() { close(c.stopped) })
 	c.mu.Lock()
 	for id, t := range c.timers {
 		t.Stop()
@@ -170,6 +206,41 @@ func (c *Cluster) Stop() {
 	}
 	c.mu.Unlock()
 	c.wg.Wait()
+}
+
+// Pending returns the number of invocations that have not yet responded.
+func (c *Cluster) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Drain waits until every pending invocation has responded, then stops
+// the cluster: node goroutines exit and remaining timers are canceled, in
+// that order. Callers must stop submitting new invocations first — an
+// invocation submitted during a drain is still served and merely extends
+// the wait. If the pending set has not emptied by the timeout, the
+// cluster is stopped anyway (abandoning the stragglers) and an error is
+// returned.
+func (c *Cluster) Drain(timeout time.Duration) error {
+	poll := c.tick
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	if poll > 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for c.Pending() > 0 {
+		if time.Now().After(deadline) {
+			n := c.Pending()
+			c.Stop()
+			return fmt.Errorf("rtnet: drain timed out with %d operations pending", n)
+		}
+		time.Sleep(poll)
+	}
+	c.Stop()
+	return nil
 }
 
 // timerCount returns the number of registered timers that have neither
@@ -193,7 +264,7 @@ func (c *Cluster) Invoke(proc sim.ProcID, op string, arg any) <-chan Response {
 	c.mu.Lock()
 	seqID := c.seq
 	c.seq++
-	c.pending[seqID] = &pendingCall{op: op, arg: arg, invoke: c.now(), done: done}
+	c.pending[seqID] = &pendingCall{proc: proc, op: op, arg: arg, invoke: c.now(), done: done}
 	c.mu.Unlock()
 	c.post(proc, event{kind: 0, inv: sim.Invocation{SeqID: seqID, Op: op, Arg: arg}})
 	return done
@@ -281,14 +352,17 @@ func (x *rtCtx) Send(to sim.ProcID, payload any) {
 	// Draw a delay from the *lower half* of [d-u, d]: real scheduling
 	// jitter only adds latency, so sampling low keeps actual deliveries
 	// within the admissible window.
-	x.c.mu.Lock()
 	lo := x.c.params.MinDelay()
 	hi := lo + x.c.params.U/2
 	var delay simtime.Duration
 	if x.c.delays != nil {
+		// Rule networks are indexed by global send order, so the index
+		// counter stays shared (and locked) across processes.
+		x.c.mu.Lock()
 		idx := x.c.msgIdx
 		x.c.msgIdx++
 		delay = x.c.delays.Delay(x.proc, to, x.c.now(), idx)
+		x.c.mu.Unlock()
 		if delay < lo {
 			delay = lo
 		}
@@ -296,9 +370,12 @@ func (x *rtCtx) Send(to sim.ProcID, payload any) {
 			delay = hi
 		}
 	} else {
-		delay = lo + simtime.Duration(x.c.rng.Int63n(int64(hi-lo)+1))
+		// Per-process stream, confined to this process's event-loop
+		// goroutine (see the sendRngs field comment): no lock, and the
+		// draws a process sees do not depend on the other processes'
+		// scheduling.
+		delay = lo + simtime.Duration(x.c.sendRngs[x.proc].Int63n(int64(hi-lo)+1))
 	}
-	x.c.mu.Unlock()
 	from := x.proc
 	time.AfterFunc(time.Duration(delay)*x.c.tick, func() {
 		x.c.post(to, event{kind: 1, from: from, payload: payload})
@@ -322,5 +399,10 @@ func (x *rtCtx) Respond(seqID int64, ret any) {
 	if !ok {
 		panic(fmt.Sprintf("rtnet: response for unknown op %d", seqID))
 	}
-	call.done <- Response{Op: call.op, Arg: call.arg, Ret: ret, Invoke: call.invoke, Respond: now}
+	class := classify.Mixed
+	if c, found := x.c.classes[call.op]; found {
+		class = c
+	}
+	call.done <- Response{Proc: call.proc, Seq: seqID, Op: call.op, Arg: call.arg,
+		Ret: ret, Class: class, Invoke: call.invoke, Respond: now}
 }

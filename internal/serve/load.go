@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lintime/internal/classify"
+	"lintime/internal/harness"
+	"lintime/internal/histio"
+	"lintime/internal/rtnet"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// Caller is anything that can execute one operation against a served
+// object: the in-process *Server, the TCP *Client, or a test fake.
+type Caller interface {
+	Call(op string, arg any) (rtnet.Response, error)
+}
+
+// LoadConfig describes one closed-loop load generation run: Clients
+// independent workers, each issuing one operation at a time (invoke, wait
+// for the response, invoke again) drawn from Mix by a per-client rng
+// seeded via harness.DeriveSeed — so a run's operation sequence per
+// client depends only on (Seed, client index), never on scheduling.
+type LoadConfig struct {
+	Clients      int
+	Duration     time.Duration // run length; ignored when OpsPerClient > 0
+	OpsPerClient int           // fixed op count per client (0 = run until Duration)
+	Mix          []harness.OpPick
+	Seed         int64
+}
+
+// FormulaTicks returns Algorithm 1's worst-case latency for an operation
+// class under the corrected timers: |AOP| = d−X+ε, |MOP| = X+ε,
+// |OOP| = d+ε (in virtual ticks).
+func FormulaTicks(p simtime.Params, class classify.Class) simtime.Duration {
+	switch class {
+	case classify.PureAccessor:
+		return p.D - p.X + p.Epsilon
+	case classify.PureMutator:
+		return p.X + p.Epsilon
+	default:
+		return p.D + p.Epsilon
+	}
+}
+
+// JitterBudget converts the scheduling-jitter allowance (a wall-clock
+// constant: timer wheel granularity plus goroutine wakeup latency on a
+// loaded machine) into virtual ticks at the given tick duration. A zero
+// or negative tick means virtual time (no jitter): the budget is 0 and
+// observed latencies must hit the formulas exactly.
+func JitterBudget(tick time.Duration) simtime.Duration {
+	if tick <= 0 {
+		return 0
+	}
+	const allowance = 50 * time.Millisecond
+	b := simtime.Duration(int64(allowance) / int64(tick))
+	if b < 8 {
+		b = 8
+	}
+	return b
+}
+
+// SummaryConfig echoes the resolved run configuration into the summary.
+type SummaryConfig struct {
+	Type         string `json:"type"`
+	Mode         string `json:"mode"` // "inproc", "tcp" or "sim"
+	Clients      int    `json:"clients"`
+	OpsPerClient int    `json:"ops_per_client,omitempty"`
+	DurationMS   int64  `json:"duration_ms,omitempty"`
+	Mix          string `json:"mix,omitempty"`
+	Seed         int64  `json:"seed"`
+	N            int    `json:"n"`
+	D            int64  `json:"d"`
+	U            int64  `json:"u"`
+	Epsilon      int64  `json:"eps"`
+	X            int64  `json:"x"`
+	TickNS       int64  `json:"tick_ns,omitempty"`
+}
+
+// ClassReport compares one class's measured latencies to its formula.
+type ClassReport struct {
+	Latency      histio.Quantiles `json:"latency_ticks"`
+	FormulaTicks int64            `json:"formula_ticks"`
+	BudgetTicks  int64            `json:"jitter_budget_ticks"`
+	// WithinBudget reports p99 ≤ formula + budget — the latency SLO the
+	// serving layer is continuously tested against. (Latencies may fall
+	// below the formula: the formulas are worst cases, and a mixed
+	// operation responds early when a concurrent mutator's drain executes
+	// it before its own stabilization timer fires.)
+	WithinBudget bool `json:"within_budget"`
+}
+
+// Summary is the JSON document a load run emits (BENCH_serve.json).
+type Summary struct {
+	Config   SummaryConfig               `json:"config"`
+	TotalOps int                         `json:"total_ops"`
+	OpCounts map[string]int              `json:"op_counts"`
+	PerClass map[string]ClassReport      `json:"per_class"`
+	PerOp    map[string]histio.Quantiles `json:"per_op"`
+}
+
+// SLOMet reports whether every class met its latency budget.
+func (s *Summary) SLOMet() bool {
+	for _, c := range s.PerClass {
+		if !c.WithinBudget {
+			return false
+		}
+	}
+	return true
+}
+
+// RunLoad drives the closed-loop workload against target and summarizes
+// the observed latencies. tick is the target cluster's tick duration
+// (sets the jitter budget; pass 0 for virtual-time runs). The per-client
+// response logs are merged in client order, so with OpsPerClient set the
+// summary is a deterministic function of the configuration.
+func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Duration, cfg LoadConfig) (*Summary, error) {
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("serve: need at least one client, got %d", cfg.Clients)
+	}
+	if cfg.OpsPerClient <= 0 && cfg.Duration <= 0 {
+		return nil, fmt.Errorf("serve: load needs a duration or an op count")
+	}
+	picks, err := harness.ExpandMix(dt, cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	classes := harness.ClassesFor(dt)
+
+	logs := make([][]sim.OpRecord, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(
+				harness.DeriveSeed(cfg.Seed, fmt.Sprintf("load/client/%d", i))))
+			for n := 0; ; n++ {
+				if cfg.OpsPerClient > 0 {
+					if n >= cfg.OpsPerClient {
+						return
+					}
+				} else if !time.Now().Before(deadline) {
+					return
+				}
+				op := picks[rng.Intn(len(picks))]
+				info, _ := spec.FindOp(dt, op)
+				arg := info.Args[rng.Intn(len(info.Args))]
+				r, err := target.Call(op, arg)
+				if err != nil {
+					errs[i] = fmt.Errorf("serve: client %d op %d (%s): %w", i, n, op, err)
+					return
+				}
+				logs[i] = append(logs[i], sim.OpRecord{
+					Proc: r.Proc, SeqID: r.Seq, Op: r.Op, Arg: r.Arg, Ret: r.Ret,
+					InvokeTime: r.Invoke, RespondTime: r.Respond,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var ops []sim.OpRecord
+	for _, log := range logs {
+		ops = append(ops, log...)
+	}
+	echo := SummaryConfig{
+		Type: dt.Name(), Clients: cfg.Clients, OpsPerClient: cfg.OpsPerClient,
+		DurationMS: cfg.Duration.Milliseconds(), Mix: FormatMix(cfg.Mix), Seed: cfg.Seed,
+		N: p.N, D: int64(p.D), U: int64(p.U), Epsilon: int64(p.Epsilon), X: int64(p.X),
+		TickNS: tick.Nanoseconds(),
+	}
+	return Summarize(p, tick, classes, ops, echo), nil
+}
+
+// Summarize aggregates completed operations into the load summary:
+// per-operation and per-class quantiles, against the class formulas and
+// the jitter budget for the given tick. The virtual-time path
+// (lintime load -sim) feeds trace operations through the same code, so
+// real and simulated runs produce identical documents up to latency
+// values.
+func Summarize(p simtime.Params, tick time.Duration, classes map[string]classify.Class,
+	ops []sim.OpRecord, echo SummaryConfig) *Summary {
+	perClass := map[classify.Class]*histio.Histogram{}
+	perOp := map[string]*histio.Histogram{}
+	counts := map[string]int{}
+	for _, op := range ops {
+		if op.Pending() {
+			continue
+		}
+		class, ok := classes[op.Op]
+		if !ok {
+			class = classify.Mixed
+		}
+		h := perClass[class]
+		if h == nil {
+			h = &histio.Histogram{}
+			perClass[class] = h
+		}
+		h.Add(op.Latency())
+		ho := perOp[op.Op]
+		if ho == nil {
+			ho = &histio.Histogram{}
+			perOp[op.Op] = ho
+		}
+		ho.Add(op.Latency())
+		counts[op.Op]++
+	}
+	budget := JitterBudget(tick)
+	sum := &Summary{
+		Config:   echo,
+		OpCounts: counts,
+		PerClass: map[string]ClassReport{},
+		PerOp:    map[string]histio.Quantiles{},
+	}
+	for class, h := range perClass {
+		q := h.Summary()
+		formula := FormulaTicks(p, class)
+		sum.PerClass[class.String()] = ClassReport{
+			Latency:      q,
+			FormulaTicks: int64(formula),
+			BudgetTicks:  int64(budget),
+			WithinBudget: q.P99 <= int64(formula+budget),
+		}
+		sum.TotalOps += q.Count
+	}
+	for op, h := range perOp {
+		sum.PerOp[op] = h.Summary()
+	}
+	return sum
+}
+
+// FormatMix renders a mix as the CLI accepts it ("enqueue=3,peek=1");
+// empty means uniform over all declared operations.
+func FormatMix(mix []harness.OpPick) string {
+	s := ""
+	for i, m := range mix {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s=%d", m.Op, m.Weight)
+	}
+	return s
+}

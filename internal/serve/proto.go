@@ -1,0 +1,282 @@
+// Length-prefixed JSON protocol over TCP.
+//
+// Every frame is a 4-byte big-endian length followed by one JSON object.
+// Requests carry a client-chosen id echoed in the response, so a client
+// may pipeline any number of requests over one connection; the server
+// answers each as its operation completes, not necessarily in order.
+//
+//	request:  {"id": 7, "op": "enqueue", "arg": 3}
+//	response: {"id": 7, "class": "MOP", "invoke": 812, "respond": 844}
+//	error:    {"id": 8, "error": "serve: type queue has no operation \"pop\""}
+//
+// Arguments and return values use the history interchange encoding of
+// internal/histio (integers, strings, booleans, null, {p,c} edges and
+// {k,v} pairs).
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"lintime/internal/classify"
+	"lintime/internal/histio"
+	"lintime/internal/rtnet"
+	"lintime/internal/simtime"
+)
+
+// maxFrame bounds a frame body; larger announcements are protocol errors.
+const maxFrame = 1 << 20
+
+type wireRequest struct {
+	ID  int64           `json:"id"`
+	Op  string          `json:"op"`
+	Arg json.RawMessage `json:"arg,omitempty"`
+}
+
+type wireResponse struct {
+	ID      int64           `json:"id"`
+	Ret     json.RawMessage `json:"ret,omitempty"`
+	Class   string          `json:"class,omitempty"`
+	Invoke  int64           `json:"invoke"`
+	Respond int64           `json:"respond"`
+	Err     string          `json:"error,omitempty"`
+}
+
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("serve: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("serve: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Serve accepts connections on ln until the listener is closed (by a
+// drain, or externally). It returns nil on a drain-initiated close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.listeners = append(s.listeners, ln)
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.lnMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		conn.Close()
+		s.lnMu.Lock()
+		delete(s.conns, conn)
+		s.lnMu.Unlock()
+	}()
+	var wmu sync.Mutex // serializes response frames from concurrent requests
+	for {
+		var req wireRequest
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		s.reqWG.Add(1)
+		go func(req wireRequest) {
+			defer s.reqWG.Done()
+			resp := s.handleRequest(req)
+			wmu.Lock()
+			defer wmu.Unlock()
+			// A write failure means the client went away; the operation
+			// itself already completed and is recorded server-side.
+			_ = writeFrame(conn, resp)
+		}(req)
+	}
+}
+
+func (s *Server) handleRequest(req wireRequest) wireResponse {
+	arg, err := histio.DecodeValue(req.Arg)
+	if err != nil {
+		return wireResponse{ID: req.ID, Err: err.Error()}
+	}
+	r, err := s.Call(req.Op, arg)
+	if err != nil {
+		return wireResponse{ID: req.ID, Err: err.Error()}
+	}
+	ret, err := histio.EncodeValue(r.Ret)
+	if err != nil {
+		return wireResponse{ID: req.ID, Err: err.Error()}
+	}
+	return wireResponse{ID: req.ID, Ret: ret, Class: r.Class.String(),
+		Invoke: int64(r.Invoke), Respond: int64(r.Respond)}
+}
+
+func (s *Server) closeListeners() {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+	s.listeners = nil
+}
+
+func (s *Server) closeConns() {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+}
+
+// Client is a TCP client for the serving protocol. Safe for concurrent
+// use: calls are pipelined over the single connection and matched to
+// responses by id.
+type Client struct {
+	conn   net.Conn
+	wmu    sync.Mutex
+	nextID atomic.Int64
+
+	mu      sync.Mutex
+	pending map[int64]chan wireResponse
+	readErr error
+	closed  chan struct{}
+}
+
+// Dial connects to a serving-layer address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		pending: map[int64]chan wireResponse{},
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		var resp wireResponse
+		if err := readFrame(c.conn, &resp); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			close(c.closed)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// Call executes one operation remotely and blocks until its response.
+// The returned Response carries the server-side invoke/respond instants
+// in virtual ticks, so latencies are comparable to the in-process path.
+func (c *Client) Call(op string, arg any) (rtnet.Response, error) {
+	raw, err := histio.EncodeValue(arg)
+	if err != nil {
+		return rtnet.Response{}, err
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan wireResponse, 1)
+	c.mu.Lock()
+	c.pending[id] = ch
+	c.mu.Unlock()
+	c.wmu.Lock()
+	err = writeFrame(c.conn, wireRequest{ID: id, Op: op, Arg: raw})
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return rtnet.Response{}, err
+	}
+	var resp wireResponse
+	select {
+	case resp = <-ch:
+	case <-c.closed:
+		// The reader may have dispatched our response just before dying.
+		select {
+		case resp = <-ch:
+		default:
+			c.mu.Lock()
+			readErr := c.readErr
+			delete(c.pending, id)
+			c.mu.Unlock()
+			return rtnet.Response{}, fmt.Errorf("serve: connection lost: %w", readErr)
+		}
+	}
+	if resp.Err != "" {
+		return rtnet.Response{}, fmt.Errorf("serve: remote: %s", resp.Err)
+	}
+	ret, err := histio.DecodeValue(resp.Ret)
+	if err != nil {
+		return rtnet.Response{}, err
+	}
+	return rtnet.Response{
+		Op: op, Arg: arg, Ret: ret,
+		Class:   classFromString(resp.Class),
+		Invoke:  simtime.Time(resp.Invoke),
+		Respond: simtime.Time(resp.Respond),
+	}, nil
+}
+
+// Close tears the connection down; in-flight Calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func classFromString(s string) classify.Class {
+	switch s {
+	case classify.PureAccessor.String():
+		return classify.PureAccessor
+	case classify.PureMutator.String():
+		return classify.PureMutator
+	default:
+		return classify.Mixed
+	}
+}

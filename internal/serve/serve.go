@@ -1,0 +1,334 @@
+// Package serve is the client-facing serving layer over the real-time
+// substrate: it boots an n-replica rtnet cluster running Algorithm 1,
+// routes invocations to replicas while preserving the model's
+// one-pending-operation-per-process rule, streams every completed
+// operation into per-class (AOP/MOP/OOP) and per-operation latency
+// histograms, and exposes both an in-process call path (tests, the load
+// generator) and a length-prefixed JSON protocol over TCP (see proto.go).
+//
+// Routing: requests are spread round-robin over the replicas, and a
+// per-replica worker serializes them so each process has at most one
+// operation pending — exactly the client behavior the paper's model
+// assumes. Backpressure is the per-replica queue: when every replica has
+// QueueDepth requests waiting, Call blocks, which is the closed-loop
+// behavior the load generator expects.
+//
+// Shutdown is a graceful drain: listeners close first (no new
+// connections), then new calls are refused, then every in-flight
+// operation completes, then the cluster drains and its node goroutines
+// exit, and finally open connections are torn down. Nothing is dropped.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lintime/internal/adt"
+	"lintime/internal/classify"
+	"lintime/internal/core"
+	"lintime/internal/harness"
+	"lintime/internal/histio"
+	"lintime/internal/rtnet"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// ErrDraining is returned by Call once a drain has begun.
+var ErrDraining = errors.New("serve: server is draining")
+
+// Config describes one served cluster.
+type Config struct {
+	Params   simtime.Params
+	TypeName string        // data type to serve (default queue)
+	Tick     time.Duration // wall-clock duration of one virtual tick (default 1ms)
+	Offsets  string        // harness offset assignment name (default zero)
+	Seed     int64         // master seed; sub-streams are derived per use
+	// QueueDepth bounds each replica's request queue (default 64); a full
+	// queue blocks Call, giving closed-loop backpressure.
+	QueueDepth int
+}
+
+type result struct {
+	resp rtnet.Response
+	err  error
+}
+
+type call struct {
+	op  string
+	arg any
+	out chan result
+}
+
+// Server is a running serving layer over one rtnet cluster.
+type Server struct {
+	cfg     Config
+	dt      spec.DataType
+	classes map[string]classify.Class
+	offsets []simtime.Duration
+	cluster *rtnet.Cluster
+
+	queues  []chan call
+	next    atomic.Int64
+	workers sync.WaitGroup
+
+	mu       sync.Mutex
+	started  bool
+	draining bool
+	inflight sync.WaitGroup
+
+	drainOnce sync.Once
+	drainErr  error
+
+	rec *recorder
+
+	lnMu      sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	connWG    sync.WaitGroup // connection reader goroutines
+	reqWG     sync.WaitGroup // per-request handler goroutines (incl. response writes)
+}
+
+// New builds a server for the configuration. Call Start before Call or
+// Serve.
+func New(cfg Config) (*Server, error) {
+	if cfg.TypeName == "" {
+		cfg.TypeName = "queue"
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	dt, err := adt.Lookup(cfg.TypeName)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	classes := harness.ClassesFor(dt)
+	offsets, err := harness.Offsets(cfg.Offsets, cfg.Params, harness.DeriveSeed(cfg.Seed, "serve/offsets"))
+	if err != nil {
+		return nil, err
+	}
+	nodes := core.NewReplicas(cfg.Params.N, dt, classes, core.DefaultTimers(cfg.Params))
+	cluster, err := rtnet.NewCluster(cfg.Params, cfg.Tick, offsets, nodes,
+		harness.DeriveSeed(cfg.Seed, "serve/net"))
+	if err != nil {
+		return nil, err
+	}
+	cluster.SetClasses(classes)
+	s := &Server{
+		cfg:     cfg,
+		dt:      dt,
+		classes: classes,
+		offsets: offsets,
+		cluster: cluster,
+		queues:  make([]chan call, cfg.Params.N),
+		rec:     newRecorder(),
+		conns:   map[net.Conn]struct{}{},
+	}
+	for i := range s.queues {
+		s.queues[i] = make(chan call, cfg.QueueDepth)
+	}
+	return s, nil
+}
+
+// Type returns the served data type.
+func (s *Server) Type() spec.DataType { return s.dt }
+
+// Classes returns the computed operation classification (read-only).
+func (s *Server) Classes() map[string]classify.Class { return s.classes }
+
+// Config returns the server configuration (with defaults resolved).
+func (s *Server) Config() Config { return s.cfg }
+
+// Start launches the cluster and the per-replica routing workers.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.cluster.Start()
+	for i := range s.queues {
+		proc := sim.ProcID(i)
+		q := s.queues[i]
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for c := range q {
+				resp := s.cluster.Call(proc, c.op, c.arg)
+				s.rec.record(resp)
+				c.out <- result{resp: resp}
+			}
+		}()
+	}
+}
+
+// Call executes one operation against the served object and blocks until
+// its response. Safe for any number of concurrent callers; each request
+// occupies one replica slot, so at most n operations are in flight at
+// once and each process has at most one pending operation.
+func (s *Server) Call(op string, arg any) (rtnet.Response, error) {
+	if _, ok := spec.FindOp(s.dt, op); !ok {
+		return rtnet.Response{}, fmt.Errorf("serve: type %s has no operation %q", s.dt.Name(), op)
+	}
+	s.mu.Lock()
+	if !s.started || s.draining {
+		s.mu.Unlock()
+		if !s.started {
+			return rtnet.Response{}, errors.New("serve: server not started")
+		}
+		return rtnet.Response{}, ErrDraining
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	proc := int(s.next.Add(1)-1) % len(s.queues)
+	out := make(chan result, 1)
+	s.queues[proc] <- call{op: op, arg: arg, out: out}
+	r := <-out
+	return r.resp, r.err
+}
+
+// Drain gracefully shuts the server down: close listeners, refuse new
+// calls, wait for every in-flight operation to respond, stop the routing
+// workers, drain and stop the cluster, then close remaining connections.
+// Idempotent; later calls return the first drain's result.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.drainOnce.Do(func() { s.drainErr = s.drain(timeout) })
+	return s.drainErr
+}
+
+func (s *Server) drain(timeout time.Duration) error {
+	// Refuse new work before closing listeners: Serve's accept loop
+	// distinguishes a drain-initiated close by observing the flag.
+	s.mu.Lock()
+	started := s.started
+	s.draining = true
+	s.mu.Unlock()
+	s.closeListeners()
+	if !started {
+		return nil
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var timedOut error
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		timedOut = fmt.Errorf("serve: drain timed out after %v with operations in flight", timeout)
+	}
+	if timedOut == nil {
+		for _, q := range s.queues {
+			close(q)
+		}
+		s.workers.Wait()
+	}
+	err := s.cluster.Drain(timeout)
+	// Every response write must land before its connection is torn down:
+	// requests that raced the drain get ErrDraining responses and finish
+	// quickly, so this wait converges once clients stop sending.
+	s.reqWG.Wait()
+	s.closeConns()
+	s.connWG.Wait()
+	if timedOut != nil {
+		return timedOut
+	}
+	return err
+}
+
+// Stats returns the latency accounting accumulated so far.
+func (s *Server) Stats() Stats { return s.rec.snapshot() }
+
+// Trace assembles the recorded operations into a sim.Trace for the
+// linearizability checker and the diagram renderer. Operations are in
+// completion order; messages and steps are not recorded on this
+// substrate.
+func (s *Server) Trace() *sim.Trace {
+	return &sim.Trace{
+		Params:  s.cfg.Params,
+		Offsets: append([]simtime.Duration(nil), s.offsets...),
+		Ops:     s.rec.ops(),
+	}
+}
+
+// Stats is the JSON-ready latency accounting of a server or load run.
+type Stats struct {
+	Ops      int                         `json:"ops"`
+	PerClass map[string]histio.Quantiles `json:"per_class"`
+	PerOp    map[string]histio.Quantiles `json:"per_op"`
+}
+
+// recorder accumulates completed operations and their latency histograms.
+type recorder struct {
+	mu       sync.Mutex
+	recorded []sim.OpRecord
+	perClass map[classify.Class]*histio.Histogram
+	perOp    map[string]*histio.Histogram
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		perClass: map[classify.Class]*histio.Histogram{},
+		perOp:    map[string]*histio.Histogram{},
+	}
+}
+
+func (r *recorder) record(resp rtnet.Response) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recorded = append(r.recorded, sim.OpRecord{
+		Proc: resp.Proc, SeqID: resp.Seq, Op: resp.Op, Arg: resp.Arg, Ret: resp.Ret,
+		InvokeTime: resp.Invoke, RespondTime: resp.Respond,
+	})
+	lat := resp.Latency()
+	h := r.perClass[resp.Class]
+	if h == nil {
+		h = &histio.Histogram{}
+		r.perClass[resp.Class] = h
+	}
+	h.Add(lat)
+	ho := r.perOp[resp.Op]
+	if ho == nil {
+		ho = &histio.Histogram{}
+		r.perOp[resp.Op] = ho
+	}
+	ho.Add(lat)
+}
+
+func (r *recorder) ops() []sim.OpRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]sim.OpRecord(nil), r.recorded...)
+}
+
+func (r *recorder) snapshot() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{
+		Ops:      len(r.recorded),
+		PerClass: map[string]histio.Quantiles{},
+		PerOp:    map[string]histio.Quantiles{},
+	}
+	for class, h := range r.perClass {
+		st.PerClass[class.String()] = h.Summary()
+	}
+	for op, h := range r.perOp {
+		st.PerOp[op] = h.Summary()
+	}
+	return st
+}
