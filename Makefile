@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz-smoke fuzz-native soak soak-smoke load-bench
+.PHONY: check vet build test race bench bench-engine bench-compare fuzz-smoke fuzz-native soak soak-smoke load-bench
 
 # check is the tier-1 gate: vet, build, full tests, and a short
 # race-detector pass over the concurrency-bearing packages.
@@ -20,6 +20,31 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# bench-engine reruns the engine-heavy benchmarks (event loop, timer
+# churn, fuzz-campaign batch, table pipeline) and folds them into the
+# "after" side of BENCH_engine.json; the checked-in "before" side is the
+# pre-optimization baseline (pointer-heap engine, no reuse), so the
+# delta_pct section always reads against that fixed reference.
+bench-engine:
+	$(GO) test -run xxx -bench 'BenchmarkEngineEvents|BenchmarkTimerChurn' -benchmem ./internal/sim/ | $(GO) run ./cmd/benchjson -set after -o BENCH_engine.json
+	$(GO) test -run xxx -bench 'BenchmarkFuzzCampaign|BenchmarkRunnerRun' -benchmem ./internal/adversary/ | $(GO) run ./cmd/benchjson -set after -o BENCH_engine.json
+	$(GO) test -run xxx -bench 'BenchmarkAllTables/parallel=4' -benchmem . | $(GO) run ./cmd/benchjson -set after -o BENCH_engine.json
+
+# bench-compare is the determinism smoke for the zero-allocation engine:
+# a short run of the engine benchmarks (they must still pass), then tables
+# and fuzz outputs re-generated at different parallelism levels and
+# compared byte for byte.
+bench-compare:
+	$(GO) test -run xxx -bench 'BenchmarkEngineEvents|BenchmarkTimerChurn' -benchtime 10x -benchmem ./internal/sim/
+	$(GO) build -o /tmp/lintime-bench-compare ./cmd/lintime
+	/tmp/lintime-bench-compare tables -all -parallel 1 > /tmp/bench-compare-tables-p1.txt
+	/tmp/lintime-bench-compare tables -all -parallel 4 > /tmp/bench-compare-tables-p4.txt
+	cmp /tmp/bench-compare-tables-p1.txt /tmp/bench-compare-tables-p4.txt
+	/tmp/lintime-bench-compare fuzz -budget 500 -seed 1 -parallel 1 > /tmp/bench-compare-fuzz-p1.txt
+	/tmp/lintime-bench-compare fuzz -budget 500 -seed 1 -parallel 8 > /tmp/bench-compare-fuzz-p8.txt
+	cmp /tmp/bench-compare-fuzz-p1.txt /tmp/bench-compare-fuzz-p8.txt
+	@echo "bench-compare: outputs byte-identical across parallelism levels"
 
 # fuzz-smoke runs a deterministic adversarial-schedule campaign: the full
 # mutant kill matrix (every seeded bug must die, the control must stay

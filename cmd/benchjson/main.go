@@ -1,0 +1,164 @@
+// benchjson folds `go test -bench` output into a JSON ledger with
+// before/after sides and computed deltas, so benchmark evidence lands in
+// the repository in a stable, diffable form (BENCH_engine.json).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/sim/ | benchjson -set before -o BENCH_engine.json
+//	... apply the optimization ...
+//	go test -bench . -benchmem ./internal/sim/ | benchjson -set after  -o BENCH_engine.json
+//
+// Each invocation reads benchmark lines from stdin, merges them into the
+// named side of the ledger (creating the file if needed), recomputes the
+// percentage delta for every metric present on both sides, and rewrites
+// the file with sorted keys. Non-benchmark lines are ignored, so piping
+// the whole `go test` output is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Ledger is the on-disk shape: benchmark → metric → value, per side,
+// plus percentage deltas ((after-before)/before·100, one decimal).
+type Ledger struct {
+	Before map[string]map[string]float64 `json:"before"`
+	After  map[string]map[string]float64 `json:"after"`
+	Delta  map[string]map[string]float64 `json:"delta_pct"`
+}
+
+// benchLine matches one result line of `go test -bench`:
+//
+//	BenchmarkEngineEvents-8   532   2223105 ns/op   3967424 B/op   16067 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parse extracts (benchmark name, metric → value) from one line, or
+// ok=false for non-benchmark lines.
+func parse(line string) (string, map[string]float64, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return "", nil, false
+	}
+	name := strings.TrimPrefix(m[1], "Benchmark")
+	metrics := map[string]float64{}
+	fields := strings.Fields(m[2])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
+}
+
+func load(path string) (*Ledger, error) {
+	led := &Ledger{}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return led, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, led); err != nil {
+		return nil, fmt.Errorf("benchjson: %s is not a ledger: %w", path, err)
+	}
+	return led, nil
+}
+
+// recompute rebuilds Delta from the two sides. Higher-is-better custom
+// metrics (anything not ending in /op) still read naturally: a positive
+// delta means the after side is larger.
+func (l *Ledger) recompute() {
+	l.Delta = map[string]map[string]float64{}
+	for name, before := range l.Before {
+		after, ok := l.After[name]
+		if !ok {
+			continue
+		}
+		for metric, b := range before {
+			a, ok := after[metric]
+			if !ok || b == 0 {
+				continue
+			}
+			if l.Delta[name] == nil {
+				l.Delta[name] = map[string]float64{}
+			}
+			l.Delta[name][metric] = float64(int((a-b)/b*1000+sign(a-b)*0.5)) / 10
+		}
+	}
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func main() {
+	set := flag.String("set", "after", `ledger side to merge into ("before" or "after")`)
+	out := flag.String("o", "BENCH_engine.json", "ledger file to update")
+	flag.Parse()
+	if *set != "before" && *set != "after" {
+		fmt.Fprintf(os.Stderr, "benchjson: -set must be before or after, got %q\n", *set)
+		os.Exit(2)
+	}
+	led, err := load(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	side := &led.Before
+	if *set == "after" {
+		side = &led.After
+	}
+	if *side == nil {
+		*side = map[string]map[string]float64{}
+	}
+	n := 0
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		name, metrics, ok := parse(sc.Text())
+		if !ok {
+			continue
+		}
+		if (*side)[name] == nil {
+			(*side)[name] = map[string]float64{}
+		}
+		for k, v := range metrics {
+			(*side)[name][k] = v
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	led.recompute()
+	data, err := json.MarshalIndent(led, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: merged %d benchmark(s) into %s side of %s\n", n, *set, *out)
+}

@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, metrics, ok := parse("BenchmarkEngineEvents-8   \t   532\t   2223105 ns/op\t 3967424 B/op\t   16067 allocs/op")
+	if !ok || name != "EngineEvents" {
+		t.Fatalf("parse failed: ok=%v name=%q", ok, name)
+	}
+	want := map[string]float64{"ns/op": 2223105, "B/op": 3967424, "allocs/op": 16067}
+	for k, v := range want {
+		if metrics[k] != v {
+			t.Errorf("%s = %v, want %v", k, metrics[k], v)
+		}
+	}
+}
+
+func TestParseCustomMetric(t *testing.T) {
+	name, metrics, ok := parse("BenchmarkFuzzCampaign-8   171   6740661 ns/op   18989 schedules/sec   3072432 B/op   34218 allocs/op")
+	if !ok || name != "FuzzCampaign" {
+		t.Fatalf("parse failed: ok=%v name=%q", ok, name)
+	}
+	if metrics["schedules/sec"] != 18989 {
+		t.Errorf("schedules/sec = %v", metrics["schedules/sec"])
+	}
+}
+
+func TestParseSubBenchmarkAndNoise(t *testing.T) {
+	name, _, ok := parse("BenchmarkAllTables/parallel=4-8   464   3362674 ns/op   1499272 B/op   13851 allocs/op")
+	if !ok || name != "AllTables/parallel=4" {
+		t.Fatalf("sub-benchmark: ok=%v name=%q", ok, name)
+	}
+	for _, noise := range []string{
+		"goos: linux", "PASS", "ok  \tlintime/internal/sim\t2.1s", "", "pkg: lintime",
+	} {
+		if _, _, ok := parse(noise); ok {
+			t.Errorf("parsed noise line %q", noise)
+		}
+	}
+}
+
+func TestRecomputeDelta(t *testing.T) {
+	led := &Ledger{
+		Before: map[string]map[string]float64{"X": {"ns/op": 1000, "allocs/op": 200}},
+		After:  map[string]map[string]float64{"X": {"ns/op": 600, "allocs/op": 50}},
+	}
+	led.recompute()
+	if got := led.Delta["X"]["ns/op"]; got != -40.0 {
+		t.Errorf("ns/op delta = %v, want -40", got)
+	}
+	if got := led.Delta["X"]["allocs/op"]; got != -75.0 {
+		t.Errorf("allocs/op delta = %v, want -75", got)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"lintime/internal/adt"
@@ -155,10 +156,15 @@ func cmdTables(args []string) error {
 	optimal := fs.Bool("optimal", false, "measure each operation at its per-class optimal X (the paper's table entries)")
 	seed := fs.Int64("seed", 1, "workload seed")
 	parallel := parallelFlag(fs)
+	startProfile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	stopProfile, err := startProfile()
 	if err != nil {
 		return err
 	}
@@ -170,7 +176,7 @@ func cmdTables(args []string) error {
 			}
 			fmt.Println(harness.FormatOptimal(typeName, rows))
 		}
-		return nil
+		return stopProfile()
 	}
 	if *all {
 		tables, err := harness.MeasureAllTablesParallel(p, *seed, *parallel)
@@ -180,7 +186,7 @@ func cmdTables(args []string) error {
 		for _, mt := range tables {
 			fmt.Println(mt)
 		}
-		return nil
+		return stopProfile()
 	}
 	for no := 1; no <= 5; no++ {
 		if *table != 0 && no != *table {
@@ -196,13 +202,58 @@ func cmdTables(args []string) error {
 			fmt.Println(bounds.AllTables(p)[no-1])
 		}
 	}
-	return nil
+	return stopProfile()
 }
 
 // parallelFlag registers the shared worker-pool width flag.
 func parallelFlag(fs *flag.FlagSet) *int {
 	return fs.Int("parallel", runtime.NumCPU(),
 		"max simulator runs in flight (results are identical for any value)")
+}
+
+// profileFlags registers -cpuprofile/-memprofile on fs and returns a
+// starter. The starter begins CPU profiling if requested and returns a
+// stop function that finishes the CPU profile and writes the heap
+// profile; call it on the command's success path so profile-write errors
+// are surfaced.
+func profileFlags(fs *flag.FlagSet) func() (func() error, error) {
+	cpu := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	mem := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	return func() (func() error, error) {
+		var cpuFile *os.File
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				return nil, err
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, err
+			}
+			cpuFile = f
+		}
+		stop := func() error {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					return err
+				}
+			}
+			if *mem != "" {
+				f, err := os.Create(*mem)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				runtime.GC() // flush unreachable objects before the snapshot
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return stop, nil
+	}
 }
 
 func cmdClassify(args []string) error {
@@ -418,6 +469,7 @@ func cmdFuzz(args []string) error {
 	strategies := fs.String("strategies", "", "comma-separated strategies ("+strings.Join(adversary.Strategies(), ", ")+"; default all)")
 	noShrink := fs.Bool("no-shrink", false, "report raw violating schedules without delta-debugging them")
 	parallel := parallelFlag(fs)
+	startProfile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -426,6 +478,10 @@ func cmdFuzz(args []string) error {
 		return err
 	}
 	dt, err := adt.Lookup(*typeName)
+	if err != nil {
+		return err
+	}
+	stopProfile, err := startProfile()
 	if err != nil {
 		return err
 	}
@@ -453,14 +509,20 @@ func cmdFuzz(args []string) error {
 		}
 		fmt.Printf("mutant kill matrix on %s (n=%d d=%v u=%v eps=%v X=%v, budget %d, seed %d):\n\n",
 			dt.Name(), p.N, p.D, p.U, p.Epsilon, p.X, *budget, *seed)
-		return adversary.WriteKillMatrix(os.Stdout, runner, entries)
+		if err := adversary.WriteKillMatrix(os.Stdout, runner, entries); err != nil {
+			return err
+		}
+		return stopProfile()
 	}
 	opts.StopEarly = *mutant != ""
 	rep, err := adversary.Fuzz(opts)
 	if err != nil {
 		return err
 	}
-	return adversary.WriteReport(os.Stdout, runner, rep)
+	if err := adversary.WriteReport(os.Stdout, runner, rep); err != nil {
+		return err
+	}
+	return stopProfile()
 }
 
 func cmdSync(args []string) error {

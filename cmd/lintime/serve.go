@@ -14,7 +14,9 @@ import (
 
 	"lintime/internal/adt"
 	"lintime/internal/harness"
+	"lintime/internal/rtnet"
 	"lintime/internal/serve"
+	"lintime/internal/sim"
 	"lintime/internal/simtime"
 )
 
@@ -31,18 +33,19 @@ func serveParamFlags(fs *flag.FlagSet) func() (simtime.Params, error) {
 // golden test: field order is fixed and map keys are sorted by
 // encoding/json.
 type serveEcho struct {
-	Type        string           `json:"type"`
-	Addr        string           `json:"addr"`
-	N           int              `json:"n"`
-	D           int64            `json:"d"`
-	U           int64            `json:"u"`
-	Epsilon     int64            `json:"eps"`
-	X           int64            `json:"x"`
-	TickNS      int64            `json:"tick_ns"`
-	Offsets     string           `json:"offsets"`
-	OffsetTicks []int64          `json:"offset_ticks"`
-	Seed        int64            `json:"seed"`
-	QueueDepth  int              `json:"queue_depth"`
+	Type        string            `json:"type"`
+	Addr        string            `json:"addr"`
+	N           int               `json:"n"`
+	D           int64             `json:"d"`
+	U           int64             `json:"u"`
+	Epsilon     int64             `json:"eps"`
+	X           int64             `json:"x"`
+	TickNS      int64             `json:"tick_ns"`
+	Offsets     string            `json:"offsets"`
+	OffsetTicks []int64           `json:"offset_ticks"`
+	Seed        int64             `json:"seed"`
+	QueueDepth  int               `json:"queue_depth"`
+	InboxDepth  int               `json:"inbox_depth"`
 	Classes     map[string]string `json:"classes"`
 	// FormulaTicks maps each class to its Algorithm 1 worst-case latency
 	// in ticks; BudgetTicks is the scheduling-jitter allowance the load
@@ -62,6 +65,10 @@ func buildServeEcho(s *serve.Server, addr string, tick time.Duration) serveEcho 
 	for _, class := range s.Classes() {
 		formulas[class.String()] = int64(serve.FormulaTicks(p, class))
 	}
+	inboxDepth := cfg.InboxDepth
+	if inboxDepth == 0 {
+		inboxDepth = rtnet.DefaultInboxDepth
+	}
 	offsets := s.Trace().Offsets
 	offsetTicks := make([]int64, len(offsets))
 	for i, off := range offsets {
@@ -71,7 +78,7 @@ func buildServeEcho(s *serve.Server, addr string, tick time.Duration) serveEcho 
 		Type: cfg.TypeName, Addr: addr,
 		N: p.N, D: int64(p.D), U: int64(p.U), Epsilon: int64(p.Epsilon), X: int64(p.X),
 		TickNS: tick.Nanoseconds(), Offsets: cfg.Offsets, OffsetTicks: offsetTicks,
-		Seed: cfg.Seed, QueueDepth: cfg.QueueDepth, Classes: classes,
+		Seed: cfg.Seed, QueueDepth: cfg.QueueDepth, InboxDepth: inboxDepth, Classes: classes,
 		FormulaTicks: formulas, BudgetTicks: int64(serve.JitterBudget(tick)),
 	}
 }
@@ -94,6 +101,7 @@ func cmdServe(args []string) error {
 	offsets := fs.String("offsets", harness.OffZero, "clock offsets (zero, spread, alternating, random)")
 	seed := fs.Int64("seed", 1, "master seed (delay draws, offset assignment)")
 	queueDepth := fs.Int("queue-depth", 64, "per-replica request queue bound (backpressure)")
+	inboxDepth := fs.Int("inbox-depth", rtnet.DefaultInboxDepth, "per-process rtnet inbox bound (overflow is a typed cluster failure)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight operations")
 	dryRun := fs.Bool("dry-run", false, "print the resolved serving configuration as JSON and exit")
 	if err := fs.Parse(args); err != nil {
@@ -105,7 +113,7 @@ func cmdServe(args []string) error {
 	}
 	s, err := serve.New(serve.Config{
 		Params: p, TypeName: *typeName, Tick: *tick,
-		Offsets: *offsets, Seed: *seed, QueueDepth: *queueDepth,
+		Offsets: *offsets, Seed: *seed, QueueDepth: *queueDepth, InboxDepth: *inboxDepth,
 	})
 	if err != nil {
 		return err
@@ -214,7 +222,8 @@ func cmdLoad(args []string) error {
 		}
 		res, err := harness.Run(
 			harness.Config{Params: p, TypeName: *typeName, Algorithm: harness.AlgCore,
-				Network: harness.NetRandom, Offsets: *offsets, Seed: *seed},
+				Network: harness.NetRandom, Offsets: *offsets, Seed: *seed,
+				Trace: sim.TraceOps},
 			harness.Workload{OpsPerProc: *ops, MaxGap: p.D / 2, Seed: *seed, Mix: mix})
 		if err != nil {
 			return err

@@ -33,7 +33,7 @@ func main() {
 	queue := adt.NewQueue()
 	classes := classify.Classify(queue, classify.DefaultConfig()).Classes()
 	nodes := core.NewReplicas(p.N, queue, classes, core.DefaultTimers(p))
-	cluster, err := rtnet.NewCluster(p, tick, sim.SpreadOffsets(p.N, p.Epsilon), nodes, 1)
+	cluster, err := rtnet.NewCluster(rtnet.Params{Params: p}, tick, sim.SpreadOffsets(p.N, p.Epsilon), nodes, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +41,10 @@ func main() {
 	defer cluster.Stop()
 
 	show := func(proc sim.ProcID, op string, arg any) {
-		r := cluster.Call(proc, op, arg)
+		r, err := cluster.Call(proc, op, arg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  p%d %-8s arg=%-4v → %-6v latency %3d ticks (theory: %v)\n",
 			proc, op, arg, r.Ret, r.Latency(), theory(p, op))
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"lintime/internal/harness"
+	"lintime/internal/sim"
 	"lintime/internal/simtime"
 	"lintime/internal/spec"
 )
@@ -87,7 +88,11 @@ func Fuzz(opts Options) (*Report, error) {
 		opts.Budget = batchSize
 	}
 	ops := opsFor(opts.DT)
-	runner := &Runner{Params: p, DT: opts.DT, Target: opts.Target, CheckWorkers: opts.CheckWorkers}
+	boundary := newBoundarySource(p, ops)
+	// The campaign never reads Steps: coverage signatures come from the
+	// engine's incremental hash, so the runner skips recording them.
+	runner := &Runner{Params: p, DT: opts.DT, Target: opts.Target, CheckWorkers: opts.CheckWorkers,
+		Trace: sim.TraceOps}
 
 	rep := &Report{Target: opts.Target, ByStrategy: map[string]int{}}
 	seen := map[uint64]bool{}
@@ -119,7 +124,7 @@ func Fuzz(opts Options) (*Report, error) {
 			)
 			switch strat {
 			case StratBoundary:
-				cand := boundaryCandidate(p, ops, opts.Seed, ordinal)
+				cand := boundary.candidateAt(p, ops, opts.Seed, ordinal)
 				sched, out, err = runner.RunRule(cand.offsets, cand.plans, cand.net)
 			case StratRandom:
 				cand := randomCandidate(p, ops, opts.Seed, "random", ordinal)

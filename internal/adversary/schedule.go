@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strings"
+	"sync"
 
 	"lintime/internal/core"
 	"lintime/internal/folklore"
@@ -80,6 +81,16 @@ func (s Schedule) NumOps() int {
 // type: offsets within the skew bound, delays within [d-u, d],
 // nonnegative gaps, and every planned op declared by dt.
 func (s Schedule) Validate(p simtime.Params, dt spec.DataType) error {
+	return s.validate(p, dt.Name(), func(op string) bool {
+		_, ok := spec.FindOp(dt, op)
+		return ok
+	})
+}
+
+// validate is the body of Validate with the op lookup abstracted: the
+// Runner substitutes a cached name set, because dt.Ops() allocates its
+// OpInfo slice on every call and Validate runs once per schedule.
+func (s Schedule) validate(p simtime.Params, dtName string, hasOp func(string) bool) error {
 	if len(s.Offsets) != p.N {
 		return fmt.Errorf("adversary: %d offsets for n=%d", len(s.Offsets), p.N)
 	}
@@ -97,8 +108,8 @@ func (s Schedule) Validate(p simtime.Params, dt spec.DataType) error {
 			if op.Gap < 0 {
 				return fmt.Errorf("adversary: p%d op %d has negative gap %v", proc, i, op.Gap)
 			}
-			if _, ok := spec.FindOp(dt, op.Op); !ok {
-				return fmt.Errorf("adversary: type %s has no operation %q", dt.Name(), op.Op)
+			if !hasOp(op.Op) {
+				return fmt.Errorf("adversary: type %s has no operation %q", dtName, op.Op)
 			}
 		}
 	}
@@ -144,6 +155,9 @@ type Outcome struct {
 	Check        lincheck.Result
 	Fingerprints []string // per-replica object state (core targets only)
 	Incomplete   bool     // some invocation never responded
+
+	sig    uint64 // event-ordering signature, cached by the Runner
+	hasSig bool
 }
 
 // Converged reports whether all replicas ended in the same state (always
@@ -180,15 +194,33 @@ func (o *Outcome) Violation() string {
 // endpoints in delivery order. Two runs with the same signature exercised
 // the same interleaving; the coverage-greedy strategy hunts for schedules
 // whose signatures have not been seen before.
+// fnvPrime is the FNV-1a 64-bit prime, used to continue the engine's
+// incremental step hash over message records.
+const fnvPrime = 1099511628211
+
+// Runner-produced outcomes carry the signature precomputed from the
+// engine's incremental step hash, so it is available even when step
+// recording is off (sim.TraceOps); hand-built outcomes fall back to
+// hashing the recorded trace.
 func (o *Outcome) Signature() uint64 {
+	if o.hasSig {
+		return o.sig
+	}
+	return signatureFromTrace(o.Trace)
+}
+
+// signatureFromTrace is the original full-trace signature computation,
+// retained as the fallback for outcomes not produced by a Runner and as
+// the oracle the cached value is tested against.
+func signatureFromTrace(tr *sim.Trace) uint64 {
 	h := fnv.New64a()
 	buf := make([]byte, 2)
-	for _, st := range o.Trace.Steps {
+	for _, st := range tr.Steps {
 		buf[0] = byte(st.Kind)
 		buf[1] = byte(st.Proc)
 		h.Write(buf)
 	}
-	for _, m := range o.Trace.Msgs {
+	for _, m := range tr.Msgs {
 		buf[0] = byte(m.From)
 		buf[1] = byte(m.To)
 		h.Write(buf)
@@ -250,12 +282,41 @@ func (t Target) buildNodes(p simtime.Params, dt spec.DataType) ([]sim.Node, []*c
 }
 
 // Runner executes schedules against one target and checks the traces.
+// A Runner must not be copied after first use (it embeds an engine pool)
+// and is safe for concurrent use by the fuzz campaign's workers.
 type Runner struct {
 	Params simtime.Params
 	DT     spec.DataType
 	Target Target
 	// CheckWorkers is passed to lincheck.CheckTraceParallel (default 2).
 	CheckWorkers int
+	// Trace selects the engine's recording level (default sim.TraceFull).
+	// Throughput campaigns run at sim.TraceOps: signatures come from the
+	// engine's incremental step hash, so Steps is never read. Replays that
+	// feed the diagram renderer need sim.TraceFull.
+	Trace sim.TraceLevel
+
+	// engines recycles one engine per worker across schedules: the event
+	// queue's backing array, bookkeeping maps, and trace-capacity hints
+	// survive, so a steady-state schedule run allocates only its outcome.
+	engines sync.Pool
+
+	// opNames caches the data type's operation names for validation.
+	opsOnce sync.Once
+	opNames map[string]struct{}
+}
+
+// hasOp reports whether the target data type declares the operation,
+// against a name set built once per Runner.
+func (r *Runner) hasOp(op string) bool {
+	r.opsOnce.Do(func() {
+		r.opNames = make(map[string]struct{})
+		for _, info := range r.DT.Ops() {
+			r.opNames[info.Name] = struct{}{}
+		}
+	})
+	_, ok := r.opNames[op]
+	return ok
 }
 
 // Run drives the schedule's explicit delay assignment through the target
@@ -283,17 +344,27 @@ func (r *Runner) RunRule(offsets []simtime.Duration, plans [][]PlannedOp, net si
 }
 
 func (r *Runner) runWith(s Schedule, net sim.Network) (*Outcome, error) {
-	if err := s.Validate(r.Params, r.DT); err != nil {
+	if err := s.validate(r.Params, r.DT.Name(), r.hasOp); err != nil {
 		return nil, err
 	}
 	nodes, replicas, err := r.Target.buildNodes(r.Params, r.DT)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := sim.NewEngine(r.Params, s.Offsets, net, nodes)
-	if err != nil {
-		return nil, err
+	var eng *sim.Engine
+	if pooled, ok := r.engines.Get().(*sim.Engine); ok {
+		eng = pooled
+		if err := eng.Reset(r.Params, s.Offsets, net, nodes); err != nil {
+			return nil, err
+		}
+	} else {
+		eng, err = sim.NewEngine(r.Params, s.Offsets, net, nodes)
+		if err != nil {
+			return nil, err
+		}
 	}
+	defer r.engines.Put(eng)
+	eng.SetTraceLevel(r.Trace)
 	cursor := make([]int, r.Params.N)
 	eng.OnRespond = func(rec sim.OpRecord) {
 		plan := s.Plans[rec.Proc]
@@ -315,10 +386,19 @@ func (r *Runner) runWith(s Schedule, net sim.Network) (*Outcome, error) {
 	if workers == 0 {
 		workers = 2
 	}
+	// Continue the engine's incremental step hash over the message records,
+	// reproducing signatureFromTrace byte for byte without needing Steps.
+	sig := eng.StepSignature()
+	for _, m := range tr.Msgs {
+		sig = (sig ^ uint64(byte(m.From))) * fnvPrime
+		sig = (sig ^ uint64(byte(m.To))) * fnvPrime
+	}
 	out := &Outcome{
 		Trace:      tr,
 		Check:      lincheck.CheckTraceParallel(r.DT, tr, workers),
 		Incomplete: tr.CheckComplete() != nil,
+		sig:        sig,
+		hasSig:     true,
 	}
 	for _, rep := range replicas {
 		out.Fingerprints = append(out.Fingerprints, rep.StateFingerprint())

@@ -1,0 +1,50 @@
+package adversary
+
+import (
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+)
+
+// TestCachedSignatureMatchesTraceOracle pins the incremental signature
+// (engine step hash continued over message records, available at
+// sim.TraceOps) against the original full-trace computation: the
+// coverage-greedy strategy's novelty pool, and the campaign report's
+// "signatures N distinct" line, depend on the two being byte-identical.
+func TestCachedSignatureMatchesTraceOracle(t *testing.T) {
+	p := simtime.DefaultParams(3)
+	dt, err := adt.Lookup("queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &Runner{Params: p, DT: dt}
+	ops := &Runner{Params: p, DT: dt, Trace: sim.TraceOps}
+	for i := 0; i < 16; i++ {
+		cand := randomCandidate(p, opsFor(dt), 7, "sig-test", i)
+		outFull, err := full.Run(cand.sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !outFull.hasSig {
+			t.Fatal("runner outcome missing cached signature")
+		}
+		oracle := signatureFromTrace(outFull.Trace)
+		if outFull.Signature() != oracle {
+			t.Fatalf("cand %d: cached signature %x != trace oracle %x",
+				i, outFull.Signature(), oracle)
+		}
+		outOps, err := ops.Run(cand.sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outOps.Trace.Steps) != 0 {
+			t.Fatalf("cand %d: TraceOps runner recorded %d steps", i, len(outOps.Trace.Steps))
+		}
+		if outOps.Signature() != oracle {
+			t.Fatalf("cand %d: TraceOps signature %x != full-trace oracle %x",
+				i, outOps.Signature(), oracle)
+		}
+	}
+}

@@ -366,12 +366,30 @@ func curatedCorners(p simtime.Params, ops opset) []candidate {
 // the curated corners, then the full (template × delay rule × offset
 // pattern) product, then the product again with derived-seed gap jitter.
 func boundaryCandidate(p simtime.Params, ops opset, seed int64, i int) candidate {
-	curated := curatedCorners(p, ops)
+	return newBoundarySource(p, ops).candidateAt(p, ops, seed, i)
+}
+
+// boundarySource caches the curated corner list and the plan templates
+// for one campaign. boundaryCandidate is on the per-schedule hot path,
+// and rebuilding the full corner list just to index one element dominated
+// the strategy's allocations. Candidates handed out are safe to share:
+// every downstream mutation path (mutateSchedule, Shrink) clones first.
+type boundarySource struct {
+	curated   []candidate
+	templates []planTemplate
+}
+
+func newBoundarySource(p simtime.Params, ops opset) *boundarySource {
+	return &boundarySource{curated: curatedCorners(p, ops), templates: planTemplates()}
+}
+
+func (b *boundarySource) candidateAt(p simtime.Params, ops opset, seed int64, i int) candidate {
+	curated := b.curated
 	if i < len(curated) {
 		return curated[i]
 	}
 	j := i - len(curated)
-	templates := planTemplates()
+	templates := b.templates
 	nT, nD, nO := len(templates), len(delayRules), len(offsetPatterns)
 	product := nT * nD * nO
 	k := j % product

@@ -58,6 +58,12 @@ type Config struct {
 	Network   string
 	Offsets   string
 	Seed      int64
+
+	// Trace selects how much of the run the engine records (zero value =
+	// sim.TraceFull). Bulk pipelines that only read Ops and Msgs — the
+	// measurement tables, sweeps, and load simulations — run at
+	// sim.TraceOps; the execution itself is identical at every level.
+	Trace sim.TraceLevel
 }
 
 // Workload is a closed-loop random workload: each process issues
@@ -257,6 +263,14 @@ func Offsets(name string, p simtime.Params, seed int64) ([]simtime.Duration, err
 	}
 }
 
+// enginePool recycles engines across Run calls: a reused engine keeps its
+// event-queue backing array, bookkeeping maps, and trace-capacity hints,
+// so the steady-state allocation of a run is the trace it returns, not
+// the machinery that produced it. Traces escape via Result and are never
+// recycled (sim.Engine.Reset allocates a fresh one), so pooling is
+// invisible to callers.
+var enginePool = sync.Pool{}
+
 // Run executes one experiment and returns its result.
 func Run(cfg Config, wl Workload) (*Result, error) {
 	dt, err := adt.Lookup(cfg.TypeName)
@@ -275,10 +289,20 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := sim.NewEngine(cfg.Params, offsets, net, nodes)
-	if err != nil {
-		return nil, err
+	var eng *sim.Engine
+	if pooled, ok := enginePool.Get().(*sim.Engine); ok {
+		eng = pooled
+		if err := eng.Reset(cfg.Params, offsets, net, nodes); err != nil {
+			return nil, err
+		}
+	} else {
+		eng, err = sim.NewEngine(cfg.Params, offsets, net, nodes)
+		if err != nil {
+			return nil, err
+		}
 	}
+	defer enginePool.Put(eng)
+	eng.SetTraceLevel(cfg.Trace)
 
 	rng := rand.New(rand.NewSource(wl.Seed))
 	picks, err := expandMix(dt, wl.Mix)

@@ -7,6 +7,7 @@ import (
 	"lintime/internal/adt"
 	"lintime/internal/bounds"
 	"lintime/internal/classify"
+	"lintime/internal/sim"
 	"lintime/internal/simtime"
 )
 
@@ -110,9 +111,9 @@ func MeasureTableParallel(number int, p simtime.Params, seed int64, parallel int
 
 	results, err := RunJobs([]Job{
 		{Config: Config{Params: p, TypeName: typeName, Algorithm: AlgCore,
-			Network: NetUniform, Offsets: OffZero, Seed: cfgSeed}, Workload: wl},
+			Network: NetUniform, Offsets: OffZero, Seed: cfgSeed, Trace: sim.TraceOps}, Workload: wl},
 		{Config: Config{Params: p, TypeName: typeName, Algorithm: AlgCentral,
-			Network: NetUniform, Offsets: OffZero, Seed: cfgSeed}, Workload: wl},
+			Network: NetUniform, Offsets: OffZero, Seed: cfgSeed, Trace: sim.TraceOps}, Workload: wl},
 	}, Parallelism(parallel))
 	if err != nil {
 		return nil, err
@@ -225,7 +226,7 @@ func MeasureOptimalParallel(typeName string, p simtime.Params, seed int64, paral
 		q := p
 		q.X = x
 		return Config{Params: q, TypeName: typeName, Algorithm: AlgCore,
-			Network: NetUniform, Offsets: OffZero, Seed: cfgSeed}
+			Network: NetUniform, Offsets: OffZero, Seed: cfgSeed, Trace: sim.TraceOps}
 	}
 	results, err := RunJobs([]Job{
 		{Config: configAt(0), Workload: wl},
@@ -313,7 +314,8 @@ func SweepXParallel(p simtime.Params, typeName string, points int, seed int64, p
 		q.X = span * simtime.Duration(i) / simtime.Duration(points)
 		runID := fmt.Sprintf("sweep/%d", i)
 		res, err := Run(Config{Params: q, TypeName: typeName, Algorithm: AlgCore,
-			Network: NetUniform, Offsets: OffZero, Seed: DeriveSeed(seed, runID+"/config")},
+			Network: NetUniform, Offsets: OffZero, Seed: DeriveSeed(seed, runID+"/config"),
+			Trace: sim.TraceOps},
 			Workload{OpsPerProc: 10, MaxGap: q.D / 2, Seed: DeriveSeed(seed, runID+"/workload")})
 		if err != nil {
 			return err

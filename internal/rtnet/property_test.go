@@ -61,7 +61,7 @@ func TestLatencyWithinJitterBudget(t *testing.T) {
 				nodes[i] = core.NewReplica(dt, classes, core.DefaultTimers(p))
 			}
 			offsets := sim.SpreadOffsets(n, p.Epsilon)
-			c, err := rtnet.NewCluster(p, tick, offsets, nodes, 123)
+			c, err := rtnet.NewCluster(rtnet.Params{Params: p}, tick, offsets, nodes, 123)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -86,7 +86,10 @@ func TestLatencyWithinJitterBudget(t *testing.T) {
 				{adt.OpDequeue, nil, classify.Mixed},
 			}
 			for i, step := range steps {
-				r := c.Call(sim.ProcID(i%n), step.op, step.arg)
+				r, err := c.Call(sim.ProcID(i%n), step.op, step.arg)
+				if err != nil {
+					t.Fatalf("%s: %v", step.op, err)
+				}
 				recorded = append(recorded, sim.OpRecord{
 					Proc: r.Proc, SeqID: r.Seq, Op: r.Op, Arg: r.Arg, Ret: r.Ret,
 					InvokeTime: r.Invoke, RespondTime: r.Respond,

@@ -15,6 +15,7 @@
 package rtnet
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -25,6 +26,40 @@ import (
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
 )
+
+// DefaultInboxDepth is the per-process inbox capacity used when
+// Params.InboxDepth is zero.
+const DefaultInboxDepth = 1024
+
+// Params configures a real-time cluster: the model parameters plus the
+// substrate's own knobs.
+type Params struct {
+	simtime.Params
+
+	// InboxDepth bounds each process's inbox channel (default
+	// DefaultInboxDepth). A delivery that finds the inbox full is a
+	// cluster failure (InboxOverflowError), never a silent stall: the
+	// posting side runs on timer goroutines whose blocking would distort
+	// every in-flight delay measurement.
+	InboxDepth int
+}
+
+// ErrStopped is returned by Invoke/Call after the cluster has stopped
+// without a recorded failure.
+var ErrStopped = errors.New("rtnet: cluster stopped")
+
+// InboxOverflowError reports that a bounded inbox was full when an event
+// had to be delivered. It stops the cluster: overflow means the event
+// loop has fallen hopelessly behind (or deadlocked), and latency numbers
+// from such a run are meaningless.
+type InboxOverflowError struct {
+	Proc  sim.ProcID
+	Depth int
+}
+
+func (e *InboxOverflowError) Error() string {
+	return fmt.Sprintf("rtnet: inbox of p%d overflowed (depth %d)", e.Proc, e.Depth)
+}
 
 // Response is the completed result of an asynchronous invocation.
 type Response struct {
@@ -41,7 +76,9 @@ type Response struct {
 // Latency returns the observed virtual-tick latency.
 func (r Response) Latency() simtime.Duration { return r.Respond.Sub(r.Invoke) }
 
-// event is one inbox item.
+// event is one inbox item. Events are pooled: the loop goroutine returns
+// each one after handling, so steady-state traffic allocates no inbox
+// items.
 type event struct {
 	kind    int // 0 invoke, 1 message, 2 timer, 3 inspect
 	inv     sim.Invocation
@@ -53,15 +90,25 @@ type event struct {
 	done    chan struct{}
 }
 
+var eventPool = sync.Pool{New: func() any { return new(event) }}
+
+func getEvent() *event { return eventPool.Get().(*event) }
+
+func putEvent(ev *event) {
+	*ev = event{}
+	eventPool.Put(ev)
+}
+
 // Cluster runs n nodes in real time.
 type Cluster struct {
-	params  simtime.Params
-	tick    time.Duration
-	offsets []simtime.Duration
-	nodes   []sim.Node
-	classes map[string]classify.Class // read-only after Start
+	params     simtime.Params
+	inboxDepth int
+	tick       time.Duration
+	offsets    []simtime.Duration
+	nodes      []sim.Node
+	classes    map[string]classify.Class // read-only after Start
 
-	inboxes  []chan event
+	inboxes  []chan *event
 	start    time.Time
 	wg       sync.WaitGroup
 	stopped  chan struct{}
@@ -77,6 +124,7 @@ type Cluster struct {
 	sendRngs []*rand.Rand
 
 	mu      sync.Mutex
+	err     error // first failure (inbox overflow); sticky
 	seq     int64
 	msgIdx  int64
 	delays  sim.Network
@@ -95,7 +143,7 @@ type pendingCall struct {
 
 // NewCluster builds a real-time cluster. tick is the wall-clock duration
 // of one virtual tick; offsets must respect the skew bound ε.
-func NewCluster(p simtime.Params, tick time.Duration, offsets []simtime.Duration, nodes []sim.Node, seed int64) (*Cluster, error) {
+func NewCluster(p Params, tick time.Duration, offsets []simtime.Duration, nodes []sim.Node, seed int64) (*Cluster, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -108,19 +156,27 @@ func NewCluster(p simtime.Params, tick time.Duration, offsets []simtime.Duration
 	if tick <= 0 {
 		return nil, fmt.Errorf("rtnet: tick must be positive")
 	}
+	depth := p.InboxDepth
+	if depth == 0 {
+		depth = DefaultInboxDepth
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("rtnet: inbox depth must be positive, got %d", depth)
+	}
 	c := &Cluster{
-		params:   p,
-		tick:     tick,
-		offsets:  append([]simtime.Duration(nil), offsets...),
-		nodes:    nodes,
-		inboxes:  make([]chan event, p.N),
-		stopped:  make(chan struct{}),
-		sendRngs: make([]*rand.Rand, p.N),
-		pending:  map[int64]*pendingCall{},
-		timers:   map[sim.TimerID]*time.Timer{},
+		params:     p.Params,
+		inboxDepth: depth,
+		tick:       tick,
+		offsets:    append([]simtime.Duration(nil), offsets...),
+		nodes:      nodes,
+		inboxes:    make([]chan *event, p.N),
+		stopped:    make(chan struct{}),
+		sendRngs:   make([]*rand.Rand, p.N),
+		pending:    map[int64]*pendingCall{},
+		timers:     map[sim.TimerID]*time.Timer{},
 	}
 	for i := range c.inboxes {
-		c.inboxes[i] = make(chan event, 1024)
+		c.inboxes[i] = make(chan *event, depth)
 		c.sendRngs[i] = rand.New(rand.NewSource(
 			harness.DeriveSeed(seed, fmt.Sprintf("rtnet/send/p%d", i))))
 	}
@@ -135,6 +191,9 @@ func (c *Cluster) SetClasses(classes map[string]classify.Class) { c.classes = cl
 
 // Params returns the cluster's model parameters.
 func (c *Cluster) Params() simtime.Params { return c.params }
+
+// InboxDepth returns the per-process inbox capacity.
+func (c *Cluster) InboxDepth() int { return c.inboxDepth }
 
 // Offsets returns a copy of the per-process clock offsets.
 func (c *Cluster) Offsets() []simtime.Duration {
@@ -191,8 +250,27 @@ func (c *Cluster) loop(proc sim.ProcID) {
 				ev.inspect()
 				close(ev.done)
 			}
+			putEvent(ev)
 		}
 	}
+}
+
+// fail records the first cluster failure and stops the cluster.
+func (c *Cluster) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.stopOnce.Do(func() { close(c.stopped) })
+}
+
+// Err returns the first failure the cluster recorded (an
+// *InboxOverflowError), or nil after a clean run or clean stop.
+func (c *Cluster) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 // Stop terminates the cluster. Pending invocations never complete.
@@ -219,9 +297,10 @@ func (c *Cluster) Pending() int {
 // the cluster: node goroutines exit and remaining timers are canceled, in
 // that order. Callers must stop submitting new invocations first — an
 // invocation submitted during a drain is still served and merely extends
-// the wait. If the pending set has not emptied by the timeout, the
-// cluster is stopped anyway (abandoning the stragglers) and an error is
-// returned.
+// the wait. If the cluster fails mid-drain (inbox overflow) the failure
+// is returned immediately; if the pending set has not emptied by the
+// timeout, the cluster is stopped anyway (abandoning the stragglers) and
+// an error is returned.
 func (c *Cluster) Drain(timeout time.Duration) error {
 	poll := c.tick
 	if poll < time.Millisecond {
@@ -232,6 +311,10 @@ func (c *Cluster) Drain(timeout time.Duration) error {
 	}
 	deadline := time.Now().Add(timeout)
 	for c.Pending() > 0 {
+		if err := c.Err(); err != nil {
+			c.Stop()
+			return err
+		}
 		if time.Now().After(deadline) {
 			n := c.Pending()
 			c.Stop()
@@ -240,6 +323,9 @@ func (c *Cluster) Drain(timeout time.Duration) error {
 		time.Sleep(poll)
 	}
 	c.Stop()
+	if err := c.Err(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -258,21 +344,50 @@ func (c *Cluster) now() simtime.Time {
 
 // Invoke submits an operation at a process and returns a channel carrying
 // its response. The caller must respect the one-pending-op-per-process
-// rule of the model.
-func (c *Cluster) Invoke(proc sim.ProcID, op string, arg any) <-chan Response {
+// rule of the model. A non-nil error means the invocation was not
+// submitted: the cluster has stopped (ErrStopped) or failed.
+func (c *Cluster) Invoke(proc sim.ProcID, op string, arg any) (<-chan Response, error) {
 	done := make(chan Response, 1)
 	c.mu.Lock()
 	seqID := c.seq
 	c.seq++
 	c.pending[seqID] = &pendingCall{proc: proc, op: op, arg: arg, invoke: c.now(), done: done}
 	c.mu.Unlock()
-	c.post(proc, event{kind: 0, inv: sim.Invocation{SeqID: seqID, Op: op, Arg: arg}})
-	return done
+	ev := getEvent()
+	ev.kind = 0
+	ev.inv = sim.Invocation{SeqID: seqID, Op: op, Arg: arg}
+	if err := c.post(proc, ev); err != nil {
+		c.mu.Lock()
+		delete(c.pending, seqID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return done, nil
 }
 
-// Call invokes and waits for the response.
-func (c *Cluster) Call(proc sim.ProcID, op string, arg any) Response {
-	return <-c.Invoke(proc, op, arg)
+// Call invokes and waits for the response. It returns the cluster's
+// recorded failure (or ErrStopped) if the cluster stops before the
+// response arrives.
+func (c *Cluster) Call(proc sim.ProcID, op string, arg any) (Response, error) {
+	ch, err := c.Invoke(proc, op, arg)
+	if err != nil {
+		return Response{}, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-c.stopped:
+		// The response may have raced with the stop.
+		select {
+		case resp := <-ch:
+			return resp, nil
+		default:
+		}
+		if err := c.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, ErrStopped
+	}
 }
 
 // Inspect runs f inside the process's event loop and waits for it,
@@ -280,19 +395,39 @@ func (c *Cluster) Call(proc sim.ProcID, op string, arg any) Response {
 // (e.g. replica fingerprints for convergence checks).
 func (c *Cluster) Inspect(proc sim.ProcID, f func()) {
 	done := make(chan struct{})
-	c.post(proc, event{kind: 3, inspect: f, done: done})
+	ev := getEvent()
+	ev.kind = 3
+	ev.inspect = f
+	ev.done = done
+	if c.post(proc, ev) != nil {
+		return
+	}
 	select {
 	case <-done:
 	case <-c.stopped:
 	}
 }
 
-// post delivers an event to a process inbox (dropped after Stop).
-func (c *Cluster) post(proc sim.ProcID, ev event) {
+// post delivers an event to a process inbox without ever blocking: the
+// posting side includes timer goroutines whose stall would corrupt every
+// in-flight delay. A full inbox is recorded as a sticky cluster failure
+// (InboxOverflowError) and stops the cluster; posts after a stop return
+// ErrStopped. In both failure cases the event is recycled, not delivered.
+func (c *Cluster) post(proc sim.ProcID, ev *event) error {
+	select {
+	case c.inboxes[proc] <- ev:
+		return nil
+	default:
+	}
+	putEvent(ev)
 	select {
 	case <-c.stopped:
-	case c.inboxes[proc] <- ev:
+		return ErrStopped
+	default:
 	}
+	err := &InboxOverflowError{Proc: proc, Depth: c.inboxDepth}
+	c.fail(err)
+	return err
 }
 
 // rtCtx implements sim.Context over the real-time substrate.
@@ -322,7 +457,11 @@ func (x *rtCtx) SetTimer(after simtime.Duration, tag any) sim.TimerID {
 	x.c.timerID++
 	id := x.c.timerID
 	x.c.timers[id] = time.AfterFunc(time.Duration(after)*x.c.tick, func() {
-		x.c.post(proc, event{kind: 2, timerID: id, tag: tag})
+		ev := getEvent()
+		ev.kind = 2
+		ev.timerID = id
+		ev.tag = tag
+		x.c.post(proc, ev)
 	})
 	x.c.mu.Unlock()
 	return id
@@ -378,7 +517,11 @@ func (x *rtCtx) Send(to sim.ProcID, payload any) {
 	}
 	from := x.proc
 	time.AfterFunc(time.Duration(delay)*x.c.tick, func() {
-		x.c.post(to, event{kind: 1, from: from, payload: payload})
+		ev := getEvent()
+		ev.kind = 1
+		ev.from = from
+		ev.payload = payload
+		x.c.post(to, ev)
 	})
 }
 

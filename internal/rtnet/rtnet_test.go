@@ -1,6 +1,7 @@
 package rtnet
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -22,6 +23,16 @@ func rtParams(n int) simtime.Params {
 
 const tick = time.Millisecond
 
+// mustCall invokes and waits, failing the test on a cluster error.
+func mustCall(t *testing.T, c *Cluster, proc sim.ProcID, op string, arg any) Response {
+	t.Helper()
+	r, err := c.Call(proc, op, arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func newQueueCluster(t *testing.T, n int) (*Cluster, []*core.Replica) {
 	t.Helper()
 	p := rtParams(n)
@@ -33,7 +44,7 @@ func newQueueCluster(t *testing.T, n int) (*Cluster, []*core.Replica) {
 		replicas[i] = core.NewReplica(dt, classes, core.DefaultTimers(p))
 		nodes[i] = replicas[i]
 	}
-	c, err := NewCluster(p, tick, sim.SpreadOffsets(n, p.Epsilon), nodes, 99)
+	c, err := NewCluster(Params{Params: p}, tick, sim.SpreadOffsets(n, p.Epsilon), nodes, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,18 +56,18 @@ func TestRealTimeQueueBasics(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 
-	if r := c.Call(0, adt.OpEnqueue, 7); r.Ret != nil {
+	if r := mustCall(t, c, 0, adt.OpEnqueue, 7); r.Ret != nil {
 		t.Errorf("enqueue returned %v", r.Ret)
 	}
-	if r := c.Call(1, adt.OpEnqueue, 8); r.Ret != nil {
+	if r := mustCall(t, c, 1, adt.OpEnqueue, 8); r.Ret != nil {
 		t.Errorf("enqueue returned %v", r.Ret)
 	}
 	// Allow replication to settle, then observe from a third process.
 	time.Sleep(5 * time.Duration(rtParams(3).D) * tick)
-	if r := c.Call(2, adt.OpPeek, nil); !spec.ValuesEqual(r.Ret, 7) {
+	if r := mustCall(t, c, 2, adt.OpPeek, nil); !spec.ValuesEqual(r.Ret, 7) {
 		t.Errorf("peek returned %v, want 7", r.Ret)
 	}
-	if r := c.Call(2, adt.OpDequeue, nil); !spec.ValuesEqual(r.Ret, 7) {
+	if r := mustCall(t, c, 2, adt.OpDequeue, nil); !spec.ValuesEqual(r.Ret, 7) {
 		t.Errorf("dequeue returned %v, want 7", r.Ret)
 	}
 	time.Sleep(5 * time.Duration(rtParams(3).D) * tick)
@@ -79,13 +90,13 @@ func TestRealTimeLatencyApproximatesTheory(t *testing.T) {
 	defer c.Stop()
 
 	// Pure mutator: X+ε ticks, plus scheduling jitter.
-	r := c.Call(0, adt.OpEnqueue, 1)
+	r := mustCall(t, c, 0, adt.OpEnqueue, 1)
 	want := p.X + p.Epsilon
 	if r.Latency() < want || r.Latency() > want+want/2+10 {
 		t.Errorf("enqueue latency %v ticks, want ≈ %v", r.Latency(), want)
 	}
 	// Pure accessor: d-X+ε ticks.
-	r = c.Call(1, adt.OpPeek, nil)
+	r = mustCall(t, c, 1, adt.OpPeek, nil)
 	want = p.D - p.X + p.Epsilon
 	if r.Latency() < want || r.Latency() > want+want/2+10 {
 		t.Errorf("peek latency %v ticks, want ≈ %v", r.Latency(), want)
@@ -117,7 +128,12 @@ func TestRealTimeConcurrentHistoryLinearizable(t *testing.T) {
 		proc, script := sim.ProcID(proc), script
 		go func() {
 			for _, s := range script {
-				results <- rec{proc, c.Call(proc, s.op, s.arg)}
+				resp, err := c.Call(proc, s.op, s.arg)
+				if err != nil {
+					t.Error(err)
+					break
+				}
+				results <- rec{proc, resp}
 			}
 			donech <- struct{}{}
 		}()
@@ -154,15 +170,15 @@ func TestRealTimeValidation(t *testing.T) {
 	dt, _ := adt.Lookup("queue")
 	classes := classify.Classify(dt, classify.DefaultConfig()).Classes()
 	nodes := core.NewReplicas(2, dt, classes, core.DefaultTimers(p))
-	if _, err := NewCluster(p, 0, sim.ZeroOffsets(2), nodes, 1); err == nil {
+	if _, err := NewCluster(Params{Params: p}, 0, sim.ZeroOffsets(2), nodes, 1); err == nil {
 		t.Error("zero tick should error")
 	}
-	if _, err := NewCluster(p, tick, sim.ZeroOffsets(3), nodes, 1); err == nil {
+	if _, err := NewCluster(Params{Params: p}, tick, sim.ZeroOffsets(3), nodes, 1); err == nil {
 		t.Error("offsets length mismatch should error")
 	}
 	bad := p
 	bad.U = p.D + 1
-	if _, err := NewCluster(bad, tick, sim.ZeroOffsets(2), nodes, 1); err == nil {
+	if _, err := NewCluster(Params{Params: bad}, tick, sim.ZeroOffsets(2), nodes, 1); err == nil {
 		t.Error("invalid params should error")
 	}
 }
@@ -170,7 +186,7 @@ func TestRealTimeValidation(t *testing.T) {
 func TestRealTimeStopTerminates(t *testing.T) {
 	c, _ := newQueueCluster(t, 3)
 	c.Start()
-	c.Call(0, adt.OpEnqueue, 5)
+	mustCall(t, c, 0, adt.OpEnqueue, 5)
 	done := make(chan struct{})
 	go func() {
 		c.Stop()
@@ -200,11 +216,11 @@ func TestRealTimeUseNetwork(t *testing.T) {
 	c.Start()
 	defer c.Stop()
 
-	if r := c.Call(0, adt.OpEnqueue, 5); r.Ret != nil {
+	if r := mustCall(t, c, 0, adt.OpEnqueue, 5); r.Ret != nil {
 		t.Errorf("enqueue returned %v", r.Ret)
 	}
 	time.Sleep(5 * time.Duration(p.D) * tick)
-	if r := c.Call(1, adt.OpPeek, nil); !spec.ValuesEqual(r.Ret, 5) {
+	if r := mustCall(t, c, 1, adt.OpPeek, nil); !spec.ValuesEqual(r.Ret, 5) {
 		t.Errorf("peek returned %v, want 5", r.Ret)
 	}
 	time.Sleep(5 * time.Duration(p.D) * tick)
@@ -219,3 +235,72 @@ func TestRealTimeUseNetwork(t *testing.T) {
 		}
 	}
 }
+
+// TestInboxOverflowTypedError pins the bounded-inbox contract: a post
+// that finds the inbox full fails the cluster with a typed
+// *InboxOverflowError instead of silently stalling the posting
+// goroutine. The cluster is deliberately not started, so nothing drains
+// the inbox and a depth-1 box overflows on the second invocation.
+func TestInboxOverflowTypedError(t *testing.T) {
+	p := rtParams(2)
+	dt, _ := adt.Lookup("queue")
+	classes := classify.Classify(dt, classify.DefaultConfig()).Classes()
+	nodes := core.NewReplicas(2, dt, classes, core.DefaultTimers(p))
+	c, err := NewCluster(Params{Params: p, InboxDepth: 1}, tick, sim.ZeroOffsets(2), nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.InboxDepth(); got != 1 {
+		t.Fatalf("InboxDepth() = %d, want 1", got)
+	}
+	if _, err := c.Invoke(0, adt.OpEnqueue, 1); err != nil {
+		t.Fatalf("first invoke: %v", err)
+	}
+	_, err = c.Invoke(0, adt.OpEnqueue, 2)
+	var overflow *InboxOverflowError
+	if !errors.As(err, &overflow) {
+		t.Fatalf("second invoke returned %v, want *InboxOverflowError", err)
+	}
+	if overflow.Proc != 0 || overflow.Depth != 1 {
+		t.Errorf("overflow = %+v, want proc 0 depth 1", overflow)
+	}
+	if !errors.As(c.Err(), &overflow) {
+		t.Errorf("Err() = %v, want the recorded overflow", c.Err())
+	}
+	// The failure is sticky: later calls fail fast, and Drain surfaces it.
+	if _, err := c.Call(1, adt.OpPeek, nil); err == nil {
+		t.Error("Call succeeded on a failed cluster")
+	}
+	if err := c.Drain(time.Second); !errors.As(err, &overflow) {
+		t.Errorf("Drain() = %v, want the recorded overflow", err)
+	}
+}
+
+// TestDefaultInboxDepth pins the lifted default.
+func TestDefaultInboxDepth(t *testing.T) {
+	c, _ := newQueueCluster(t, 2)
+	if got := c.InboxDepth(); got != DefaultInboxDepth {
+		t.Fatalf("InboxDepth() = %d, want %d", got, DefaultInboxDepth)
+	}
+	if DefaultInboxDepth != 1024 {
+		t.Fatalf("DefaultInboxDepth = %d, want the historical 1024", DefaultInboxDepth)
+	}
+	nodes := make([]sim.Node, 2)
+	for i := range nodes {
+		nodes[i] = echoTimerNode{}
+	}
+	p := rtParams(2)
+	if _, err := NewCluster(Params{Params: p, InboxDepth: -1}, tick, sim.ZeroOffsets(2), nodes, 1); err == nil {
+		t.Error("negative inbox depth should error")
+	}
+}
+
+// echoTimerNode is a minimal node for constructor-validation tests.
+type echoTimerNode struct{}
+
+func (echoTimerNode) Init(sim.Context) {}
+func (echoTimerNode) OnInvoke(ctx sim.Context, inv sim.Invocation) {
+	ctx.Respond(inv.SeqID, inv.Arg)
+}
+func (echoTimerNode) OnMessage(sim.Context, sim.ProcID, any) {}
+func (echoTimerNode) OnTimer(sim.Context, any)               {}

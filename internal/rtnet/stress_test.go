@@ -21,7 +21,11 @@ func TestDrainCompletesPending(t *testing.T) {
 	c.Start()
 	resps := make([]<-chan Response, 3)
 	for p := 0; p < 3; p++ {
-		resps[p] = c.Invoke(sim.ProcID(p), adt.OpEnqueue, p)
+		ch, err := c.Invoke(sim.ProcID(p), adt.OpEnqueue, p)
+		if err != nil {
+			t.Fatalf("invoke at p%d: %v", p, err)
+		}
+		resps[p] = ch
 	}
 	if err := c.Drain(30 * time.Second); err != nil {
 		t.Fatalf("drain: %v", err)
@@ -47,7 +51,9 @@ func TestDrainCompletesPending(t *testing.T) {
 func TestDrainTimeout(t *testing.T) {
 	c, _ := newQueueCluster(t, 2)
 	c.Start()
-	_ = c.Invoke(0, adt.OpEnqueue, 1)
+	if _, err := c.Invoke(0, adt.OpEnqueue, 1); err != nil {
+		t.Fatal(err)
+	}
 	if err := c.Drain(0); err == nil {
 		t.Error("drain with zero timeout and pending work should error")
 	}
@@ -104,8 +110,13 @@ func TestStressSequentialPerProcess(t *testing.T) {
 				default:
 					op = adt.OpPeek
 				}
+				ch, err := c.Invoke(sim.ProcID(p), op, arg)
+				if err != nil {
+					t.Errorf("proc %d op %d (%s): %v", p, n, op, err)
+					return
+				}
 				select {
-				case <-c.Invoke(sim.ProcID(p), op, arg):
+				case <-ch:
 				case <-time.After(10 * time.Second):
 					t.Errorf("proc %d op %d (%s) never responded; %d cluster-wide pending, %d live timers",
 						p, n, op, c.Pending(), c.timerCount())
@@ -122,8 +133,12 @@ func TestStressSequentialPerProcess(t *testing.T) {
 	p := rtParams(5)
 	time.Sleep(time.Duration(p.D+p.Epsilon)*tick + 50*time.Millisecond)
 	for i := 0; ; i++ {
+		ch, err := c.Invoke(sim.ProcID(i%5), adt.OpDequeue, nil)
+		if err != nil {
+			t.Fatalf("drain dequeue %d at proc %d: %v", i, i%5, err)
+		}
 		select {
-		case r := <-c.Invoke(sim.ProcID(i%5), adt.OpDequeue, nil):
+		case r := <-ch:
 			if spec.ValuesEqual(r.Ret, adt.EmptyMarker) {
 				return
 			}

@@ -33,7 +33,7 @@ func (tn *timerNode) OnTimer(ctx sim.Context, tag any) {
 func TestTimerMapDrainsAfterFire(t *testing.T) {
 	p := simtime.Params{N: 2, D: 40, U: 20, Epsilon: 10, X: 10}
 	nodes := []sim.Node{&timerNode{delay: 0}, &timerNode{delay: 5}}
-	c, err := NewCluster(p, tick, sim.ZeroOffsets(2), nodes, 1)
+	c, err := NewCluster(Params{Params: p}, tick, sim.ZeroOffsets(2), nodes, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,8 +41,12 @@ func TestTimerMapDrainsAfterFire(t *testing.T) {
 	defer c.Stop()
 	for i := 0; i < 50; i++ {
 		proc := sim.ProcID(i % 2)
+		ch, err := c.Invoke(proc, "op", i)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
 		select {
-		case r := <-c.Invoke(proc, "op", i):
+		case r := <-ch:
 			if r.Ret != "fire" {
 				t.Fatalf("op %d returned %v, want timer tag", i, r.Ret)
 			}
@@ -63,7 +67,7 @@ func TestTimerMapDrainsAfterFire(t *testing.T) {
 func TestTimerMapDrainsOnCancel(t *testing.T) {
 	p := simtime.Params{N: 2, D: 40, U: 20, Epsilon: 10, X: 10}
 	nodes := []sim.Node{&timerNode{}, &timerNode{}}
-	c, err := NewCluster(p, tick, sim.ZeroOffsets(2), nodes, 1)
+	c, err := NewCluster(Params{Params: p}, tick, sim.ZeroOffsets(2), nodes, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

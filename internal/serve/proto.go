@@ -15,6 +15,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -47,20 +48,42 @@ type wireResponse struct {
 	Err     string          `json:"error,omitempty"`
 }
 
+// frameBuf is a pooled response-encoding buffer: the length header and
+// JSON body are assembled in one reused []byte, so the steady-state write
+// path performs a single conn.Write with no per-frame allocation. Only
+// the write path pools: decoded requests hold json.RawMessage views into
+// the read buffer, which must therefore stay owned by the request.
+type frameBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var frameBufPool = sync.Pool{New: func() any {
+	fb := &frameBuf{}
+	fb.enc = json.NewEncoder(&fb.buf)
+	return fb
+}}
+
 func writeFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
+	fb := frameBufPool.Get().(*frameBuf)
+	defer frameBufPool.Put(fb)
+	fb.buf.Reset()
+	fb.buf.Write([]byte{0, 0, 0, 0}) // length header placeholder
+	if err := fb.enc.Encode(v); err != nil {
 		return err
+	}
+	frame := fb.buf.Bytes()
+	body := frame[4:]
+	if n := len(body); n > 0 && body[n-1] == '\n' {
+		// json.Encoder appends a newline json.Marshal would not emit.
+		body = body[:n-1]
+		frame = frame[:len(frame)-1]
 	}
 	if len(body) > maxFrame {
 		return fmt.Errorf("serve: frame of %d bytes exceeds limit", len(body))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	_, err := w.Write(frame)
 	return err
 }
 

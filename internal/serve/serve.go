@@ -51,6 +51,10 @@ type Config struct {
 	// QueueDepth bounds each replica's request queue (default 64); a full
 	// queue blocks Call, giving closed-loop backpressure.
 	QueueDepth int
+	// InboxDepth bounds each rtnet process inbox (default
+	// rtnet.DefaultInboxDepth). An overflow is a cluster failure surfaced
+	// through Call/Drain errors, never a silent stall.
+	InboxDepth int
 }
 
 type result struct {
@@ -118,8 +122,8 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	nodes := core.NewReplicas(cfg.Params.N, dt, classes, core.DefaultTimers(cfg.Params))
-	cluster, err := rtnet.NewCluster(cfg.Params, cfg.Tick, offsets, nodes,
-		harness.DeriveSeed(cfg.Seed, "serve/net"))
+	cluster, err := rtnet.NewCluster(rtnet.Params{Params: cfg.Params, InboxDepth: cfg.InboxDepth},
+		cfg.Tick, offsets, nodes, harness.DeriveSeed(cfg.Seed, "serve/net"))
 	if err != nil {
 		return nil, err
 	}
@@ -166,9 +170,11 @@ func (s *Server) Start() {
 		go func() {
 			defer s.workers.Done()
 			for c := range q {
-				resp := s.cluster.Call(proc, c.op, c.arg)
-				s.rec.record(resp)
-				c.out <- result{resp: resp}
+				resp, err := s.cluster.Call(proc, c.op, c.arg)
+				if err == nil {
+					s.rec.record(resp)
+				}
+				c.out <- result{resp: resp, err: err}
 			}
 		}()
 	}

@@ -1,14 +1,13 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"lintime/internal/simtime"
 )
 
 // eventKind distinguishes scheduled event types.
-type eventKind int
+type eventKind uint8
 
 const (
 	evInvoke eventKind = iota
@@ -16,7 +15,9 @@ const (
 	evTimer
 )
 
-// event is one scheduled occurrence in the simulation.
+// event is one scheduled occurrence in the simulation. Events are value
+// types stored inline in the engine's queue: scheduling an event never
+// heap-allocates and popping one never chases a pointer.
 type event struct {
 	time simtime.Time
 	seq  int64 // tie-break: FIFO among simultaneous events
@@ -28,7 +29,7 @@ type event struct {
 	// evDeliver
 	from     ProcID
 	payload  any
-	msgIndex int // index into trace.Msgs
+	msgIndex int // index into trace.Msgs (-1 when message records are off)
 	// evTimer
 	timerID TimerID
 	tag     any
@@ -52,27 +53,129 @@ func (k eventKind) rank() int {
 	}
 }
 
-// eventHeap is a min-heap over (time, kind rank, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// eventBefore is the engine's total event order: (time, kind rank, seq).
+// It is exactly the order the original container/heap implementation
+// used, so run outputs are unchanged; the ordering-equivalence property
+// test in engine_order_test.go pins the two against each other.
+func eventBefore(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	if h[i].kind.rank() != h[j].kind.rank() {
-		return h[i].kind.rank() < h[j].kind.rank()
+	if ra, rb := a.kind.rank(), b.kind.rank(); ra != rb {
+		return ra < rb
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() *event  { return h[0] }
+
+// eventQueue is a value-typed 4-ary min-heap over eventBefore. Compared
+// with the previous []*event + container/heap queue it removes the
+// per-event heap allocation, the any-interface boxing on every push/pop,
+// and half the tree depth (a 4-ary sift touches up to three more
+// comparisons per level but half as many cache lines, which wins on the
+// engine's pop-heavy usage). The backing array is retained across
+// Engine.Reset, so a reused engine schedules events with zero
+// steady-state allocation.
+type eventQueue struct {
+	items []event
+}
+
+func (q *eventQueue) len() int { return len(q.items) }
+
+// peek returns the minimum event without removing it. The pointer is
+// valid only until the next push or pop.
+func (q *eventQueue) peek() *event { return &q.items[0] }
+
+// reset empties the queue, retaining capacity. Slots are zeroed so stale
+// payload references do not pin memory.
+func (q *eventQueue) reset() {
+	clear(q.items)
+	q.items = q.items[:0]
+}
+
+func (q *eventQueue) push(ev event) {
+	q.items = append(q.items, ev)
+	// Sift up.
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventBefore(&q.items[i], &q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items[n] = event{} // release payload references
+	q.items = q.items[:n]
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventBefore(&q.items[c], &q.items[min]) {
+				min = c
+			}
+		}
+		if !eventBefore(&q.items[min], &q.items[i]) {
+			break
+		}
+		q.items[i], q.items[min] = q.items[min], q.items[i]
+		i = min
+	}
+	return top
+}
+
+// TraceLevel selects how much of a run the engine records. Every level
+// produces identical executions (event order, responses, latencies); the
+// levels only drop record-keeping the caller will never read.
+type TraceLevel int
+
+const (
+	// TraceFull records Steps, Msgs and Ops — everything the shifting
+	// machinery, the diagram renderer, and CheckAdmissible's
+	// unreceived-message check can ask for. The default.
+	TraceFull TraceLevel = iota
+	// TraceOps skips the per-process step views (Trace.Steps) but keeps
+	// Msgs and Ops: enough for latency statistics, the linearizability
+	// checker, delay-admissibility checks on complete runs, and the
+	// fuzzer's event-ordering signatures (which come from the engine's
+	// running step hash, not the Steps slice).
+	TraceOps
+	// TraceOff additionally skips message records (Trace.Msgs); only Ops
+	// are kept, the minimum for responses to be observable at all.
+	TraceOff
+)
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters; the engine
+// maintains a running FNV-1a hash over the processed-event sequence so
+// consumers (the fuzzer's coverage signatures) need not re-walk a
+// recorded Steps slice.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
 
 // Engine drives a deterministic simulation of n nodes. Events at the same
 // real time are processed in scheduling order, so runs are fully
 // reproducible.
+//
+// An Engine may be reused across runs via Reset, which retains the event
+// queue's backing array, the bookkeeping maps, and trace-capacity hints —
+// the allocation profile of a reused engine is a handful of slice headers
+// per run instead of a heap node per event.
 type Engine struct {
 	params  simtime.Params
 	offsets []simtime.Duration
@@ -80,7 +183,8 @@ type Engine struct {
 	nodes   []Node
 
 	now      simtime.Time
-	queue    eventHeap
+	queue    eventQueue
+	ctxs     []engineCtx // one reusable Context per process
 	seq      int64
 	timerSeq int64
 	opSeq    int64
@@ -90,6 +194,8 @@ type Engine struct {
 	opIndex  map[int64]int    // SeqID → index into trace.Ops
 	trace    *Trace
 	started  bool
+	level    TraceLevel
+	stepSig  uint64 // running FNV-1a over (kind, proc) of processed events
 
 	// OnRespond, if non-nil, is called after every operation response with
 	// the completed record. Handlers may schedule further invocations (at
@@ -103,33 +209,85 @@ type Engine struct {
 // NewEngine builds an engine. offsets must have one entry per node and
 // respect the skew bound ε; net provides message delays.
 func NewEngine(params simtime.Params, offsets []simtime.Duration, net Network, nodes []Node) (*Engine, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
-	}
-	if len(nodes) != params.N {
-		return nil, fmt.Errorf("sim: %d nodes for N=%d", len(nodes), params.N)
-	}
-	if len(offsets) != params.N {
-		return nil, fmt.Errorf("sim: %d offsets for N=%d", len(offsets), params.N)
-	}
-	if err := ValidateOffsets(offsets, params.Epsilon); err != nil {
-		return nil, err
-	}
 	eng := &Engine{
-		params:   params,
-		offsets:  append([]simtime.Duration(nil), offsets...),
-		net:      net,
-		nodes:    nodes,
 		canceled: map[TimerID]bool{},
 		pending:  map[ProcID]int64{},
 		opIndex:  map[int64]int{},
-		trace: &Trace{
-			Params:  params,
-			Offsets: append([]simtime.Duration(nil), offsets...),
-		},
 		MaxSteps: 10_000_000,
 	}
+	if err := eng.Reset(params, offsets, net, nodes); err != nil {
+		return nil, err
+	}
 	return eng, nil
+}
+
+// Reset rearms the engine for a fresh run with the given configuration,
+// retaining the event queue's backing array, the bookkeeping maps, the
+// per-process contexts, and capacity hints for the trace slices (which
+// are preallocated to the previous run's sizes). The trace returned by
+// the previous run is NOT recycled — it remains valid after Reset, so
+// results that escaped to callers are never corrupted by engine reuse.
+// OnRespond is cleared; MaxSteps and the trace level are retained.
+func (e *Engine) Reset(params simtime.Params, offsets []simtime.Duration, net Network, nodes []Node) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	if len(nodes) != params.N {
+		return fmt.Errorf("sim: %d nodes for N=%d", len(nodes), params.N)
+	}
+	if len(offsets) != params.N {
+		return fmt.Errorf("sim: %d offsets for N=%d", len(offsets), params.N)
+	}
+	if err := ValidateOffsets(offsets, params.Epsilon); err != nil {
+		return err
+	}
+	e.params = params
+	e.offsets = append(e.offsets[:0], offsets...)
+	e.net = net
+	e.nodes = nodes
+	e.now = 0
+	e.queue.reset()
+	if cap(e.ctxs) < params.N {
+		e.ctxs = make([]engineCtx, params.N)
+	}
+	e.ctxs = e.ctxs[:params.N]
+	for p := range e.ctxs {
+		e.ctxs[p] = engineCtx{eng: e, proc: ProcID(p)}
+	}
+	e.seq, e.timerSeq, e.opSeq, e.msgCount = 0, 0, 0, 0
+	clear(e.canceled)
+	clear(e.pending)
+	clear(e.opIndex)
+	// Preallocate the fresh trace to the previous run's high-water sizes:
+	// steady-state reuse pays one exact-size allocation per slice instead
+	// of a geometric regrowth chain.
+	var stepsHint, msgsHint, opsHint int
+	if e.trace != nil {
+		stepsHint, msgsHint, opsHint = len(e.trace.Steps), len(e.trace.Msgs), len(e.trace.Ops)
+	}
+	e.trace = &Trace{
+		Params:  params,
+		Offsets: append([]simtime.Duration(nil), offsets...),
+		Steps:   make([]StepRecord, 0, stepsHint),
+		Msgs:    make([]MsgRecord, 0, msgsHint),
+		Ops:     make([]OpRecord, 0, opsHint),
+	}
+	e.started = false
+	e.stepSig = fnvOffset
+	e.OnRespond = nil
+	if e.MaxSteps == 0 {
+		e.MaxSteps = 10_000_000
+	}
+	return nil
+}
+
+// SetTraceLevel selects how much of the run is recorded (default
+// TraceFull). Must be called before the first event is processed.
+func (e *Engine) SetTraceLevel(level TraceLevel) {
+	if e.started {
+		panic("sim: SetTraceLevel after the run started")
+	}
+	e.level = level
 }
 
 // Params returns the engine's model parameters.
@@ -141,11 +299,22 @@ func (e *Engine) Now() simtime.Time { return e.now }
 // Trace returns the (live) trace of the run.
 func (e *Engine) Trace() *Trace { return e.trace }
 
+// StepSignature returns the FNV-1a hash of the processed-event sequence
+// so far: for each event, the bytes (kind, proc) in processing order —
+// byte-for-byte the prefix the fuzzer's coverage signature hashes from
+// Trace.Steps. Maintained at every trace level, so signature-driven
+// exploration can run with step recording off.
+func (e *Engine) StepSignature() uint64 { return e.stepSig }
+
+// QueueLen returns the number of scheduled events not yet processed
+// (including canceled timers that have not yet been skipped).
+func (e *Engine) QueueLen() int { return e.queue.len() }
+
 // push schedules an event.
-func (e *Engine) push(ev *event) {
+func (e *Engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 }
 
 // InvokeAt schedules an operation invocation at process p at the given
@@ -156,7 +325,7 @@ func (e *Engine) InvokeAt(p ProcID, at simtime.Time, op string, arg any) int64 {
 	}
 	seqID := e.opSeq
 	e.opSeq++
-	e.push(&event{time: at, kind: evInvoke, proc: p, inv: Invocation{SeqID: seqID, Op: op, Arg: arg}})
+	e.push(event{time: at, kind: evInvoke, proc: p, inv: Invocation{SeqID: seqID, Op: op, Arg: arg}})
 	return seqID
 }
 
@@ -164,7 +333,7 @@ func (e *Engine) InvokeAt(p ProcID, at simtime.Time, op string, arg any) int64 {
 func (e *Engine) setTimer(p ProcID, at simtime.Time, tag any) TimerID {
 	id := TimerID(e.timerSeq)
 	e.timerSeq++
-	e.push(&event{time: at, kind: evTimer, proc: p, timerID: id, tag: tag})
+	e.push(event{time: at, kind: evTimer, proc: p, timerID: id, tag: tag})
 	return id
 }
 
@@ -179,16 +348,20 @@ func (e *Engine) send(from, to ProcID, payload any) {
 	}
 	e.msgCount++
 	recv := e.now.Add(delay)
-	e.trace.Msgs = append(e.trace.Msgs, MsgRecord{
-		ID:       e.msgCount,
-		From:     from,
-		To:       to,
-		SendTime: e.now,
-		RecvTime: recv,
-		Payload:  payload,
-	})
-	e.push(&event{time: recv, kind: evDeliver, proc: to, from: from, payload: payload,
-		msgIndex: len(e.trace.Msgs) - 1})
+	msgIndex := -1
+	if e.level <= TraceOps {
+		e.trace.Msgs = append(e.trace.Msgs, MsgRecord{
+			ID:       e.msgCount,
+			From:     from,
+			To:       to,
+			SendTime: e.now,
+			RecvTime: recv,
+			Payload:  payload,
+		})
+		msgIndex = len(e.trace.Msgs) - 1
+	}
+	e.push(event{time: recv, kind: evDeliver, proc: to, from: from, payload: payload,
+		msgIndex: msgIndex})
 }
 
 // respond records the response for a pending invocation.
@@ -215,12 +388,12 @@ func (e *Engine) RunUntil(limit simtime.Time) *Trace {
 	if !e.started {
 		e.started = true
 		for p := range e.nodes {
-			e.nodes[p].Init(&engineCtx{eng: e, proc: ProcID(p)})
+			e.nodes[p].Init(&e.ctxs[p])
 		}
 	}
 	steps := 0
-	for e.queue.Len() > 0 && e.queue.Peek().time <= limit {
-		ev := heap.Pop(&e.queue).(*event)
+	for e.queue.len() > 0 && e.queue.peek().time <= limit {
+		ev := e.queue.pop()
 		if ev.kind == evTimer && e.canceled[ev.timerID] {
 			delete(e.canceled, ev.timerID)
 			continue
@@ -233,7 +406,9 @@ func (e *Engine) RunUntil(limit simtime.Time) *Trace {
 		if steps > e.MaxSteps {
 			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d (runaway algorithm?)", e.MaxSteps))
 		}
-		ctx := &engineCtx{eng: e, proc: ev.proc}
+		e.stepSig = (e.stepSig ^ uint64(byte(ev.kind))) * fnvPrime
+		e.stepSig = (e.stepSig ^ uint64(byte(ev.proc))) * fnvPrime
+		ctx := &e.ctxs[ev.proc]
 		switch ev.kind {
 		case evInvoke:
 			if prev, busy := e.pending[ev.proc]; busy {
@@ -250,13 +425,19 @@ func (e *Engine) RunUntil(limit simtime.Time) *Trace {
 				InvokeTime:  e.now,
 				RespondTime: simtime.Infinity,
 			})
-			e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepInvoke})
+			if e.level == TraceFull {
+				e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepInvoke})
+			}
 			e.nodes[ev.proc].OnInvoke(ctx, ev.inv)
 		case evDeliver:
-			e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepDeliver})
+			if e.level == TraceFull {
+				e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepDeliver})
+			}
 			e.nodes[ev.proc].OnMessage(ctx, ev.from, ev.payload)
 		case evTimer:
-			e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepTimer})
+			if e.level == TraceFull {
+				e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepTimer})
+			}
 			e.nodes[ev.proc].OnTimer(ctx, ev.tag)
 		}
 	}
