@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-engine bench-compare fuzz-smoke fuzz-native soak soak-smoke load-bench
+.PHONY: check vet build test race bench bench-engine bench-compare bench-guard stat-smoke fuzz-smoke fuzz-native soak soak-smoke load-bench
 
 # check is the tier-1 gate: vet, build, full tests, and a short
 # race-detector pass over the concurrency-bearing packages.
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/rtnet/ ./internal/serve/ ./internal/harness/ ./internal/lincheck/ ./internal/sim/ ./internal/adversary/
+	$(GO) test -race -count=1 ./internal/rtnet/ ./internal/serve/ ./internal/harness/ ./internal/lincheck/ ./internal/sim/ ./internal/adversary/ ./internal/obs/
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -45,6 +45,30 @@ bench-compare:
 	/tmp/lintime-bench-compare fuzz -budget 500 -seed 1 -parallel 8 > /tmp/bench-compare-fuzz-p8.txt
 	cmp /tmp/bench-compare-fuzz-p1.txt /tmp/bench-compare-fuzz-p8.txt
 	@echo "bench-compare: outputs byte-identical across parallelism levels"
+
+# bench-guard asserts the instrumented-but-disabled engine stays on the
+# zero-overhead budget recorded in BENCH_engine.json: ns/op within 5% of
+# the ledger's after side, and allocs/op not increasing at all.
+bench-guard:
+	$(GO) test -run xxx -bench BenchmarkEngineEvents -benchmem -benchtime 2s ./internal/sim/ | \
+		$(GO) run ./cmd/benchjson -guard -pct 5 -o BENCH_engine.json
+
+# stat-smoke boots a live load run with the observability endpoint on,
+# reads it back with `lintime stat -once -require-slo` (nonzero exit on
+# an SLO violation), scrapes /metrics for the labelled latency family,
+# and folds the final JSONL snapshot into a throwaway ledger.
+stat-smoke:
+	$(GO) build -o /tmp/lintime-stat-smoke ./cmd/lintime
+	/tmp/lintime-stat-smoke load -n 3 -clients 4 -duration 6s -seed 1 \
+		-metrics-addr 127.0.0.1:9173 -obs-out /tmp/stat-smoke.jsonl \
+		> /tmp/stat-smoke-load.txt & \
+	LOAD_PID=$$!; \
+	sleep 3; \
+	/tmp/lintime-stat-smoke stat -addr 127.0.0.1:9173 -once -require-slo && \
+	wget -qO- http://127.0.0.1:9173/metrics | grep -q 'serve_latency_ticks{class="MOP"' && \
+	wait $$LOAD_PID
+	$(GO) run ./cmd/benchjson -snapshots /tmp/stat-smoke.jsonl -set after -o /tmp/stat-smoke-ledger.json
+	@echo "stat-smoke: live endpoint, stat verdict, and snapshot fold OK"
 
 # fuzz-smoke runs a deterministic adversarial-schedule campaign: the full
 # mutant kill matrix (every seeded bug must die, the control must stay

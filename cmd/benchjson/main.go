@@ -13,6 +13,22 @@
 // percentage delta for every metric present on both sides, and rewrites
 // the file with sorted keys. Non-benchmark lines are ignored, so piping
 // the whole `go test` output is fine.
+//
+// Two further modes:
+//
+//	go test -bench . -benchmem ./internal/sim/ | benchjson -guard -o BENCH_engine.json
+//
+// compares stdin results against the ledger's after side instead of
+// merging: the run fails if any benchmark's ns/op exceeds the recorded
+// value by more than -pct percent, or any -exact metric (default
+// allocs/op) increases at all — the CI guard keeping instrumentation off
+// the hot path.
+//
+//	benchjson -snapshots load.jsonl -set after -o BENCH_serve_obs.json
+//
+// folds the final snapshot of an obs JSONL file (`lintime load
+// -obs-out`) into the ledger: counters and gauges as single-value
+// metrics, histograms as their summary fields.
 package main
 
 import (
@@ -24,6 +40,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"lintime/internal/obs"
 )
 
 // Ledger is the on-disk shape: benchmark → metric → value, per side,
@@ -107,9 +125,90 @@ func sign(x float64) float64 {
 	return 1
 }
 
+// guardStdin compares stdin benchmark lines against the ledger's after
+// side: ns/op may not regress by more than pct percent, and the exact
+// metrics may not increase at all. Returns the number of violations.
+func guardStdin(led *Ledger, pct float64, exact map[string]bool) int {
+	violations, checked := 0, 0
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		name, metrics, ok := parse(sc.Text())
+		if !ok {
+			continue
+		}
+		base, ok := led.After[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: guard: %s not in ledger, skipping\n", name)
+			continue
+		}
+		checked++
+		for metric, have := range metrics {
+			want, ok := base[metric]
+			if !ok {
+				continue
+			}
+			switch {
+			case exact[metric]:
+				if have > want {
+					fmt.Fprintf(os.Stderr, "benchjson: guard FAIL %s %s: %v > %v (must not increase)\n",
+						name, metric, have, want)
+					violations++
+				} else {
+					fmt.Fprintf(os.Stderr, "benchjson: guard ok   %s %s: %v <= %v\n", name, metric, have, want)
+				}
+			case metric == "ns/op":
+				limit := want * (1 + pct/100)
+				if have > limit {
+					fmt.Fprintf(os.Stderr, "benchjson: guard FAIL %s ns/op: %.0f > %.0f (ledger %.0f +%.0f%%)\n",
+						name, have, limit, want, pct)
+					violations++
+				} else {
+					fmt.Fprintf(os.Stderr, "benchjson: guard ok   %s ns/op: %.0f <= %.0f (ledger %.0f +%.0f%%)\n",
+						name, have, limit, want, pct)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: guard: no benchmark lines matched the ledger")
+		os.Exit(1)
+	}
+	return violations
+}
+
+// lastSnapshot reads the final snapshot line of an obs JSONL file.
+func lastSnapshot(path string) (obs.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	var last string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) != "" {
+			last = line
+		}
+	}
+	if last == "" {
+		return obs.Snapshot{}, fmt.Errorf("benchjson: %s has no snapshot lines", path)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(last), &snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("benchjson: %s is not an obs snapshot file: %w", path, err)
+	}
+	return snap, nil
+}
+
 func main() {
 	set := flag.String("set", "after", `ledger side to merge into ("before" or "after")`)
 	out := flag.String("o", "BENCH_engine.json", "ledger file to update")
+	guard := flag.Bool("guard", false, "compare stdin results against the ledger's after side instead of merging; nonzero exit on regression")
+	pct := flag.Float64("pct", 5, "allowed ns/op regression percentage under -guard")
+	exactFlag := flag.String("exact", "allocs/op", "comma-separated metrics that must not increase at all under -guard")
+	snapshots := flag.String("snapshots", "", "fold the final snapshot of this obs JSONL file into the ledger instead of reading stdin")
 	flag.Parse()
 	if *set != "before" && *set != "after" {
 		fmt.Fprintf(os.Stderr, "benchjson: -set must be before or after, got %q\n", *set)
@@ -120,6 +219,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *guard {
+		exact := map[string]bool{}
+		for _, m := range strings.Split(*exactFlag, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				exact[m] = true
+			}
+		}
+		if v := guardStdin(led, *pct, exact); v > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: guard: %d violation(s) against %s\n", v, *out)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: guard passed against %s\n", *out)
+		return
+	}
 	side := &led.Before
 	if *set == "after" {
 		side = &led.After
@@ -128,23 +241,40 @@ func main() {
 		*side = map[string]map[string]float64{}
 	}
 	n := 0
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		name, metrics, ok := parse(sc.Text())
-		if !ok {
-			continue
+	if *snapshots != "" {
+		snap, err := lastSnapshot(*snapshots)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		if (*side)[name] == nil {
-			(*side)[name] = map[string]float64{}
+		for name, metrics := range snap.Flatten() {
+			if (*side)[name] == nil {
+				(*side)[name] = map[string]float64{}
+			}
+			for k, v := range metrics {
+				(*side)[name][k] = v
+			}
+			n++
 		}
-		for k, v := range metrics {
-			(*side)[name][k] = v
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			name, metrics, ok := parse(sc.Text())
+			if !ok {
+				continue
+			}
+			if (*side)[name] == nil {
+				(*side)[name] = map[string]float64{}
+			}
+			for k, v := range metrics {
+				(*side)[name][k] = v
+			}
+			n++
 		}
-		n++
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if n == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")

@@ -40,6 +40,7 @@ import (
 	"lintime/internal/harness"
 	"lintime/internal/histio"
 	"lintime/internal/lowerbound"
+	"lintime/internal/obs"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
 )
@@ -69,6 +70,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "load":
 		err = cmdLoad(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -110,6 +113,8 @@ commands:
               by default, -addr for a remote server, -sim for the
               virtual-time engine) and report per-class latency quantiles
               against the paper's formulas
+  stat        poll a cluster's observability endpoint (serve/load
+              -metrics-addr) and render a live per-class latency/SLO table
 
 run 'lintime <command> -h' for command flags`)
 }
@@ -470,6 +475,8 @@ func cmdFuzz(args []string) error {
 	noShrink := fs.Bool("no-shrink", false, "report raw violating schedules without delta-debugging them")
 	parallel := parallelFlag(fs)
 	startProfile := profileFlags(fs)
+	startMetrics := metricsAddrFlag(fs)
+	startObsOut := obsOutFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -482,6 +489,15 @@ func cmdFuzz(args []string) error {
 		return err
 	}
 	stopProfile, err := startProfile()
+	if err != nil {
+		return err
+	}
+	stopMetrics, err := startMetrics(obs.Handler(obs.Default))
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	flushObs, err := startObsOut(obs.Default)
 	if err != nil {
 		return err
 	}
@@ -512,6 +528,9 @@ func cmdFuzz(args []string) error {
 		if err := adversary.WriteKillMatrix(os.Stdout, runner, entries); err != nil {
 			return err
 		}
+		if err := flushObs(); err != nil {
+			return err
+		}
 		return stopProfile()
 	}
 	opts.StopEarly = *mutant != ""
@@ -520,6 +539,9 @@ func cmdFuzz(args []string) error {
 		return err
 	}
 	if err := adversary.WriteReport(os.Stdout, runner, rep); err != nil {
+		return err
+	}
+	if err := flushObs(); err != nil {
 		return err
 	}
 	return stopProfile()

@@ -14,6 +14,7 @@ import (
 
 	"lintime/internal/adt"
 	"lintime/internal/harness"
+	"lintime/internal/obs"
 	"lintime/internal/rtnet"
 	"lintime/internal/serve"
 	"lintime/internal/sim"
@@ -104,6 +105,7 @@ func cmdServe(args []string) error {
 	inboxDepth := fs.Int("inbox-depth", rtnet.DefaultInboxDepth, "per-process rtnet inbox bound (overflow is a typed cluster failure)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight operations")
 	dryRun := fs.Bool("dry-run", false, "print the resolved serving configuration as JSON and exit")
+	startMetrics := metricsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,6 +128,11 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopMetrics, err := startMetrics(s.ObsHandler())
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	s.Start()
 	fmt.Fprintf(os.Stderr, "lintime serve: %s cluster (n=%d d=%v u=%v ε=%v X=%v) on %s, tick %v\n",
 		*typeName, p.N, p.D, p.U, p.Epsilon, p.X, ln.Addr(), *tick)
@@ -198,6 +205,8 @@ func cmdLoad(args []string) error {
 	outFile := fs.String("o", "", "write the JSON summary to this file instead of stdout")
 	requireSLO := fs.Bool("require-slo", false, "exit nonzero unless every class's p99 is within formula + jitter budget")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for the in-process cluster")
+	startMetrics := metricsAddrFlag(fs)
+	startObsOut := obsOutFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -214,11 +223,34 @@ func cmdLoad(args []string) error {
 		return err
 	}
 
+	// SIGINT/SIGTERM ends the run gracefully: clients stop submitting,
+	// the cluster drains through the normal shutdown path, and the
+	// summary plus any -obs-out final snapshot cover the work done so
+	// far — a shortened run, not an aborted one.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	stopCh := make(chan struct{})
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "lintime load: %v — stopping clients, draining, flushing summary\n", sig)
+		close(stopCh)
+	}()
+
+	flushObs := func() error { return nil }
 	var sum *serve.Summary
 	switch {
 	case *simMode:
 		if *ops <= 0 {
 			return fmt.Errorf("load: -sim needs -ops (virtual time has no wall-clock duration)")
+		}
+		stopMetrics, err := startMetrics(obs.Handler(obs.Default))
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		if flushObs, err = startObsOut(obs.Default); err != nil {
+			return err
 		}
 		res, err := harness.Run(
 			harness.Config{Params: p, TypeName: *typeName, Algorithm: harness.AlgCore,
@@ -240,8 +272,17 @@ func cmdLoad(args []string) error {
 			return err
 		}
 		defer c.Close()
+		stopMetrics, err := startMetrics(obs.Handler(obs.Default))
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		if flushObs, err = startObsOut(obs.Default); err != nil {
+			return err
+		}
 		sum, err = serve.RunLoad(c, dt, p, *tick, serve.LoadConfig{
 			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
+			Stop: stopCh,
 		})
 		if err != nil {
 			return err
@@ -254,9 +295,18 @@ func cmdLoad(args []string) error {
 		if err != nil {
 			return err
 		}
+		stopMetrics, err := startMetrics(s.ObsHandler())
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		if flushObs, err = startObsOut(s.Registry(), obs.Default); err != nil {
+			return err
+		}
 		s.Start()
 		sum, err = serve.RunLoad(s, dt, p, *tick, serve.LoadConfig{
 			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
+			Stop: stopCh,
 		})
 		if drainErr := s.Drain(*drainTimeout); drainErr != nil && err == nil {
 			err = drainErr
@@ -278,6 +328,10 @@ func cmdLoad(args []string) error {
 		fmt.Fprintf(os.Stderr, "lintime load: summary written to %s (SLO met: %v)\n", *outFile, sum.SLOMet())
 	} else {
 		fmt.Println(string(b))
+	}
+	// Final snapshot flush (also the path a signal-shortened run takes).
+	if err := flushObs(); err != nil {
+		return err
 	}
 	if *requireSLO && !sum.SLOMet() {
 		return fmt.Errorf("load: latency SLO violated (a class's p99 exceeds its formula + jitter budget)")

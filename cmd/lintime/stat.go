@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"lintime/internal/obs"
+)
+
+// statClasses fixes the per-class table row order.
+var statClasses = []string{"AOP", "MOP", "OOP"}
+
+// fetchSnapshot pulls /metrics.json from a lintime observability endpoint.
+func fetchSnapshot(client *http.Client, base string) (obs.Snapshot, error) {
+	resp, err := client.Get(base + "/metrics.json")
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.Snapshot{}, fmt.Errorf("stat: %s returned %s", base, resp.Status)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return obs.Snapshot{}, err
+	}
+	return snap, nil
+}
+
+// classRow extracts one class's latency summary and bounds from a
+// snapshot; ok is false when the endpoint exports no such class.
+func classRow(snap obs.Snapshot, class string) (h obs.HistSummary, formula, slo int64, ok bool) {
+	name := fmt.Sprintf("serve_latency_ticks{class=%q}", class)
+	h, ok = snap.Hists[name]
+	if !ok {
+		return h, 0, 0, false
+	}
+	formula = snap.Gauges[fmt.Sprintf("serve_latency_formula_ticks{class=%q}", class)]
+	slo = snap.Gauges[fmt.Sprintf("serve_latency_slo_ticks{class=%q}", class)]
+	return h, formula, slo, true
+}
+
+// sloViolated reports whether any class with traffic has p99 above its
+// SLO line (formula + jitter budget).
+func sloViolated(snap obs.Snapshot) bool {
+	for _, class := range statClasses {
+		if h, _, slo, ok := classRow(snap, class); ok && h.Count > 0 && h.P99 > slo {
+			return true
+		}
+	}
+	return false
+}
+
+func drainStateName(v int64) string {
+	switch v {
+	case 1:
+		return "draining"
+	case 2:
+		return "drained"
+	default:
+		return "serving"
+	}
+}
+
+// renderStat writes one live status frame: serving-layer and substrate
+// counters (with rates differentiated against the previous poll), then
+// the per-class latency/SLO table the acceptance check reads.
+func renderStat(w io.Writer, prev, cur obs.Snapshot, elapsed time.Duration) {
+	rate := func(name string) string {
+		if elapsed <= 0 {
+			return "-"
+		}
+		delta := cur.Counters[name] - prev.Counters[name]
+		return fmt.Sprintf("%.1f/s", float64(delta)/elapsed.Seconds())
+	}
+	fmt.Fprintf(w, "serve   calls %d (%s)  inflight %d  errors %d  state %s\n",
+		cur.Counters["serve_calls_total"], rate("serve_calls_total"),
+		cur.Gauges["serve_inflight_ops"], cur.Counters["serve_call_errors_total"],
+		drainStateName(cur.Gauges["serve_drain_state"]))
+	overflowNote := ""
+	if cur.Counters["rtnet_inbox_overflows_total"] > 0 {
+		overflowNote = fmt.Sprintf(" (last p%d)", cur.Gauges["rtnet_inbox_overflow_last_proc"])
+	}
+	fmt.Fprintf(w, "rtnet   delivered %d (%s)  timers %d  inbox max %d  overflows %d%s\n",
+		cur.Counters["rtnet_messages_delivered_total"], rate("rtnet_messages_delivered_total"),
+		cur.Counters["rtnet_timer_fires_total"], cur.Gauges["rtnet_inbox_depth_max"],
+		cur.Counters["rtnet_inbox_overflows_total"], overflowNote)
+	if runs := cur.Counters["harness_runs_total"]; runs > 0 {
+		fmt.Fprintf(w, "harness runs %d (%s)\n", runs, rate("harness_runs_total"))
+	}
+	if scheds := cur.Counters["adversary_schedules_total"]; scheds > 0 {
+		fmt.Fprintf(w, "fuzz    schedules %d (%s)  novelty %d (%.1f%%)  violations %d  kills %d\n",
+			scheds, rate("adversary_schedules_total"),
+			cur.Counters["adversary_novelty_hits_total"],
+			100*float64(cur.Counters["adversary_novelty_hits_total"])/float64(scheds),
+			cur.Counters["adversary_violations_total"],
+			cur.Counters["adversary_mutant_kills_total"])
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nclass\tcount\tp50\tp95\tp99\tmax\tformula\tslo(p99≤)\tverdict")
+	for _, class := range statClasses {
+		h, formula, slo, ok := classRow(cur, class)
+		if !ok {
+			continue
+		}
+		verdict := "ok"
+		if h.Count == 0 {
+			verdict = "-"
+		} else if h.P99 > slo {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			class, h.Count, h.P50, h.P95, h.P99, h.Max, formula, slo, verdict)
+	}
+	tw.Flush()
+}
+
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9100", "observability endpoint to poll (host:port of -metrics-addr)")
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	once := fs.Bool("once", false, "print a single frame and exit")
+	requireSLO := fs.Bool("require-slo", false, "exit nonzero if any class's live p99 exceeds formula + jitter budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	cur, err := fetchSnapshot(client, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lintime stat: %s at %s\n\n", base, time.Now().Format(time.TimeOnly))
+	renderStat(os.Stdout, obs.Snapshot{}, cur, 0)
+	if *once {
+		if *requireSLO && sloViolated(cur) {
+			return fmt.Errorf("stat: latency SLO violated (a class's live p99 exceeds formula + jitter budget)")
+		}
+		return nil
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	prev := cur
+	prevAt := time.Now()
+	for {
+		select {
+		case <-sigCh:
+			return nil
+		case <-ticker.C:
+			cur, err = fetchSnapshot(client, base)
+			if err != nil {
+				return err
+			}
+			now := time.Now()
+			fmt.Printf("\nlintime stat: %s at %s\n\n", base, now.Format(time.TimeOnly))
+			renderStat(os.Stdout, prev, cur, now.Sub(prevAt))
+			if *requireSLO && sloViolated(cur) {
+				return fmt.Errorf("stat: latency SLO violated (a class's live p99 exceeds formula + jitter budget)")
+			}
+			prev, prevAt = cur, now
+		}
+	}
+}
+
+// metricsAddrFlag registers -metrics-addr and returns a starter: when the
+// flag is set the starter boots the observability HTTP endpoint (metrics,
+// expvar, pprof) on that address and returns a shutdown func.
+func metricsAddrFlag(fs *flag.FlagSet) func(h http.Handler) (func(), error) {
+	addr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof/ on this address (empty = off)")
+	return func(h http.Handler) (func(), error) {
+		if *addr == "" {
+			return func() {}, nil
+		}
+		srv := &http.Server{Addr: *addr, Handler: h}
+		errCh := make(chan error, 1)
+		go func() { errCh <- srv.ListenAndServe() }()
+		// Surface immediate bind failures instead of dying silently later.
+		select {
+		case err := <-errCh:
+			return nil, fmt.Errorf("metrics endpoint: %w", err)
+		case <-time.After(50 * time.Millisecond):
+		}
+		fmt.Fprintf(os.Stderr, "lintime: observability endpoint on http://%s (try `lintime stat -addr %s`)\n", *addr, *addr)
+		return func() { srv.Close() }, nil
+	}
+}
+
+// obsOutFlags registers -obs-out/-obs-interval and returns a starter for
+// the periodic JSONL snapshot writer over the given registries. The
+// returned stop func writes the final snapshot (the SIGINT flush path).
+func obsOutFlags(fs *flag.FlagSet) func(regs ...*obs.Registry) (func() error, error) {
+	out := fs.String("obs-out", "", "append periodic metric snapshots to this JSONL file (final snapshot on exit)")
+	interval := fs.Duration("obs-interval", 0, "snapshot period for -obs-out (0 = final snapshot only)")
+	return func(regs ...*obs.Registry) (func() error, error) {
+		if *out == "" {
+			return func() error { return nil }, nil
+		}
+		sw, err := obs.NewSnapshotWriter(*out, *interval, regs...)
+		if err != nil {
+			return nil, err
+		}
+		return sw.Close, nil
+	}
+}

@@ -7,9 +7,20 @@ import (
 	"strings"
 
 	"lintime/internal/harness"
+	"lintime/internal/obs"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
 	"lintime/internal/spec"
+)
+
+// Campaign throughput counters on the process-wide registry: a scraper
+// differentiates schedules_total into schedules/sec, and the novelty
+// hit rate is novelty_hits_total / schedules_total.
+var (
+	schedulesTotal  = obs.Default.Counter("adversary_schedules_total")
+	noveltyHits     = obs.Default.Counter("adversary_novelty_hits_total")
+	violationsTotal = obs.Default.Counter("adversary_violations_total")
+	mutantKills     = obs.Default.Counter("adversary_mutant_kills_total")
 )
 
 // batchSize is the number of schedules evaluated between feedback points.
@@ -155,10 +166,12 @@ func Fuzz(opts Options) (*Report, error) {
 		for k := 0; k < count; k++ {
 			sl := slots[k]
 			rep.Schedules++
+			schedulesTotal.Inc()
 			rep.ByStrategy[sl.strategy]++
 			sig := sl.outcome.Signature()
 			if !seen[sig] {
 				seen[sig] = true
+				noveltyHits.Inc()
 				if len(pool) == poolCap {
 					pool = pool[1:]
 				}
@@ -166,6 +179,7 @@ func Fuzz(opts Options) (*Report, error) {
 			}
 			if kind := sl.outcome.Violation(); kind != "" {
 				batchViolated = true
+				violationsTotal.Inc()
 				v := Violation{
 					Index:    base + k,
 					Strategy: sl.strategy,
@@ -229,6 +243,7 @@ func KillMatrix(opts Options) ([]KillEntry, error) {
 			e.Desc = "corrected Algorithm 1 (control)"
 		}
 		if e.Killed {
+			mutantKills.Inc()
 			v := rep.Violations[0]
 			e.Kind = v.Kind
 			e.Schedules = v.Index + 1

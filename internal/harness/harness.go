@@ -15,6 +15,7 @@ import (
 	"lintime/internal/core"
 	"lintime/internal/folklore"
 	"lintime/internal/lincheck"
+	"lintime/internal/obs"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
 	"lintime/internal/spec"
@@ -271,6 +272,10 @@ func Offsets(name string, p simtime.Params, seed int64) ([]simtime.Duration, err
 // invisible to callers.
 var enginePool = sync.Pool{}
 
+// runsTotal counts completed experiment runs on the process-wide
+// registry; a scraper differentiates it into runs/sec.
+var runsTotal = obs.Default.Counter("harness_runs_total")
+
 // Run executes one experiment and returns its result.
 func Run(cfg Config, wl Workload) (*Result, error) {
 	dt, err := adt.Lookup(cfg.TypeName)
@@ -350,6 +355,7 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	for _, r := range replicas {
 		res.Fingerprints = append(res.Fingerprints, r.StateFingerprint())
 	}
+	runsTotal.Inc()
 	return res, nil
 }
 

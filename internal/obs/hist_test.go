@@ -1,0 +1,100 @@
+package obs_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lintime/internal/histio"
+	"lintime/internal/obs"
+	"lintime/internal/simtime"
+)
+
+// TestHistMatchesHistio cross-checks the fixed-bucket histogram against
+// the exact-sample histio implementation — the repo's quantile
+// convention — for in-range integer samples. With one bucket per tick
+// value there is no binning error, so every summary field must agree
+// exactly.
+func TestHistMatchesHistio(t *testing.T) {
+	const limit = 256
+	rng := rand.New(rand.NewSource(1))
+	h := obs.NewHist(limit)
+	oracle := &histio.Histogram{}
+	for i := 0; i < 10_000; i++ {
+		v := rng.Int63n(limit)
+		h.Add(v)
+		oracle.Add(simtime.Duration(v))
+	}
+	got := h.Summary()
+	want := oracle.Summary()
+	if got.Count != int64(want.Count) || got.Min != want.Min || got.Max != want.Max ||
+		got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 ||
+		got.Mean != want.Mean {
+		t.Fatalf("summary mismatch:\n got %+v\nwant count=%d min=%d p50=%d p95=%d p99=%d max=%d mean=%d",
+			got, want.Count, want.Min, want.P50, want.P95, want.P99, want.Max, want.Mean)
+	}
+}
+
+// TestHistBucketBoundaries pins the exact bucket-edge behavior: 0 and
+// limit-1 are in range, limit and above land in the overflow bucket but
+// still report exact max, negatives clamp to 0.
+func TestHistBucketBoundaries(t *testing.T) {
+	const limit = 8
+	h := obs.NewHist(limit)
+	for _, v := range []int64{0, limit - 1, limit, limit + 100, -3} {
+		h.Add(v)
+	}
+	s := h.Summary()
+	if s.Count != 5 {
+		t.Fatalf("count: got %d, want 5", s.Count)
+	}
+	if s.Min != 0 {
+		t.Fatalf("min: got %d, want 0 (negative clamps to 0)", s.Min)
+	}
+	if s.Max != limit+100 {
+		t.Fatalf("max: got %d, want %d (overflow keeps exact max)", s.Max, limit+100)
+	}
+	// Ranks: sorted clamped samples are [0, 0, 7, 8+, 8+]. The nearest-rank
+	// median (rank 3 of 5) is 7; p95/p99 (rank 5) fall in the overflow
+	// bucket, which reports the exact observed maximum.
+	if s.P50 != limit-1 {
+		t.Fatalf("p50: got %d, want %d", s.P50, limit-1)
+	}
+	if s.P99 != limit+100 {
+		t.Fatalf("p99: got %d, want %d", s.P99, limit+100)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := obs.NewHist(16)
+	s := h.Summary()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.P50 != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary not all-zero: %+v", s)
+	}
+}
+
+// TestHistConcurrent hammers Add from many goroutines; under -race this
+// validates the lock-free publication order (count is incremented last).
+func TestHistConcurrent(t *testing.T) {
+	const goroutines, perG = 16, 5_000
+	h := obs.NewHist(64)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Add(int64((g*perG + i) % 64))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Summary()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count: got %d, want %d", s.Count, goroutines*perG)
+	}
+	if s.Min != 0 || s.Max != 63 {
+		t.Fatalf("extrema: got min=%d max=%d, want 0/63", s.Min, s.Max)
+	}
+}

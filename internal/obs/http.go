@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the merged view of the given registries over HTTP:
+//
+//	/metrics       Prometheus text exposition (counters, gauges, summaries)
+//	/metrics.json  the Snapshot JSON document (what `lintime stat` polls)
+//	/debug/vars    expvar-compatible JSON: the process's published expvars
+//	               (cmdline, memstats) plus the snapshot under "lintime"
+//	/debug/pprof/  the standard net/http/pprof profile index
+//
+// The handler is read-only and safe to expose on a loopback port next to
+// a serving cluster; every request takes a fresh snapshot, so scrapes
+// always observe current values.
+func Handler(regs ...*Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, TakeSnapshot(regs...))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		snap := TakeSnapshot(regs...)
+		snap.TimeMS = time.Now().UnixMilli()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// expvar.Handler writes the global var map; splicing the snapshot
+		// in here (instead of expvar.Publish, which panics on duplicate
+		// names) keeps multiple handlers in one process independent.
+		fmt.Fprintf(w, "{\n")
+		expvar.Do(func(kv expvar.KeyValue) {
+			fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value)
+		})
+		b, err := json.Marshal(TakeSnapshot(regs...))
+		if err != nil {
+			b = []byte("{}")
+		}
+		fmt.Fprintf(w, "%q: %s\n}\n", "lintime", b)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "lintime observability endpoint\n\n"+
+			"  /metrics       Prometheus text format\n"+
+			"  /metrics.json  JSON snapshot (lintime stat)\n"+
+			"  /debug/vars    expvar JSON\n"+
+			"  /debug/pprof/  pprof profiles\n")
+	})
+	return mux
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges emit as their own families;
+// histograms emit as summaries — quantile-labelled series plus _sum and
+// _count — because the quantiles here are exact, which is precisely what
+// a summary asserts. The observed extrema emit as companion _min/_max
+// gauge families. Output is sorted by name, so the text is byte-stable
+// for fixed values.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	typed := map[string]bool{} // base families whose # TYPE line is out
+	emitType := func(base, kind string) error {
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+	series := func(base, labels string, extra string, v int64) error {
+		switch {
+		case labels == "" && extra == "":
+			_, err := fmt.Fprintf(w, "%s %d\n", base, v)
+			return err
+		case labels == "":
+			_, err := fmt.Fprintf(w, "%s{%s} %d\n", base, extra, v)
+			return err
+		case extra == "":
+			_, err := fmt.Fprintf(w, "%s{%s} %d\n", base, labels, v)
+			return err
+		default:
+			_, err := fmt.Fprintf(w, "%s{%s,%s} %d\n", base, labels, extra, v)
+			return err
+		}
+	}
+
+	for _, name := range sortedKeys(snap.Counters) {
+		base, labels := SplitName(name)
+		if err := emitType(base, "counter"); err != nil {
+			return err
+		}
+		if err := series(base, labels, "", snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		base, labels := SplitName(name)
+		if err := emitType(base, "gauge"); err != nil {
+			return err
+		}
+		if err := series(base, labels, "", snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	// Histograms group by base family so every family's samples stay
+	// contiguous (labelled variants of one base sort adjacently).
+	histNames := sortedKeys(snap.Hists)
+	for i := 0; i < len(histNames); {
+		base, _ := SplitName(histNames[i])
+		j := i
+		for j < len(histNames) {
+			if b, _ := SplitName(histNames[j]); b != base {
+				break
+			}
+			j++
+		}
+		group := histNames[i:j]
+		i = j
+		if err := emitType(base, "summary"); err != nil {
+			return err
+		}
+		for _, name := range group {
+			_, labels := SplitName(name)
+			h := snap.Hists[name]
+			for _, q := range []struct {
+				label string
+				v     int64
+			}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+				if err := series(base, labels, fmt.Sprintf("quantile=%q", q.label), q.v); err != nil {
+					return err
+				}
+			}
+		}
+		for _, suffix := range []string{"_sum", "_count"} {
+			for _, name := range group {
+				_, labels := SplitName(name)
+				h := snap.Hists[name]
+				v := h.Sum
+				if suffix == "_count" {
+					v = h.Count
+				}
+				if err := series(base+suffix, labels, "", v); err != nil {
+					return err
+				}
+			}
+		}
+		for _, g := range []struct {
+			suffix string
+			pick   func(HistSummary) int64
+		}{{"_min", func(h HistSummary) int64 { return h.Min }},
+			{"_max", func(h HistSummary) int64 { return h.Max }}} {
+			if err := emitType(base+g.suffix, "gauge"); err != nil {
+				return err
+			}
+			for _, name := range group {
+				_, labels := SplitName(name)
+				if err := series(base+g.suffix, labels, "", g.pick(snap.Hists[name])); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

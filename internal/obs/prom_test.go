@@ -1,0 +1,170 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lintime/internal/obs"
+)
+
+// fixedSnapshot builds a registry with one of everything, using the real
+// metric names the serving layer registers, so the golden below doubles
+// as documentation of the exposition format.
+func fixedRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("serve_calls_total").Add(12)
+	r.Counter(`rtnet_messages_delivered_total`).Add(36)
+	r.Gauge("serve_inflight_ops").Set(2)
+	r.Max("rtnet_inbox_depth_max").Observe(5)
+	h := r.Hist(`serve_latency_ticks{class="AOP"}`, 16)
+	for _, v := range []int64{1, 2, 3, 4} {
+		h.Add(v)
+	}
+	h2 := r.Hist(`serve_latency_ticks{class="MOP"}`, 16)
+	h2.Add(7)
+	return r
+}
+
+// TestWritePrometheusGolden pins the exact text exposition: sorted
+// families, # TYPE lines once per family, labelled summary series with
+// contiguous families, companion _min/_max gauges.
+func TestWritePrometheusGolden(t *testing.T) {
+	snap := obs.TakeSnapshot(fixedRegistry())
+	var sb strings.Builder
+	if err := obs.WritePrometheus(&sb, snap); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE rtnet_messages_delivered_total counter
+rtnet_messages_delivered_total 36
+# TYPE serve_calls_total counter
+serve_calls_total 12
+# TYPE rtnet_inbox_depth_max gauge
+rtnet_inbox_depth_max 5
+# TYPE serve_inflight_ops gauge
+serve_inflight_ops 2
+# TYPE serve_latency_ticks summary
+serve_latency_ticks{class="AOP",quantile="0.5"} 2
+serve_latency_ticks{class="AOP",quantile="0.95"} 4
+serve_latency_ticks{class="AOP",quantile="0.99"} 4
+serve_latency_ticks{class="MOP",quantile="0.5"} 7
+serve_latency_ticks{class="MOP",quantile="0.95"} 7
+serve_latency_ticks{class="MOP",quantile="0.99"} 7
+serve_latency_ticks_sum{class="AOP"} 10
+serve_latency_ticks_sum{class="MOP"} 7
+serve_latency_ticks_count{class="AOP"} 4
+serve_latency_ticks_count{class="MOP"} 1
+# TYPE serve_latency_ticks_min gauge
+serve_latency_ticks_min{class="AOP"} 1
+serve_latency_ticks_min{class="MOP"} 7
+# TYPE serve_latency_ticks_max gauge
+serve_latency_ticks_max{class="AOP"} 4
+serve_latency_ticks_max{class="MOP"} 7
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(obs.Handler(fixedRegistry()))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type: %q", ct)
+	}
+	for _, series := range []string{
+		"serve_calls_total 12",
+		`serve_latency_ticks{class="AOP",quantile="0.99"} 4`,
+		"# TYPE serve_latency_ticks summary",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Fatalf("/metrics missing %q in:\n%s", series, body)
+		}
+	}
+}
+
+func TestHandlerMetricsJSONRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(obs.Handler(fixedRegistry()))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.TimeMS == 0 {
+		t.Fatal("snapshot not stamped with wall-clock time")
+	}
+	if snap.Counters["serve_calls_total"] != 12 {
+		t.Fatalf("counters did not round-trip: %+v", snap.Counters)
+	}
+	if h := snap.Hists[`serve_latency_ticks{class="AOP"}`]; h.Count != 4 || h.P99 != 4 {
+		t.Fatalf("hist summary did not round-trip: %+v", h)
+	}
+}
+
+// TestHandlerDebugVars asserts /debug/vars is valid JSON carrying both
+// the standard expvar keys and the snapshot under "lintime" — the format
+// expvar-aware collectors expect.
+func TestHandlerDebugVars(t *testing.T) {
+	srv := httptest.NewServer(obs.Handler(fixedRegistry()))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"memstats", "lintime"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("/debug/vars missing %q (have %d keys)", key, len(doc))
+		}
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(doc["lintime"], &snap); err != nil {
+		t.Fatalf(`"lintime" value is not a snapshot: %v`, err)
+	}
+	if snap.Counters["serve_calls_total"] != 12 {
+		t.Fatalf("snapshot under lintime wrong: %+v", snap.Counters)
+	}
+}
+
+func TestHandlerIndexAndNotFound(t *testing.T) {
+	srv := httptest.NewServer(obs.Handler(fixedRegistry()))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "/metrics.json") {
+		t.Fatalf("index page does not list endpoints:\n%s", body)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown path: got %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,108 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lintime/internal/obs"
+)
+
+func readSnapshots(t *testing.T, path string) []obs.Snapshot {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []obs.Snapshot
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal([]byte(line), &snap); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// TestSnapshotWriterFinalFlush is the SIGINT contract: with the ticker
+// disabled (interval ≤ 0), Close still writes exactly one snapshot
+// carrying the registry's final state.
+func TestSnapshotWriterFinalFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl")
+	r := obs.NewRegistry()
+	sw, err := obs.NewSnapshotWriter(path, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Counter("runs_total").Add(9)
+	r.Hist("lat", 16).Add(3)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	snaps := readSnapshots(t, path)
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots, want exactly 1 (the Close flush)", len(snaps))
+	}
+	final := snaps[0]
+	if final.TimeMS == 0 {
+		t.Fatal("final snapshot not timestamped")
+	}
+	if final.Counters["runs_total"] != 9 {
+		t.Fatalf("final counters: %+v", final.Counters)
+	}
+	if final.Hists["lat"].Count != 1 {
+		t.Fatalf("final hists: %+v", final.Hists)
+	}
+}
+
+// TestSnapshotWriterPeriodic lets the ticker run and checks the file
+// accumulates interval lines before the final flush, monotone in time
+// and counter value.
+func TestSnapshotWriterPeriodic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.jsonl")
+	r := obs.NewRegistry()
+	c := r.Counter("ticks_total")
+	sw, err := obs.NewSnapshotWriter(path, 10*time.Millisecond, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.Inc()
+		if len(readSnapshots(t, path)) >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps := readSnapshots(t, path)
+	if len(snaps) < 3 { // ≥ 2 ticks + the Close flush
+		t.Fatalf("got %d snapshots, want at least 3", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].TimeMS < snaps[i-1].TimeMS {
+			t.Fatalf("snapshot %d went back in time: %d < %d", i, snaps[i].TimeMS, snaps[i-1].TimeMS)
+		}
+		if snaps[i].Counters["ticks_total"] < snaps[i-1].Counters["ticks_total"] {
+			t.Fatalf("counter not monotone across snapshots %d..%d", i-1, i)
+		}
+	}
+}
+
+func TestSnapshotWriterBadPath(t *testing.T) {
+	if _, err := obs.NewSnapshotWriter(filepath.Join(t.TempDir(), "no", "such", "dir", "x.jsonl"), 0); err == nil {
+		t.Fatal("expected error for uncreatable path")
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"lintime/internal/classify"
 	"lintime/internal/harness"
+	"lintime/internal/obs"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
 )
@@ -88,6 +89,8 @@ type event struct {
 	timerID sim.TimerID
 	inspect func()
 	done    chan struct{}
+	span    int64        // owning operation's span, stamped at send/registration
+	sent    simtime.Time // message send time (kind 1), for latency accounting
 }
 
 var eventPool = sync.Pool{New: func() any { return new(event) }}
@@ -114,6 +117,10 @@ type Cluster struct {
 	stopped  chan struct{}
 	stopOnce sync.Once
 
+	metrics *Metrics
+	tracer  obs.Tracer
+	tracing bool
+
 	// sendRngs holds one delay-draw stream per process, seeded from the
 	// cluster seed and the process id via harness.DeriveSeed. A process
 	// only sends from inside its own event-loop goroutine (handlers run
@@ -123,14 +130,56 @@ type Cluster struct {
 	// processes are scheduled.
 	sendRngs []*rand.Rand
 
-	mu      sync.Mutex
-	err     error // first failure (inbox overflow); sticky
-	seq     int64
-	msgIdx  int64
-	delays  sim.Network
-	pending map[int64]*pendingCall
-	timers  map[sim.TimerID]*time.Timer
-	timerID sim.TimerID
+	mu           sync.Mutex
+	err          error // first failure (inbox overflow); sticky
+	overflows    int64
+	overflowProc int32 // process of the last inbox overflow; -1 if none
+	seq          int64
+	msgIdx       int64
+	delays       sim.Network
+	pending      map[int64]*pendingCall
+	timers       map[sim.TimerID]*time.Timer
+	timerID      sim.TimerID
+}
+
+// Metrics is the substrate's instrumentation hook set. All fields must
+// be non-nil when installed (use NewMetrics); a nil *Metrics (the
+// default) disables instrumentation at the cost of one predictable
+// branch per event.
+type Metrics struct {
+	Delivered  *obs.Counter // messages delivered to inboxes
+	TimerFires *obs.Counter // timer events handled (live timers only)
+	Overflows  *obs.Counter // inbox overflows (any value > 0 means the run failed)
+	MsgLatency *obs.Hist    // observed delivery delay in virtual ticks vs the [d-u, d] envelope
+	InboxMax   *obs.Max     // high-water mark of any inbox depth, observed at post time
+}
+
+// NewMetrics builds the substrate's instrument set on a registry. The
+// message-latency histogram is sized to hold the whole admissible
+// envelope [d-u, d] plus generous room for scheduling jitter above it.
+func NewMetrics(reg *obs.Registry, p simtime.Params) *Metrics {
+	limit := 4 * int(p.D)
+	if limit < 16 {
+		limit = 16
+	}
+	return &Metrics{
+		Delivered:  reg.Counter("rtnet_messages_delivered_total"),
+		TimerFires: reg.Counter("rtnet_timer_fires_total"),
+		Overflows:  reg.Counter("rtnet_inbox_overflows_total"),
+		MsgLatency: reg.Hist("rtnet_message_latency_ticks", limit),
+		InboxMax:   reg.Max("rtnet_inbox_depth_max"),
+	}
+}
+
+// SetMetrics installs the instrumentation hooks. Must be called before
+// Start.
+func (c *Cluster) SetMetrics(m *Metrics) { c.metrics = m }
+
+// SetTracer installs a span tracer (obs.Nop or nil disables tracing).
+// Must be called before Start.
+func (c *Cluster) SetTracer(t obs.Tracer) {
+	c.tracer = t
+	c.tracing = !obs.IsNop(t)
 }
 
 type pendingCall struct {
@@ -164,16 +213,17 @@ func NewCluster(p Params, tick time.Duration, offsets []simtime.Duration, nodes 
 		return nil, fmt.Errorf("rtnet: inbox depth must be positive, got %d", depth)
 	}
 	c := &Cluster{
-		params:     p.Params,
-		inboxDepth: depth,
-		tick:       tick,
-		offsets:    append([]simtime.Duration(nil), offsets...),
-		nodes:      nodes,
-		inboxes:    make([]chan *event, p.N),
-		stopped:    make(chan struct{}),
-		sendRngs:   make([]*rand.Rand, p.N),
-		pending:    map[int64]*pendingCall{},
-		timers:     map[sim.TimerID]*time.Timer{},
+		params:       p.Params,
+		inboxDepth:   depth,
+		overflowProc: -1,
+		tick:         tick,
+		offsets:      append([]simtime.Duration(nil), offsets...),
+		nodes:        nodes,
+		inboxes:      make([]chan *event, p.N),
+		stopped:      make(chan struct{}),
+		sendRngs:     make([]*rand.Rand, p.N),
+		pending:      map[int64]*pendingCall{},
+		timers:       map[sim.TimerID]*time.Timer{},
 	}
 	for i := range c.inboxes {
 		c.inboxes[i] = make(chan *event, depth)
@@ -235,8 +285,18 @@ func (c *Cluster) loop(proc sim.ProcID) {
 		case ev := <-c.inboxes[proc]:
 			switch ev.kind {
 			case 0:
+				if c.tracing {
+					c.tracer.OpStart(int32(proc), ev.inv.SeqID, ev.inv.Op, int64(c.now()))
+				}
 				c.nodes[proc].OnInvoke(ctx, ev.inv)
 			case 1:
+				if c.metrics != nil {
+					c.metrics.Delivered.Inc()
+					c.metrics.MsgLatency.Add(int64(c.now().Sub(ev.sent)))
+				}
+				if c.tracing {
+					c.tracer.Event(ev.span, obs.StageDeliver, int32(proc), int64(c.now()))
+				}
 				c.nodes[proc].OnMessage(ctx, ev.from, ev.payload)
 			case 2:
 				c.mu.Lock()
@@ -244,6 +304,12 @@ func (c *Cluster) loop(proc sim.ProcID) {
 				delete(c.timers, ev.timerID)
 				c.mu.Unlock()
 				if live {
+					if c.metrics != nil {
+						c.metrics.TimerFires.Inc()
+					}
+					if c.tracing {
+						c.tracer.Event(ev.span, obs.StageTimer, int32(proc), int64(c.now()))
+					}
 					c.nodes[proc].OnTimer(ctx, ev.tag)
 				}
 			case 3:
@@ -416,6 +482,9 @@ func (c *Cluster) Inspect(proc sim.ProcID, f func()) {
 func (c *Cluster) post(proc sim.ProcID, ev *event) error {
 	select {
 	case c.inboxes[proc] <- ev:
+		if c.metrics != nil {
+			c.metrics.InboxMax.Observe(int64(len(c.inboxes[proc])))
+		}
 		return nil
 	default:
 	}
@@ -425,10 +494,38 @@ func (c *Cluster) post(proc sim.ProcID, ev *event) error {
 		return ErrStopped
 	default:
 	}
+	c.mu.Lock()
+	c.overflows++
+	c.overflowProc = int32(proc)
+	c.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.Overflows.Inc()
+	}
 	err := &InboxOverflowError{Proc: proc, Depth: c.inboxDepth}
 	c.fail(err)
 	return err
 }
+
+// Overflows returns how many inbox overflows the cluster has recorded.
+// Any value above zero means the cluster failed (the first overflow is
+// sticky), but posts racing with the failure may each count one.
+func (c *Cluster) Overflows() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.overflows
+}
+
+// LastOverflowProc returns the process whose inbox overflowed most
+// recently, or -1 if no overflow has occurred.
+func (c *Cluster) LastOverflowProc() int32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.overflowProc
+}
+
+// InboxLen returns the instantaneous depth of a process's inbox — the
+// live per-process gauge the serving layer exports.
+func (c *Cluster) InboxLen(proc sim.ProcID) int { return len(c.inboxes[proc]) }
 
 // rtCtx implements sim.Context over the real-time substrate.
 type rtCtx struct {
@@ -453,6 +550,12 @@ func (x *rtCtx) SetTimer(after simtime.Duration, tag any) sim.TimerID {
 	// returns, and the event loop treats an unregistered id as canceled —
 	// registering after arming both dropped the firing and leaked the
 	// entry, since the fire-side delete had already run.
+	span := int64(-1)
+	if x.c.tracing {
+		// The registering process is handling its pending operation's
+		// invoke or messages right now, so the timer belongs to that span.
+		span = x.c.tracer.CurrentSpan(int32(proc))
+	}
 	x.c.mu.Lock()
 	x.c.timerID++
 	id := x.c.timerID
@@ -461,6 +564,7 @@ func (x *rtCtx) SetTimer(after simtime.Duration, tag any) sim.TimerID {
 		ev.kind = 2
 		ev.timerID = id
 		ev.tag = tag
+		ev.span = span
 		x.c.post(proc, ev)
 	})
 	x.c.mu.Unlock()
@@ -516,11 +620,19 @@ func (x *rtCtx) Send(to sim.ProcID, payload any) {
 		delay = lo + simtime.Duration(x.c.sendRngs[x.proc].Int63n(int64(hi-lo)+1))
 	}
 	from := x.proc
+	sent := x.c.now()
+	span := int64(-1)
+	if x.c.tracing {
+		span = x.c.tracer.CurrentSpan(int32(from))
+		x.c.tracer.Event(span, obs.StageBroadcast, int32(from), int64(sent))
+	}
 	time.AfterFunc(time.Duration(delay)*x.c.tick, func() {
 		ev := getEvent()
 		ev.kind = 1
 		ev.from = from
 		ev.payload = payload
+		ev.span = span
+		ev.sent = sent
 		x.c.post(to, ev)
 	})
 }
@@ -541,6 +653,9 @@ func (x *rtCtx) Respond(seqID int64, ret any) {
 	x.c.mu.Unlock()
 	if !ok {
 		panic(fmt.Sprintf("rtnet: response for unknown op %d", seqID))
+	}
+	if x.c.tracing {
+		x.c.tracer.OpEnd(int32(call.proc), seqID, int64(now))
 	}
 	class := classify.Mixed
 	if c, found := x.c.classes[call.op]; found {

@@ -32,6 +32,11 @@ type LoadConfig struct {
 	OpsPerClient int           // fixed op count per client (0 = run until Duration)
 	Mix          []harness.OpPick
 	Seed         int64
+	// Stop, when non-nil and closed, ends the run early: each client
+	// finishes its in-flight operation and submits no more. The summary
+	// then covers the operations completed so far — the graceful
+	// shortened-run path `lintime load` takes on SIGINT/SIGTERM.
+	Stop <-chan struct{}
 }
 
 // FormulaTicks returns Algorithm 1's worst-case latency for an operation
@@ -144,6 +149,13 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 			rng := rand.New(rand.NewSource(
 				harness.DeriveSeed(cfg.Seed, fmt.Sprintf("load/client/%d", i))))
 			for n := 0; ; n++ {
+				if cfg.Stop != nil {
+					select {
+					case <-cfg.Stop:
+						return
+					default:
+					}
+				}
 				if cfg.OpsPerClient > 0 {
 					if n >= cfg.OpsPerClient {
 						return

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"lintime/internal/classify"
+	"lintime/internal/obs"
+	"lintime/internal/rtnet"
+	"lintime/internal/sim"
+)
+
+// serveMetrics is the serving layer's instrument set. Every server owns
+// a private registry (servers in one process — e.g. concurrent tests —
+// must not share instruments); the HTTP handler merges it with
+// obs.Default, where the harness and fuzzer publish.
+type serveMetrics struct {
+	calls    *obs.Counter
+	errors   *obs.Counter
+	inflight *obs.Gauge
+	// drainState tracks shutdown progress: 0 serving, 1 draining,
+	// 2 drained.
+	drainState *obs.Gauge
+	perClass   map[classify.Class]*obs.Hist
+}
+
+// latency-histogram classes instrumented up front: one series per class
+// keeps /metrics stable from the first scrape instead of materializing
+// series as traffic arrives.
+var metricClasses = []classify.Class{
+	classify.PureAccessor, classify.PureMutator, classify.Mixed,
+}
+
+// wireMetrics builds the server's registry: per-class latency summaries
+// with their Algorithm 1 formula bounds alongside, call/in-flight/drain
+// accounting, the rtnet substrate instruments, and live per-process
+// inbox gauges. Called from New, before Start.
+func (s *Server) wireMetrics() {
+	reg := obs.NewRegistry()
+	s.reg = reg
+
+	p := s.cfg.Params
+	limit := 4 * int(p.D+p.Epsilon)
+	if limit < 16 {
+		limit = 16
+	}
+	m := &serveMetrics{
+		calls:      reg.Counter("serve_calls_total"),
+		errors:     reg.Counter("serve_call_errors_total"),
+		inflight:   reg.Gauge("serve_inflight_ops"),
+		drainState: reg.Gauge("serve_drain_state"),
+		perClass:   map[classify.Class]*obs.Hist{},
+	}
+	budget := JitterBudget(s.cfg.Tick)
+	for _, class := range metricClasses {
+		label := fmt.Sprintf("{class=%q}", class.String())
+		m.perClass[class] = reg.Hist("serve_latency_ticks"+label, limit)
+		// The paper's worst-case bound and the SLO line (bound + jitter
+		// budget) emit as gauges so a scraper — `lintime stat` — can
+		// verdict p99 against them without knowing the model parameters.
+		reg.Gauge("serve_latency_formula_ticks" + label).Set(int64(FormulaTicks(p, class)))
+		reg.Gauge("serve_latency_slo_ticks" + label).Set(int64(FormulaTicks(p, class) + budget))
+	}
+	s.obsm = m
+
+	s.cluster.SetMetrics(rtnet.NewMetrics(reg, p))
+	reg.GaugeFunc("rtnet_inbox_overflow_last_proc", func() int64 {
+		return int64(s.cluster.LastOverflowProc())
+	})
+	for i := 0; i < p.N; i++ {
+		proc := sim.ProcID(i)
+		reg.GaugeFunc(fmt.Sprintf("rtnet_inbox_depth{proc=\"%d\"}", i), func() int64 {
+			return int64(s.cluster.InboxLen(proc))
+		})
+	}
+}
+
+// observe streams one completed operation into the obs histograms
+// (alongside the exact histio recorder, which remains the source of
+// truth for Stats and summaries).
+func (m *serveMetrics) observe(class classify.Class, latencyTicks int64) {
+	h := m.perClass[class]
+	if h == nil {
+		// Classes outside the instrumented set fold into Mixed.
+		h = m.perClass[classify.Mixed]
+	}
+	h.Add(latencyTicks)
+}
+
+// Registry returns the server's private metric registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// ObsHandler returns the observability HTTP handler for this server:
+// its registry merged with obs.Default (harness/fuzzer instruments),
+// serving /metrics, /metrics.json, /debug/vars and /debug/pprof/.
+func (s *Server) ObsHandler() http.Handler {
+	return obs.Handler(s.reg, obs.Default)
+}
+
+// SetTracer installs a span tracer on the underlying cluster. Must be
+// called before Start.
+func (s *Server) SetTracer(t obs.Tracer) { s.cluster.SetTracer(t) }

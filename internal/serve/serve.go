@@ -32,6 +32,7 @@ import (
 	"lintime/internal/core"
 	"lintime/internal/harness"
 	"lintime/internal/histio"
+	"lintime/internal/obs"
 	"lintime/internal/rtnet"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
@@ -88,7 +89,9 @@ type Server struct {
 	drainOnce sync.Once
 	drainErr  error
 
-	rec *recorder
+	rec  *recorder
+	reg  *obs.Registry
+	obsm *serveMetrics
 
 	lnMu      sync.Mutex
 	listeners []net.Listener
@@ -141,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.queues {
 		s.queues[i] = make(chan call, cfg.QueueDepth)
 	}
+	s.wireMetrics()
 	return s, nil
 }
 
@@ -173,6 +177,9 @@ func (s *Server) Start() {
 				resp, err := s.cluster.Call(proc, c.op, c.arg)
 				if err == nil {
 					s.rec.record(resp)
+					s.obsm.observe(resp.Class, int64(resp.Latency()))
+				} else {
+					s.obsm.errors.Inc()
 				}
 				c.out <- result{resp: resp, err: err}
 			}
@@ -198,6 +205,9 @@ func (s *Server) Call(op string, arg any) (rtnet.Response, error) {
 	}
 	s.inflight.Add(1)
 	s.mu.Unlock()
+	s.obsm.calls.Inc()
+	s.obsm.inflight.Add(1)
+	defer s.obsm.inflight.Add(-1)
 	defer s.inflight.Done()
 	proc := int(s.next.Add(1)-1) % len(s.queues)
 	out := make(chan result, 1)
@@ -222,6 +232,8 @@ func (s *Server) drain(timeout time.Duration) error {
 	started := s.started
 	s.draining = true
 	s.mu.Unlock()
+	s.obsm.drainState.Set(1)
+	defer s.obsm.drainState.Set(2)
 	s.closeListeners()
 	if !started {
 		return nil
@@ -257,8 +269,15 @@ func (s *Server) drain(timeout time.Duration) error {
 	return err
 }
 
-// Stats returns the latency accounting accumulated so far.
-func (s *Server) Stats() Stats { return s.rec.snapshot() }
+// Stats returns the latency accounting accumulated so far, including
+// inbox-overflow accounting when any overflow occurred.
+func (s *Server) Stats() Stats {
+	st := s.rec.snapshot()
+	if n := s.cluster.Overflows(); n > 0 {
+		st.Overflow = &OverflowInfo{Count: n, LastProc: s.cluster.LastOverflowProc()}
+	}
+	return st
+}
 
 // Trace assembles the recorded operations into a sim.Trace for the
 // linearizability checker and the diagram renderer. Operations are in
@@ -277,6 +296,16 @@ type Stats struct {
 	Ops      int                         `json:"ops"`
 	PerClass map[string]histio.Quantiles `json:"per_class"`
 	PerOp    map[string]histio.Quantiles `json:"per_op"`
+	// Overflow is set only when the cluster recorded an inbox overflow —
+	// nil keeps healthy-run documents (and their goldens) unchanged.
+	Overflow *OverflowInfo `json:"inbox_overflow,omitempty"`
+}
+
+// OverflowInfo reports inbox-overflow accounting: how many overflows the
+// substrate recorded and which process's inbox overflowed last.
+type OverflowInfo struct {
+	Count    int64 `json:"count"`
+	LastProc int32 `json:"last_proc"`
 }
 
 // recorder accumulates completed operations and their latency histograms.

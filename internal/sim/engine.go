@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"lintime/internal/obs"
 	"lintime/internal/simtime"
 )
 
@@ -33,6 +34,13 @@ type event struct {
 	// evTimer
 	timerID TimerID
 	tag     any
+
+	// span is the tracing span (operation SeqID) the event is attributed
+	// to: the sender's pending operation for deliveries, the registering
+	// process's pending operation for timers. Only stamped while a tracer
+	// is installed; -1 (or the zero value on untraced runs) means
+	// unattributed.
+	span int64
 }
 
 // rank orders simultaneous events: message deliveries before timer
@@ -197,6 +205,15 @@ type Engine struct {
 	level    TraceLevel
 	stepSig  uint64 // running FNV-1a over (kind, proc) of processed events
 
+	// metrics, when non-nil, receives live engine counters; tracer, when
+	// enabled, receives span waypoints. Both default off: the hot loop
+	// pays one predictable nil/bool branch per event, keeping the
+	// TraceOff path inside the PR 4 allocation and latency budget
+	// (guarded by `make bench-compare` against BENCH_engine.json).
+	metrics *EngineMetrics
+	tracer  obs.Tracer
+	tracing bool
+
 	// OnRespond, if non-nil, is called after every operation response with
 	// the completed record. Handlers may schedule further invocations (at
 	// or after the current time) — this is how closed-loop workloads run.
@@ -275,6 +292,9 @@ func (e *Engine) Reset(params simtime.Params, offsets []simtime.Duration, net Ne
 	e.started = false
 	e.stepSig = fnvOffset
 	e.OnRespond = nil
+	e.metrics = nil
+	e.tracer = nil
+	e.tracing = false
 	if e.MaxSteps == 0 {
 		e.MaxSteps = 10_000_000
 	}
@@ -288,6 +308,28 @@ func (e *Engine) SetTraceLevel(level TraceLevel) {
 		panic("sim: SetTraceLevel after the run started")
 	}
 	e.level = level
+}
+
+// EngineMetrics is the live-counter sink an engine reports into: events
+// dispatched and the scheduled-queue high-water mark. Instruments are
+// shared obs primitives, so several engines may aggregate into one set.
+type EngineMetrics struct {
+	Events   *obs.Counter // events dispatched (after canceled-timer skips)
+	QueueMax *obs.Max     // event-queue length high-water mark
+}
+
+// SetMetrics installs the engine's metric sink (nil disables, the
+// default). Cleared by Reset, like OnRespond, so pooled engines never
+// report into a previous owner's instruments.
+func (e *Engine) SetMetrics(m *EngineMetrics) { e.metrics = m }
+
+// SetTracer installs a span tracer (obs.Nop or nil disables, the
+// default). Cleared by Reset. Spans are keyed by operation SeqID;
+// deliveries and timer fires are attributed to the operation pending at
+// the sending/registering process when the message or timer was created.
+func (e *Engine) SetTracer(t obs.Tracer) {
+	e.tracer = t
+	e.tracing = !obs.IsNop(t)
 }
 
 // Params returns the engine's model parameters.
@@ -315,6 +357,9 @@ func (e *Engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
 	e.queue.push(ev)
+	if e.metrics != nil {
+		e.metrics.QueueMax.Observe(int64(e.queue.len()))
+	}
 }
 
 // InvokeAt schedules an operation invocation at process p at the given
@@ -329,11 +374,18 @@ func (e *Engine) InvokeAt(p ProcID, at simtime.Time, op string, arg any) int64 {
 	return seqID
 }
 
-// setTimer schedules a timer event at an absolute real time.
+// setTimer schedules a timer event at an absolute real time. The timer is
+// attributed to the registering process's pending operation (if any): the
+// stabilization waits of Algorithm 1 are set while handling that
+// operation's invoke or its messages.
 func (e *Engine) setTimer(p ProcID, at simtime.Time, tag any) TimerID {
 	id := TimerID(e.timerSeq)
 	e.timerSeq++
-	e.push(event{time: at, kind: evTimer, proc: p, timerID: id, tag: tag})
+	span := int64(-1)
+	if e.tracing {
+		span = e.tracer.CurrentSpan(int32(p))
+	}
+	e.push(event{time: at, kind: evTimer, proc: p, timerID: id, tag: tag, span: span})
 	return id
 }
 
@@ -360,8 +412,13 @@ func (e *Engine) send(from, to ProcID, payload any) {
 		})
 		msgIndex = len(e.trace.Msgs) - 1
 	}
+	span := int64(-1)
+	if e.tracing {
+		span = e.tracer.CurrentSpan(int32(from))
+		e.tracer.Event(span, obs.StageBroadcast, int32(from), int64(e.now))
+	}
 	e.push(event{time: recv, kind: evDeliver, proc: to, from: from, payload: payload,
-		msgIndex: msgIndex})
+		msgIndex: msgIndex, span: span})
 }
 
 // respond records the response for a pending invocation.
@@ -374,6 +431,9 @@ func (e *Engine) respond(p ProcID, seqID int64, ret any) {
 	idx := e.opIndex[seqID]
 	e.trace.Ops[idx].Ret = ret
 	e.trace.Ops[idx].RespondTime = e.now
+	if e.tracing {
+		e.tracer.OpEnd(int32(p), seqID, int64(e.now))
+	}
 	if e.OnRespond != nil {
 		e.OnRespond(e.trace.Ops[idx])
 	}
@@ -408,6 +468,9 @@ func (e *Engine) RunUntil(limit simtime.Time) *Trace {
 		}
 		e.stepSig = (e.stepSig ^ uint64(byte(ev.kind))) * fnvPrime
 		e.stepSig = (e.stepSig ^ uint64(byte(ev.proc))) * fnvPrime
+		if e.metrics != nil {
+			e.metrics.Events.Inc()
+		}
 		ctx := &e.ctxs[ev.proc]
 		switch ev.kind {
 		case evInvoke:
@@ -428,15 +491,24 @@ func (e *Engine) RunUntil(limit simtime.Time) *Trace {
 			if e.level == TraceFull {
 				e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepInvoke})
 			}
+			if e.tracing {
+				e.tracer.OpStart(int32(ev.proc), ev.inv.SeqID, ev.inv.Op, int64(e.now))
+			}
 			e.nodes[ev.proc].OnInvoke(ctx, ev.inv)
 		case evDeliver:
 			if e.level == TraceFull {
 				e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepDeliver})
 			}
+			if e.tracing {
+				e.tracer.Event(ev.span, obs.StageDeliver, int32(ev.proc), int64(e.now))
+			}
 			e.nodes[ev.proc].OnMessage(ctx, ev.from, ev.payload)
 		case evTimer:
 			if e.level == TraceFull {
 				e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepTimer})
+			}
+			if e.tracing {
+				e.tracer.Event(ev.span, obs.StageTimer, int32(ev.proc), int64(e.now))
 			}
 			e.nodes[ev.proc].OnTimer(ctx, ev.tag)
 		}
