@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-engine bench-compare bench-guard stat-smoke fuzz-smoke fuzz-native soak soak-smoke load-bench
+.PHONY: check vet build test race bench bench-engine bench-compare bench-guard stat-smoke fuzz-smoke fuzz-native soak soak-smoke load-bench load-shard-smoke
 
 # check is the tier-1 gate: vet, build, full tests, and a short
 # race-detector pass over the concurrency-bearing packages.
@@ -89,12 +89,36 @@ soak:
 	$(GO) test -race -count=1 -run TestSoakClosedLoop ./internal/serve/ -soak 30s -v -timeout 300s
 
 # load-bench drives the closed-loop load generator against an in-process
-# 5-replica cluster and records the per-class latency quantiles next to
-# the paper's formulas; -require-slo fails if any class's p99 exceeds its
-# formula plus the scheduling-jitter budget.
+# sharded deployment (4 shards, 32 named objects, zipfian hot-key skew)
+# and records per-class and per-shard latency quantiles next to the
+# paper's formulas; -require-slo fails if any class's p99 — on any shard
+# — exceeds its formula plus the scheduling-jitter budget, and
+# -check-objects verifies routing and per-object linearizability. The
+# benchjson serve guard then re-validates the written ledger. The mix is
+# dequeue-balanced on purpose: an enqueue-heavy mix grows the zipf hot
+# key's queue without bound, which leaves concurrent enqueues
+# order-ambiguous for the whole history and sends the per-object
+# linearizability check into exponential backtracking.
 load-bench:
 	$(GO) run ./cmd/lintime load -n 5 -clients 8 -duration 10s \
-		-mix "enqueue=2,dequeue=1,peek=1" -seed 1 -require-slo -o BENCH_serve.json
+		-shards 4 -keys 32 -zipf 1.3 -check-objects \
+		-mix "enqueue=2,dequeue=2,peek=1" -seed 1 -require-slo -o BENCH_serve.json
+	$(GO) run ./cmd/benchjson -serve BENCH_serve.json
+
+# load-shard-smoke is CI's sharded serving gate: a short zipfian keyed
+# run across 4 in-process shard clusters with heterogeneous per-shard X,
+# the per-shard SLO check, per-object linearizability verification, and
+# the benchjson serve guard over the emitted summary. Also runs the
+# race-hardened sharded soak (drain under load, routing invariant,
+# phase-segmented per-object checks) and the shard goldens.
+load-shard-smoke:
+	$(GO) test -race -count=1 -run 'TestSoakSharded|TestShardDrainUnderLoad|TestMisroutedWriteCaught' ./internal/serve/ -soak 5s -v
+	$(GO) test -count=1 -run 'TestGoldenServeDryRunSharded|TestShardForPinned' ./cmd/lintime/ ./internal/serve/
+	$(GO) run ./cmd/lintime load -n 3 -clients 6 -duration 6s \
+		-shards 4 -shard-x 5,10,15,20 -keys 32 -zipf 1.3 -check-objects \
+		-mix "enqueue=2,dequeue=2,peek=1" -seed 1 -require-slo -o /tmp/load-shard-smoke.json
+	$(GO) run ./cmd/benchjson -serve /tmp/load-shard-smoke.json
+	@echo "load-shard-smoke: sharded SLO, per-object checks, and serve guard OK"
 
 # fuzz-native runs the Go native fuzzers briefly against their checked-in
 # corpora (coverage-guided; not deterministic — a finder, not a gate).

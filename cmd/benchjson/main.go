@@ -29,6 +29,13 @@
 // folds the final snapshot of an obs JSONL file (`lintime load
 // -obs-out`) into the ledger: counters and gauges as single-value
 // metrics, histograms as their summary fields.
+//
+//	benchjson -serve BENCH_serve.json
+//
+// validates a load summary instead: every class report — aggregate and,
+// for sharded runs, every shard's own table — must have its p99 within
+// formula + jitter budget, and a sharded summary must carry one report
+// per declared shard. The CI gate over `lintime load -o BENCH_serve.json`.
 package main
 
 import (
@@ -38,10 +45,12 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
 	"lintime/internal/obs"
+	"lintime/internal/serve"
 )
 
 // Ledger is the on-disk shape: benchmark → metric → value, per side,
@@ -180,6 +189,47 @@ func guardStdin(led *Ledger, pct float64, exact map[string]bool) int {
 	return violations
 }
 
+// guardServe validates a load summary (BENCH_serve.json): every class
+// report — the aggregate table and, in sharded runs, every shard's own
+// table — must be within its latency budget (p99 ≤ formula + jitter
+// budget). Returns the number of violations.
+func guardServe(led *serve.Summary) int {
+	violations := 0
+	check := func(scope, class string, rep serve.ClassReport) {
+		if rep.WithinBudget {
+			fmt.Fprintf(os.Stderr, "benchjson: serve ok   %s %s: p99 %d <= %d+%d\n",
+				scope, class, rep.Latency.P99, rep.FormulaTicks, rep.BudgetTicks)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: serve FAIL %s %s: p99 %d > formula %d + budget %d\n",
+			scope, class, rep.Latency.P99, rep.FormulaTicks, rep.BudgetTicks)
+		violations++
+	}
+	for _, class := range sortedKeys(led.PerClass) {
+		check("aggregate", class, led.PerClass[class])
+	}
+	for _, sh := range led.PerShard {
+		for _, class := range sortedKeys(sh.PerClass) {
+			check(fmt.Sprintf("shard %d (X=%d)", sh.Shard, sh.X), class, sh.PerClass[class])
+		}
+	}
+	if led.Config.Shards > 0 && len(led.PerShard) != led.Config.Shards {
+		fmt.Fprintf(os.Stderr, "benchjson: serve FAIL: summary declares %d shards but carries %d per-shard reports\n",
+			led.Config.Shards, len(led.PerShard))
+		violations++
+	}
+	return violations
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // lastSnapshot reads the final snapshot line of an obs JSONL file.
 func lastSnapshot(path string) (obs.Snapshot, error) {
 	data, err := os.ReadFile(path)
@@ -209,10 +259,33 @@ func main() {
 	pct := flag.Float64("pct", 5, "allowed ns/op regression percentage under -guard")
 	exactFlag := flag.String("exact", "allocs/op", "comma-separated metrics that must not increase at all under -guard")
 	snapshots := flag.String("snapshots", "", "fold the final snapshot of this obs JSONL file into the ledger instead of reading stdin")
+	serveFile := flag.String("serve", "", "validate this load summary (BENCH_serve.json): fail unless every class report, aggregate and per-shard, is within its latency budget")
 	flag.Parse()
 	if *set != "before" && *set != "after" {
 		fmt.Fprintf(os.Stderr, "benchjson: -set must be before or after, got %q\n", *set)
 		os.Exit(2)
+	}
+	if *serveFile != "" {
+		data, err := os.ReadFile(*serveFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var sum serve.Summary
+		if err := json.Unmarshal(data, &sum); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not a load summary: %v\n", *serveFile, err)
+			os.Exit(1)
+		}
+		if len(sum.PerClass) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s has no class reports\n", *serveFile)
+			os.Exit(1)
+		}
+		if v := guardServe(&sum); v > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: serve guard: %d violation(s) in %s\n", v, *serveFile)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: serve guard passed for %s\n", *serveFile)
+		return
 	}
 	led, err := load(*out)
 	if err != nil {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"lintime/internal/serve"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	name, metrics, ok := parse("BenchmarkEngineEvents-8   \t   532\t   2223105 ns/op\t 3967424 B/op\t   16067 allocs/op")
@@ -50,5 +54,53 @@ func TestRecomputeDelta(t *testing.T) {
 	}
 	if got := led.Delta["X"]["allocs/op"]; got != -75.0 {
 		t.Errorf("allocs/op delta = %v, want -75", got)
+	}
+}
+
+func serveSummary(shards int, breakShard int) *serve.Summary {
+	rep := func(ok bool) serve.ClassReport {
+		r := serve.ClassReport{FormulaTicks: 60, BudgetTicks: 8, WithinBudget: ok}
+		r.Latency.P99 = 50
+		if !ok {
+			r.Latency.P99 = 99
+		}
+		return r
+	}
+	sum := &serve.Summary{
+		PerClass: map[string]serve.ClassReport{"AOP": rep(true), "MOP": rep(true)},
+	}
+	sum.Config.Shards = shards
+	for i := 0; i < shards; i++ {
+		sum.PerShard = append(sum.PerShard, serve.ShardReport{
+			Shard: i, X: 10,
+			PerClass: map[string]serve.ClassReport{"AOP": rep(i != breakShard)},
+		})
+	}
+	return sum
+}
+
+func TestGuardServe(t *testing.T) {
+	if v := guardServe(serveSummary(0, -1)); v != 0 {
+		t.Errorf("healthy single-object summary: %d violations", v)
+	}
+	if v := guardServe(serveSummary(4, -1)); v != 0 {
+		t.Errorf("healthy sharded summary: %d violations", v)
+	}
+	if v := guardServe(serveSummary(4, 2)); v != 1 {
+		t.Errorf("one shard over budget: %d violations, want 1", v)
+	}
+	// Declared shard count must match the per-shard reports.
+	sum := serveSummary(3, -1)
+	sum.PerShard = sum.PerShard[:2]
+	if v := guardServe(sum); v != 1 {
+		t.Errorf("missing shard report: %d violations, want 1", v)
+	}
+	// Aggregate violations count too.
+	sum = serveSummary(0, -1)
+	bad := sum.PerClass["AOP"]
+	bad.WithinBudget = false
+	sum.PerClass["AOP"] = bad
+	if v := guardServe(sum); v != 1 {
+		t.Errorf("aggregate violation: %d violations, want 1", v)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -84,6 +85,24 @@ func buildServeEcho(s *serve.Server, addr string, tick time.Duration) serveEcho 
 	}
 }
 
+// shardSetEcho is the dry-run rendering of a sharded deployment: the
+// router-level facts plus each shard's full single-cluster echo (its own
+// seed-derived offsets and its own X → formula table).
+type shardSetEcho struct {
+	Type     string      `json:"type"`
+	Addr     string      `json:"addr"`
+	Shards   int         `json:"shards"`
+	PerShard []serveEcho `json:"per_shard"`
+}
+
+func buildShardSetEcho(ss *serve.ShardSet, addr string, tick time.Duration) shardSetEcho {
+	e := shardSetEcho{Type: ss.Config().TypeName, Addr: addr, Shards: ss.Shards()}
+	for i := 0; i < ss.Shards(); i++ {
+		e.PerShard = append(e.PerShard, buildServeEcho(ss.Shard(i), "", tick))
+	}
+	return e
+}
+
 func writeJSON(v any) error {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -104,6 +123,8 @@ func cmdServe(args []string) error {
 	queueDepth := fs.Int("queue-depth", 64, "per-replica request queue bound (backpressure)")
 	inboxDepth := fs.Int("inbox-depth", rtnet.DefaultInboxDepth, "per-process rtnet inbox bound (overflow is a typed cluster failure)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight operations")
+	shards := fs.Int("shards", 1, "shard count: >1 serves named objects hash-routed across independent clusters")
+	shardX := fs.String("shard-x", "", "per-shard X overrides, comma-separated ticks (requires -shards entries)")
 	dryRun := fs.Bool("dry-run", false, "print the resolved serving configuration as JSON and exit")
 	startMetrics := metricsAddrFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -113,51 +134,105 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := serve.New(serve.Config{
+	if *shards < 1 {
+		return fmt.Errorf("serve: -shards must be ≥ 1, got %d", *shards)
+	}
+	sx, err := parseShardX(*shardX, *shards)
+	if err != nil {
+		return err
+	}
+	if *shards == 1 && sx != nil {
+		p.X = sx[0]
+	}
+	baseCfg := serve.Config{
 		Params: p, TypeName: *typeName, Tick: *tick,
 		Offsets: *offsets, Seed: *seed, QueueDepth: *queueDepth, InboxDepth: *inboxDepth,
-	})
+	}
+
+	// The M=1 case stays on the single-object server: same wire behavior,
+	// same metrics names, same dry-run echo as before sharding existed.
+	if *shards == 1 {
+		s, err := serve.New(baseCfg)
+		if err != nil {
+			return err
+		}
+		if *dryRun {
+			return writeJSON(buildServeEcho(s, *addr, *tick))
+		}
+		return runServer(serverRun{
+			serve: s.Serve, drain: s.Drain, start: s.Start,
+			stats: func() any { return s.Stats() }, obs: s.ObsHandler(),
+			banner: fmt.Sprintf("lintime serve: %s cluster (n=%d d=%v u=%v ε=%v X=%v)",
+				*typeName, p.N, p.D, p.U, p.Epsilon, p.X),
+			addr: *addr, tick: *tick, drainTimeout: *drainTimeout, startMetrics: startMetrics,
+		})
+	}
+
+	ss, err := serve.NewShardSet(serve.ShardSetConfig{Config: baseCfg, Shards: *shards, ShardX: sx})
 	if err != nil {
 		return err
 	}
 	if *dryRun {
-		return writeJSON(buildServeEcho(s, *addr, *tick))
+		return writeJSON(buildShardSetEcho(ss, *addr, *tick))
 	}
+	return runServer(serverRun{
+		serve: ss.Serve, drain: ss.Drain, start: ss.Start,
+		stats: func() any { return ss.Stats() }, obs: ss.ObsHandler(),
+		banner: fmt.Sprintf("lintime serve: %d×%s shards (n=%d d=%v u=%v ε=%v base X=%v)",
+			*shards, *typeName, p.N, p.D, p.U, p.Epsilon, p.X),
+		addr: *addr, tick: *tick, drainTimeout: *drainTimeout, startMetrics: startMetrics,
+	})
+}
 
-	ln, err := net.Listen("tcp", *addr)
+// serverRun abstracts the single-object server and the shard router for
+// the common listen/signal/drain/stats loop.
+type serverRun struct {
+	serve        func(net.Listener) error
+	drain        func(time.Duration) error
+	start        func()
+	stats        func() any
+	obs          http.Handler
+	banner       string
+	addr         string
+	tick         time.Duration
+	drainTimeout time.Duration
+	startMetrics func(http.Handler) (func(), error)
+}
+
+func runServer(r serverRun) error {
+	ln, err := net.Listen("tcp", r.addr)
 	if err != nil {
 		return err
 	}
-	stopMetrics, err := startMetrics(s.ObsHandler())
+	stopMetrics, err := r.startMetrics(r.obs)
 	if err != nil {
 		return err
 	}
 	defer stopMetrics()
-	s.Start()
-	fmt.Fprintf(os.Stderr, "lintime serve: %s cluster (n=%d d=%v u=%v ε=%v X=%v) on %s, tick %v\n",
-		*typeName, p.N, p.D, p.U, p.Epsilon, p.X, ln.Addr(), *tick)
+	r.start()
+	fmt.Fprintf(os.Stderr, "%s on %s, tick %v\n", r.banner, ln.Addr(), r.tick)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
 	errCh := make(chan error, 1)
-	go func() { errCh <- s.Serve(ln) }()
+	go func() { errCh <- r.serve(ln) }()
 	var serveErr error
 	select {
 	case sig := <-sigCh:
 		fmt.Fprintf(os.Stderr, "lintime serve: %v — draining (pending operations complete, budget %v)\n",
-			sig, *drainTimeout)
-		if err := s.Drain(*drainTimeout); err != nil {
+			sig, r.drainTimeout)
+		if err := r.drain(r.drainTimeout); err != nil {
 			serveErr = err
 		}
 		<-errCh // Serve returns nil on a drain-initiated close
 	case serveErr = <-errCh:
 		// Listener failure: still shut the cluster down cleanly.
-		if err := s.Drain(*drainTimeout); err != nil && serveErr == nil {
+		if err := r.drain(r.drainTimeout); err != nil && serveErr == nil {
 			serveErr = err
 		}
 	}
-	if err := writeJSON(s.Stats()); err != nil && serveErr == nil {
+	if err := writeJSON(r.stats()); err != nil && serveErr == nil {
 		serveErr = err
 	}
 	return serveErr
@@ -165,11 +240,16 @@ func cmdServe(args []string) error {
 
 // parseMix parses "enqueue=3,dequeue=1,peek" (weight defaults to 1) into
 // a workload mix; empty input means uniform over all declared operations.
+// Duplicate operations and non-positive weights are rejected: a repeated
+// op silently doubles its probability, and a zero weight silently runs a
+// different mix than the one written down — both are config typos the
+// run should refuse, not absorb.
 func parseMix(s string) ([]harness.OpPick, error) {
 	if s == "" {
 		return nil, nil
 	}
 	var mix []harness.OpPick
+	seen := map[string]bool{}
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -178,15 +258,57 @@ func parseMix(s string) ([]harness.OpPick, error) {
 		op, weight := part, 1
 		if eq := strings.IndexByte(part, '='); eq >= 0 {
 			var err error
-			op = part[:eq]
-			weight, err = strconv.Atoi(part[eq+1:])
+			op = strings.TrimSpace(part[:eq])
+			weight, err = strconv.Atoi(strings.TrimSpace(part[eq+1:]))
 			if err != nil {
 				return nil, fmt.Errorf("bad mix entry %q (want op=weight): %v", part, err)
 			}
 		}
+		if op == "" {
+			return nil, fmt.Errorf("bad mix entry %q: empty operation name", part)
+		}
+		if weight <= 0 {
+			return nil, fmt.Errorf("bad mix entry %q: weight must be positive (drop the entry to exclude the op)", part)
+		}
+		if seen[op] {
+			return nil, fmt.Errorf("bad mix: operation %q appears twice (merge the weights into one entry)", op)
+		}
+		seen[op] = true
 		mix = append(mix, harness.OpPick{Op: op, Weight: weight})
 	}
 	return mix, nil
+}
+
+// parseShardX parses a per-shard X override list ("5,10,20") and checks
+// it against the shard count.
+func parseShardX(s string, shards int) ([]simtime.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != shards {
+		return nil, fmt.Errorf("-shard-x lists %d values for %d shards", len(parts), shards)
+	}
+	out := make([]simtime.Duration, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -shard-x entry %q: want a non-negative tick count", part)
+		}
+		out[i] = simtime.Duration(v)
+	}
+	return out, nil
+}
+
+// loadKeys generates the keyed workload's object names: obj-0..obj-{n-1}.
+// Fixed names keep runs reproducible and let the pinned FNV-1a mapping
+// determine each object's home shard ahead of time.
+func loadKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("obj-%d", i)
+	}
+	return keys
 }
 
 func cmdLoad(args []string) error {
@@ -203,8 +325,13 @@ func cmdLoad(args []string) error {
 	offsets := fs.String("offsets", harness.OffZero, "clock offsets for the in-process cluster")
 	simMode := fs.Bool("sim", false, "run the workload on the virtual-time engine instead (deterministic, tick-exact; clients = n, requires -ops)")
 	outFile := fs.String("o", "", "write the JSON summary to this file instead of stdout")
-	requireSLO := fs.Bool("require-slo", false, "exit nonzero unless every class's p99 is within formula + jitter budget")
+	requireSLO := fs.Bool("require-slo", false, "exit nonzero unless every class's p99 is within formula + jitter budget (per shard too, in sharded runs)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for the in-process cluster")
+	shards := fs.Int("shards", 1, "drive a sharded deployment: >1 spins up that many in-process shard clusters (or describes the remote router for -addr)")
+	shardX := fs.String("shard-x", "", "per-shard X overrides, comma-separated ticks (requires -shards entries)")
+	keyCount := fs.Int("keys", 0, "object count for keyed (multi-object) load: objects obj-0..obj-{n-1} (required when -shards > 1)")
+	zipf := fs.Float64("zipf", 0, "Zipfian key-popularity exponent s > 1 (0 or ≤1 = uniform); skews load onto the hot key's home shard")
+	checkObjects := fs.Bool("check-objects", false, "after an in-process sharded run, verify routing and per-object linearizability; exit nonzero on violation")
 	startMetrics := metricsAddrFlag(fs)
 	startObsOut := obsOutFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -222,6 +349,38 @@ func cmdLoad(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *shards < 1 {
+		return fmt.Errorf("load: -shards must be ≥ 1, got %d", *shards)
+	}
+	sx, err := parseShardX(*shardX, *shards)
+	if err != nil {
+		return err
+	}
+	if *shards > 1 && *keyCount <= 0 {
+		return fmt.Errorf("load: sharded runs need -keys (the number of named objects to spread across shards)")
+	}
+	if *zipf != 0 && *zipf <= 1 {
+		return fmt.Errorf("load: -zipf needs s > 1 (the Zipf law diverges at s ≤ 1); 0 means uniform")
+	}
+	if *keyCount > 0 && *simMode {
+		return fmt.Errorf("load: -sim has no keyed mode (shard the virtual-time engine with separate runs)")
+	}
+	keys := loadKeys(*keyCount)
+	// Client-side shard attribution for the summary: the in-process path
+	// replaces this with the deployment's exact parameters below.
+	shardParams := func() []simtime.Params {
+		if *shards <= 1 {
+			return nil
+		}
+		out := make([]simtime.Params, *shards)
+		for i := range out {
+			out[i] = p
+			if sx != nil {
+				out[i].X = sx[i]
+			}
+		}
+		return out
+	}()
 
 	// SIGINT/SIGTERM ends the run gracefully: clients stop submitting,
 	// the cluster drains through the normal shutdown path, and the
@@ -282,12 +441,52 @@ func cmdLoad(args []string) error {
 		}
 		sum, err = serve.RunLoad(c, dt, p, *tick, serve.LoadConfig{
 			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
-			Stop: stopCh,
+			Stop: stopCh, Keys: keys, Zipf: *zipf, ShardParams: shardParams,
 		})
 		if err != nil {
 			return err
 		}
 		sum.Config.Mode = "tcp"
+	case *shards > 1:
+		ss, err := serve.NewShardSet(serve.ShardSetConfig{
+			Config: serve.Config{
+				Params: p, TypeName: *typeName, Tick: *tick, Offsets: *offsets, Seed: *seed,
+			},
+			Shards: *shards, ShardX: sx,
+		})
+		if err != nil {
+			return err
+		}
+		stopMetrics, err := startMetrics(ss.ObsHandler())
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		regs := append(ss.Registries(), obs.Default)
+		if flushObs, err = startObsOut(regs...); err != nil {
+			return err
+		}
+		ss.Start()
+		sum, err = serve.RunLoad(ss, dt, p, *tick, serve.LoadConfig{
+			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
+			Stop: stopCh, Keys: keys, Zipf: *zipf, ShardParams: ss.ShardParams(),
+		})
+		if drainErr := ss.Drain(*drainTimeout); drainErr != nil && err == nil {
+			err = drainErr
+		}
+		if err != nil {
+			return err
+		}
+		sum.Config.Mode = "inproc"
+		if *checkObjects {
+			rep := ss.CheckPerObject(0)
+			fmt.Fprintf(os.Stderr, "lintime load: per-object check: %d objects, %d ops, %d routing violations, %d non-linearizable\n",
+				rep.Keys, rep.Ops, len(rep.RoutingViolations), len(rep.NonLinearizable))
+			if !rep.OK() {
+				return fmt.Errorf("load: per-object verification failed (%d routing violations, non-linearizable objects %v)",
+					len(rep.RoutingViolations), rep.NonLinearizable)
+			}
+		}
 	default:
 		s, err := serve.New(serve.Config{
 			Params: p, TypeName: *typeName, Tick: *tick, Offsets: *offsets, Seed: *seed,
@@ -306,7 +505,7 @@ func cmdLoad(args []string) error {
 		s.Start()
 		sum, err = serve.RunLoad(s, dt, p, *tick, serve.LoadConfig{
 			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
-			Stop: stopCh,
+			Stop: stopCh, Keys: keys, Zipf: *zipf,
 		})
 		if drainErr := s.Drain(*drainTimeout); drainErr != nil && err == nil {
 			err = drainErr

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -35,28 +36,85 @@ func fetchSnapshot(client *http.Client, base string) (obs.Snapshot, error) {
 	return snap, nil
 }
 
-// classRow extracts one class's latency summary and bounds from a
-// snapshot; ok is false when the endpoint exports no such class.
-func classRow(snap obs.Snapshot, class string) (h obs.HistSummary, formula, slo int64, ok bool) {
-	name := fmt.Sprintf("serve_latency_ticks{class=%q}", class)
-	h, ok = snap.Hists[name]
+// snapshotShards returns the sorted shard labels carried by the
+// serving-layer latency series. A single-object endpoint exports
+// unlabeled series and yields [""]; a shard router's merged endpoint
+// yields the shard indices.
+func snapshotShards(snap obs.Snapshot) []string {
+	seen := map[string]bool{}
+	for name := range snap.Hists {
+		if base, _ := obs.SplitName(name); base == "serve_latency_ticks" {
+			seen[obs.Label(name, "shard")] = true
+		}
+	}
+	return sortedLabels(seen)
+}
+
+func sortedLabels(seen map[string]bool) []string {
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// classRow extracts one (shard, class) latency summary and bounds from a
+// snapshot; shard "" addresses the unlabeled single-object series. ok is
+// false when the endpoint exports no such series.
+func classRow(snap obs.Snapshot, shard, class string) (h obs.HistSummary, formula, slo int64, ok bool) {
+	series := func(base string) string {
+		if shard == "" {
+			return fmt.Sprintf("%s{class=%q}", base, class)
+		}
+		// obs.WithLabel prepends, so shard-labeled series read
+		// name{shard="i",class="C"}.
+		return fmt.Sprintf("%s{shard=%q,class=%q}", base, shard, class)
+	}
+	h, ok = snap.Hists[series("serve_latency_ticks")]
 	if !ok {
 		return h, 0, 0, false
 	}
-	formula = snap.Gauges[fmt.Sprintf("serve_latency_formula_ticks{class=%q}", class)]
-	slo = snap.Gauges[fmt.Sprintf("serve_latency_slo_ticks{class=%q}", class)]
+	formula = snap.Gauges[series("serve_latency_formula_ticks")]
+	slo = snap.Gauges[series("serve_latency_slo_ticks")]
 	return h, formula, slo, true
 }
 
-// sloViolated reports whether any class with traffic has p99 above its
-// SLO line (formula + jitter budget).
+// sloViolated reports whether any class with traffic — on any shard —
+// has p99 above its SLO line (formula + jitter budget).
 func sloViolated(snap obs.Snapshot) bool {
-	for _, class := range statClasses {
-		if h, _, slo, ok := classRow(snap, class); ok && h.Count > 0 && h.P99 > slo {
-			return true
+	for _, shard := range snapshotShards(snap) {
+		for _, class := range statClasses {
+			if h, _, slo, ok := classRow(snap, shard, class); ok && h.Count > 0 && h.P99 > slo {
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// sumByBase totals a metric over its label variants: a single-object
+// endpoint stores serve_calls_total unlabeled, a sharded endpoint stores
+// one serve_calls_total{shard="i"} per shard; both sum correctly.
+func sumByBase(m map[string]int64, base string) int64 {
+	var total int64
+	for name, v := range m {
+		if b, _ := obs.SplitName(name); b == base {
+			total += v
+		}
+	}
+	return total
+}
+
+// maxByBase is sumByBase for high-water marks.
+func maxByBase(m map[string]int64, base string) int64 {
+	var max int64
+	for name, v := range m {
+		if b, _ := obs.SplitName(name); b == base && v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 func drainStateName(v int64) string {
@@ -74,25 +132,33 @@ func drainStateName(v int64) string {
 // counters (with rates differentiated against the previous poll), then
 // the per-class latency/SLO table the acceptance check reads.
 func renderStat(w io.Writer, prev, cur obs.Snapshot, elapsed time.Duration) {
+	// All serving/substrate totals fold label variants together, so one
+	// frame shape covers single-object endpoints and shard routers.
 	rate := func(name string) string {
 		if elapsed <= 0 {
 			return "-"
 		}
-		delta := cur.Counters[name] - prev.Counters[name]
+		delta := sumByBase(cur.Counters, name) - sumByBase(prev.Counters, name)
 		return fmt.Sprintf("%.1f/s", float64(delta)/elapsed.Seconds())
 	}
-	fmt.Fprintf(w, "serve   calls %d (%s)  inflight %d  errors %d  state %s\n",
-		cur.Counters["serve_calls_total"], rate("serve_calls_total"),
-		cur.Gauges["serve_inflight_ops"], cur.Counters["serve_call_errors_total"],
-		drainStateName(cur.Gauges["serve_drain_state"]))
+	shards := snapshotShards(cur)
+	sharded := len(shards) > 0 && shards[len(shards)-1] != ""
+	shardNote := ""
+	if sharded {
+		shardNote = fmt.Sprintf("  shards %d", cur.Gauges["router_shards"])
+	}
+	fmt.Fprintf(w, "serve   calls %d (%s)  inflight %d  errors %d  state %s%s\n",
+		sumByBase(cur.Counters, "serve_calls_total"), rate("serve_calls_total"),
+		sumByBase(cur.Gauges, "serve_inflight_ops"), sumByBase(cur.Counters, "serve_call_errors_total"),
+		drainStateName(maxByBase(cur.Gauges, "serve_drain_state")), shardNote)
 	overflowNote := ""
-	if cur.Counters["rtnet_inbox_overflows_total"] > 0 {
-		overflowNote = fmt.Sprintf(" (last p%d)", cur.Gauges["rtnet_inbox_overflow_last_proc"])
+	if sumByBase(cur.Counters, "rtnet_inbox_overflows_total") > 0 {
+		overflowNote = fmt.Sprintf(" (last p%d)", maxByBase(cur.Gauges, "rtnet_inbox_overflow_last_proc"))
 	}
 	fmt.Fprintf(w, "rtnet   delivered %d (%s)  timers %d  inbox max %d  overflows %d%s\n",
-		cur.Counters["rtnet_messages_delivered_total"], rate("rtnet_messages_delivered_total"),
-		cur.Counters["rtnet_timer_fires_total"], cur.Gauges["rtnet_inbox_depth_max"],
-		cur.Counters["rtnet_inbox_overflows_total"], overflowNote)
+		sumByBase(cur.Counters, "rtnet_messages_delivered_total"), rate("rtnet_messages_delivered_total"),
+		sumByBase(cur.Counters, "rtnet_timer_fires_total"), maxByBase(cur.Gauges, "rtnet_inbox_depth_max"),
+		sumByBase(cur.Counters, "rtnet_inbox_overflows_total"), overflowNote)
 	if runs := cur.Counters["harness_runs_total"]; runs > 0 {
 		fmt.Fprintf(w, "harness runs %d (%s)\n", runs, rate("harness_runs_total"))
 	}
@@ -106,22 +172,45 @@ func renderStat(w io.Writer, prev, cur obs.Snapshot, elapsed time.Duration) {
 	}
 
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "\nclass\tcount\tp50\tp95\tp99\tmax\tformula\tslo(p99≤)\tverdict")
-	for _, class := range statClasses {
-		h, formula, slo, ok := classRow(cur, class)
-		if !ok {
-			continue
+	if sharded {
+		// One row per (shard, class): each shard may run its own X, so
+		// each has its own formula and SLO line.
+		fmt.Fprintln(tw, "\nshard\tclass\tcount\tp50\tp95\tp99\tmax\tformula\tslo(p99≤)\tverdict")
+		for _, shard := range shards {
+			for _, class := range statClasses {
+				h, formula, slo, ok := classRow(cur, shard, class)
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+					shard, class, h.Count, h.P50, h.P95, h.P99, h.Max, formula, slo,
+					classVerdict(h, slo))
+			}
 		}
-		verdict := "ok"
-		if h.Count == 0 {
-			verdict = "-"
-		} else if h.P99 > slo {
-			verdict = "VIOLATED"
+	} else {
+		fmt.Fprintln(tw, "\nclass\tcount\tp50\tp95\tp99\tmax\tformula\tslo(p99≤)\tverdict")
+		for _, class := range statClasses {
+			h, formula, slo, ok := classRow(cur, "", class)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+				class, h.Count, h.P50, h.P95, h.P99, h.Max, formula, slo,
+				classVerdict(h, slo))
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
-			class, h.Count, h.P50, h.P95, h.P99, h.Max, formula, slo, verdict)
 	}
 	tw.Flush()
+}
+
+func classVerdict(h obs.HistSummary, slo int64) string {
+	switch {
+	case h.Count == 0:
+		return "-"
+	case h.P99 > slo:
+		return "VIOLATED"
+	default:
+		return "ok"
+	}
 }
 
 func cmdStat(args []string) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -95,6 +96,70 @@ func TestRenderStatOverflowNote(t *testing.T) {
 	renderStat(&sb, snap, snap, time.Second)
 	if !strings.Contains(sb.String(), "overflows 2 (last p1)") {
 		t.Fatalf("overflow note missing:\n%s", sb.String())
+	}
+}
+
+// statShardedSnapshot builds the merged snapshot a shard router's
+// endpoint exports: per-shard labeled series plus router counters. The
+// aopP99s dial lets tests push a single shard over its SLO.
+func statShardedSnapshot(t *testing.T, aopP99s ...int64) obs.Snapshot {
+	t.Helper()
+	regs := []*obs.Registry{obs.NewRegistry()}
+	regs[0].Gauge("router_shards").Set(int64(len(aopP99s)))
+	for i, aop := range aopP99s {
+		r := obs.NewRegistry()
+		label := func(name string) string { return obs.WithLabel(name, "shard", fmt.Sprint(i)) }
+		r.Counter(label("serve_calls_total")).Add(10)
+		r.Gauge(label("serve_inflight_ops")).Set(1)
+		r.Gauge(label("serve_drain_state")).Set(0)
+		for class, p99 := range map[string]int64{"AOP": aop, "MOP": 30, "OOP": 55} {
+			h := r.Hist(label(`serve_latency_ticks{class="`+class+`"}`), 256)
+			h.Add(p99 / 2)
+			h.Add(p99)
+			r.Gauge(label(`serve_latency_formula_ticks{class="` + class + `"}`)).Set(60)
+			r.Gauge(label(`serve_latency_slo_ticks{class="` + class + `"}`)).Set(90)
+		}
+		regs = append(regs, r)
+	}
+	return obs.TakeSnapshot(regs...)
+}
+
+func TestRenderStatSharded(t *testing.T) {
+	snap := statShardedSnapshot(t, 41, 44)
+	var sb strings.Builder
+	renderStat(&sb, snap, snap, time.Second)
+	out := sb.String()
+	for _, want := range []string{
+		"serve   calls 20", // summed across shards
+		"shards 2",
+		"shard", // per-shard table header
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sharded frame missing %q:\n%s", want, out)
+		}
+	}
+	// Both shards' class rows present.
+	for _, shard := range []string{"0", "1"} {
+		if !strings.Contains(out, "\n"+shard+"  ") {
+			t.Fatalf("sharded frame missing shard %s rows:\n%s", shard, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Fatalf("healthy sharded frame shows a violation:\n%s", out)
+	}
+
+	// One hot shard over its SLO: the frame and the gate both flag it.
+	if sloViolated(snap) {
+		t.Fatal("healthy sharded snapshot flagged")
+	}
+	bad := statShardedSnapshot(t, 41, 95)
+	if !sloViolated(bad) {
+		t.Fatal("shard 1 over SLO not flagged")
+	}
+	sb.Reset()
+	renderStat(&sb, bad, bad, time.Second)
+	if !strings.Contains(sb.String(), "VIOLATED") {
+		t.Fatalf("violating sharded frame missing verdict:\n%s", sb.String())
 	}
 }
 

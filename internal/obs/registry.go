@@ -44,6 +44,25 @@ func NewRegistry() *Registry {
 	}
 }
 
+// WithLabel inserts one label pair into an instrument name, composing
+// with labels the name already carries:
+//
+//	WithLabel("serve_calls_total", "shard", "2")
+//	        → serve_calls_total{shard="2"}
+//	WithLabel(`serve_latency_ticks{class="AOP"}`, "shard", "2")
+//	        → serve_latency_ticks{shard="2",class="AOP"}
+//
+// The sharded serving layer uses it to give each shard's registry a
+// disjoint namespace, so merging every shard into one /metrics endpoint
+// never collides.
+func WithLabel(name, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i+1] + pair + "," + name[i+1:]
+	}
+	return name + "{" + pair + "}"
+}
+
 // checkKind panics when name is already registered under a different
 // instrument kind.
 func (r *Registry) checkKind(name, want string) {

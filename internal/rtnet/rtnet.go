@@ -157,17 +157,26 @@ type Metrics struct {
 // NewMetrics builds the substrate's instrument set on a registry. The
 // message-latency histogram is sized to hold the whole admissible
 // envelope [d-u, d] plus generous room for scheduling jitter above it.
-func NewMetrics(reg *obs.Registry, p simtime.Params) *Metrics {
+// Optional labels come as key, value pairs and are folded into every
+// instrument name (obs.WithLabel); the shard-set uses them to keep each
+// shard cluster's substrate metrics distinct on one merged endpoint.
+func NewMetrics(reg *obs.Registry, p simtime.Params, labels ...string) *Metrics {
 	limit := 4 * int(p.D)
 	if limit < 16 {
 		limit = 16
 	}
+	name := func(base string) string {
+		for i := 0; i+1 < len(labels); i += 2 {
+			base = obs.WithLabel(base, labels[i], labels[i+1])
+		}
+		return base
+	}
 	return &Metrics{
-		Delivered:  reg.Counter("rtnet_messages_delivered_total"),
-		TimerFires: reg.Counter("rtnet_timer_fires_total"),
-		Overflows:  reg.Counter("rtnet_inbox_overflows_total"),
-		MsgLatency: reg.Hist("rtnet_message_latency_ticks", limit),
-		InboxMax:   reg.Max("rtnet_inbox_depth_max"),
+		Delivered:  reg.Counter(name("rtnet_messages_delivered_total")),
+		TimerFires: reg.Counter(name("rtnet_timer_fires_total")),
+		Overflows:  reg.Counter(name("rtnet_inbox_overflows_total")),
+		MsgLatency: reg.Hist(name("rtnet_message_latency_ticks"), limit),
+		InboxMax:   reg.Max(name("rtnet_inbox_depth_max")),
 	}
 }
 

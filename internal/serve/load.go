@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"lintime/internal/adt"
 	"lintime/internal/classify"
 	"lintime/internal/harness"
 	"lintime/internal/histio"
@@ -19,6 +20,13 @@ import (
 // object: the in-process *Server, the TCP *Client, or a test fake.
 type Caller interface {
 	Call(op string, arg any) (rtnet.Response, error)
+}
+
+// KeyedCaller extends Caller with named-object calls — the in-process
+// *ShardSet and the TCP *Client against a shard router. A keyed load run
+// (LoadConfig.Keys non-empty) requires its target to implement it.
+type KeyedCaller interface {
+	CallKey(key, op string, arg any) (rtnet.Response, error)
 }
 
 // LoadConfig describes one closed-loop load generation run: Clients
@@ -37,6 +45,19 @@ type LoadConfig struct {
 	// then covers the operations completed so far — the graceful
 	// shortened-run path `lintime load` takes on SIGINT/SIGTERM.
 	Stop <-chan struct{}
+
+	// Keys, when non-empty, switches the run to keyed (multi-object)
+	// mode: each operation draws an object key and goes through the
+	// target's CallKey. The target must implement KeyedCaller.
+	Keys []string
+	// Zipf skews the key draw: s > 1 selects keys with Zipfian
+	// popularity (rank-1 hottest), concentrating load on the hot key's
+	// home shard. Values ≤ 1 mean uniform (the Zipf law requires s > 1).
+	Zipf float64
+	// ShardParams, when non-empty, attributes each keyed operation to
+	// ShardFor(key, len(ShardParams)) and adds per-shard class reports
+	// (each against its own shard's X) to the summary.
+	ShardParams []simtime.Params
 }
 
 // FormulaTicks returns Algorithm 1's worst-case latency for an operation
@@ -85,6 +106,10 @@ type SummaryConfig struct {
 	Epsilon      int64  `json:"eps"`
 	X            int64  `json:"x"`
 	TickNS       int64  `json:"tick_ns,omitempty"`
+	// Sharded-mode echo (absent in single-object runs).
+	Shards   int     `json:"shards,omitempty"`
+	KeyCount int     `json:"keys,omitempty"`
+	Zipf     float64 `json:"zipf,omitempty"`
 }
 
 // ClassReport compares one class's measured latencies to its formula.
@@ -100,20 +125,48 @@ type ClassReport struct {
 	WithinBudget bool `json:"within_budget"`
 }
 
+// ShardReport is one shard's slice of a keyed load run: the operations
+// whose keys route to it, compared against that shard's own formulas
+// (each shard may run a different X).
+type ShardReport struct {
+	Shard    int                    `json:"shard"`
+	X        int64                  `json:"x"`
+	Keys     int                    `json:"keys"`
+	Ops      int                    `json:"ops"`
+	PerClass map[string]ClassReport `json:"per_class"`
+}
+
 // Summary is the JSON document a load run emits (BENCH_serve.json).
 type Summary struct {
 	Config   SummaryConfig               `json:"config"`
 	TotalOps int                         `json:"total_ops"`
-	OpCounts map[string]int              `json:"op_counts"`
-	PerClass map[string]ClassReport      `json:"per_class"`
-	PerOp    map[string]histio.Quantiles `json:"per_op"`
+	// ElapsedMS is the measured window: from after the workers were set
+	// up (connections warm, mix expanded) to the last response. The
+	// configured duration is a floor on this, never the reported value —
+	// see OpsPerSec.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// OpsPerSec is TotalOps over the measured window (wall-clock runs
+	// only; virtual-time summaries omit both fields).
+	OpsPerSec float64                     `json:"ops_per_sec,omitempty"`
+	OpCounts  map[string]int              `json:"op_counts"`
+	PerClass  map[string]ClassReport      `json:"per_class"`
+	PerShard  []ShardReport               `json:"per_shard,omitempty"`
+	PerOp     map[string]histio.Quantiles `json:"per_op"`
 }
 
-// SLOMet reports whether every class met its latency budget.
+// SLOMet reports whether every class met its latency budget — in
+// sharded runs, on every shard as well as in aggregate.
 func (s *Summary) SLOMet() bool {
 	for _, c := range s.PerClass {
 		if !c.WithinBudget {
 			return false
+		}
+	}
+	for _, sh := range s.PerShard {
+		for _, c := range sh.PerClass {
+			if !c.WithinBudget {
+				return false
+			}
 		}
 	}
 	return true
@@ -135,11 +188,30 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 	if err != nil {
 		return nil, err
 	}
+	var keyed KeyedCaller
+	if len(cfg.Keys) > 0 {
+		var ok bool
+		if keyed, ok = target.(KeyedCaller); !ok {
+			return nil, fmt.Errorf("serve: keyed load needs a keyed target (shard set or router client), got %T", target)
+		}
+		for _, k := range cfg.Keys {
+			if k == "" {
+				return nil, fmt.Errorf("serve: keyed load: empty object key")
+			}
+		}
+	}
 	classes := harness.ClassesFor(dt)
 
 	logs := make([][]sim.OpRecord, cfg.Clients)
 	errs := make([]error, cfg.Clients)
-	deadline := time.Now().Add(cfg.Duration)
+	// The measurement window opens here — after mix expansion,
+	// classification and target warm-up — not at entry. Computing the
+	// deadline from a timestamp taken before setup silently shortened
+	// every run by however long setup took (connection dials, the
+	// classifier's first pass over the type); the summary now also
+	// reports the window actually measured, not the one requested.
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Clients; i++ {
 		i := i
@@ -148,6 +220,10 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(
 				harness.DeriveSeed(cfg.Seed, fmt.Sprintf("load/client/%d", i))))
+			var zipf *rand.Zipf
+			if len(cfg.Keys) > 1 && cfg.Zipf > 1 {
+				zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(len(cfg.Keys)-1))
+			}
 			for n := 0; ; n++ {
 				if cfg.Stop != nil {
 					select {
@@ -166,7 +242,19 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 				op := picks[rng.Intn(len(picks))]
 				info, _ := spec.FindOp(dt, op)
 				arg := info.Args[rng.Intn(len(info.Args))]
-				r, err := target.Call(op, arg)
+				var r rtnet.Response
+				var err error
+				if keyed != nil {
+					var ki int
+					if zipf != nil {
+						ki = int(zipf.Uint64())
+					} else {
+						ki = rng.Intn(len(cfg.Keys))
+					}
+					r, err = keyed.CallKey(cfg.Keys[ki], op, arg)
+				} else {
+					r, err = target.Call(op, arg)
+				}
 				if err != nil {
 					errs[i] = fmt.Errorf("serve: client %d op %d (%s): %w", i, n, op, err)
 					return
@@ -179,6 +267,7 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 		}()
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -193,8 +282,69 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 		DurationMS: cfg.Duration.Milliseconds(), Mix: FormatMix(cfg.Mix), Seed: cfg.Seed,
 		N: p.N, D: int64(p.D), U: int64(p.U), Epsilon: int64(p.Epsilon), X: int64(p.X),
 		TickNS: tick.Nanoseconds(),
+		Shards: len(cfg.ShardParams), KeyCount: len(cfg.Keys), Zipf: cfg.Zipf,
 	}
-	return Summarize(p, tick, classes, ops, echo), nil
+	var sum *Summary
+	if len(cfg.ShardParams) > 0 {
+		// The aggregate rows of a sharded run are judged against the
+		// worst case over the shards' formulas: each shard may run its
+		// own X, so the fleet-wide bound for a class is the laxest
+		// shard's bound.
+		sum = summarize(func(class classify.Class) simtime.Duration {
+			worst := FormulaTicks(cfg.ShardParams[0], class)
+			for _, sp := range cfg.ShardParams[1:] {
+				if f := FormulaTicks(sp, class); f > worst {
+					worst = f
+				}
+			}
+			return worst
+		}, tick, classes, ops, echo)
+		sum.PerShard = ShardSummaries(cfg.ShardParams, tick, classes, ops)
+	} else {
+		sum = Summarize(p, tick, classes, ops, echo)
+	}
+	if tick > 0 {
+		sum.ElapsedMS = elapsed.Milliseconds()
+		if secs := elapsed.Seconds(); secs > 0 {
+			sum.OpsPerSec = float64(sum.TotalOps) / secs
+		}
+	}
+	return sum, nil
+}
+
+// ShardSummaries splits keyed operation records by their keys' home
+// shards (ShardFor against len(shardParams)) and reports each shard's
+// per-class latencies against that shard's own formulas. Records whose
+// arguments are not keyed are skipped.
+func ShardSummaries(shardParams []simtime.Params, tick time.Duration,
+	classes map[string]classify.Class, ops []sim.OpRecord) []ShardReport {
+	shards := len(shardParams)
+	byShard := make([][]sim.OpRecord, shards)
+	keysOf := make([]map[string]struct{}, shards)
+	for i := range keysOf {
+		keysOf[i] = map[string]struct{}{}
+	}
+	for _, op := range ops {
+		key, _, ok := adt.SplitKeyArg(op.Arg)
+		if !ok {
+			continue
+		}
+		sh := ShardFor(key, shards)
+		byShard[sh] = append(byShard[sh], op)
+		keysOf[sh][key] = struct{}{}
+	}
+	out := make([]ShardReport, shards)
+	for i := range out {
+		p := shardParams[i]
+		s := summarize(func(class classify.Class) simtime.Duration {
+			return FormulaTicks(p, class)
+		}, tick, classes, byShard[i], SummaryConfig{})
+		out[i] = ShardReport{
+			Shard: i, X: int64(p.X), Keys: len(keysOf[i]),
+			Ops: s.TotalOps, PerClass: s.PerClass,
+		}
+	}
+	return out
 }
 
 // Summarize aggregates completed operations into the load summary:
@@ -205,6 +355,15 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 // values.
 func Summarize(p simtime.Params, tick time.Duration, classes map[string]classify.Class,
 	ops []sim.OpRecord, echo SummaryConfig) *Summary {
+	return summarize(func(class classify.Class) simtime.Duration {
+		return FormulaTicks(p, class)
+	}, tick, classes, ops, echo)
+}
+
+// summarize is Summarize with the class→formula mapping abstracted, so
+// sharded aggregates can judge against the worst case over shards.
+func summarize(formula func(classify.Class) simtime.Duration, tick time.Duration,
+	classes map[string]classify.Class, ops []sim.OpRecord, echo SummaryConfig) *Summary {
 	perClass := map[classify.Class]*histio.Histogram{}
 	perOp := map[string]*histio.Histogram{}
 	counts := map[string]int{}
@@ -239,12 +398,12 @@ func Summarize(p simtime.Params, tick time.Duration, classes map[string]classify
 	}
 	for class, h := range perClass {
 		q := h.Summary()
-		formula := FormulaTicks(p, class)
+		f := formula(class)
 		sum.PerClass[class.String()] = ClassReport{
 			Latency:      q,
-			FormulaTicks: int64(formula),
+			FormulaTicks: int64(f),
 			BudgetTicks:  int64(budget),
-			WithinBudget: q.P99 <= int64(formula+budget),
+			WithinBudget: q.P99 <= int64(f+budget),
 		}
 		sum.TotalOps += q.Count
 	}

@@ -39,37 +39,49 @@ func (s *Server) wireMetrics() {
 	reg := obs.NewRegistry()
 	s.reg = reg
 
+	// On a sharded deployment every shard's registry is merged into one
+	// endpoint; the shard label keeps the namespaces disjoint. Empty label
+	// (single-object mode) preserves the historical metric names exactly.
+	name := func(n string) string { return n }
+	if s.cfg.ShardLabel != "" {
+		name = func(n string) string { return obs.WithLabel(n, "shard", s.cfg.ShardLabel) }
+	}
+
 	p := s.cfg.Params
 	limit := 4 * int(p.D+p.Epsilon)
 	if limit < 16 {
 		limit = 16
 	}
 	m := &serveMetrics{
-		calls:      reg.Counter("serve_calls_total"),
-		errors:     reg.Counter("serve_call_errors_total"),
-		inflight:   reg.Gauge("serve_inflight_ops"),
-		drainState: reg.Gauge("serve_drain_state"),
+		calls:      reg.Counter(name("serve_calls_total")),
+		errors:     reg.Counter(name("serve_call_errors_total")),
+		inflight:   reg.Gauge(name("serve_inflight_ops")),
+		drainState: reg.Gauge(name("serve_drain_state")),
 		perClass:   map[classify.Class]*obs.Hist{},
 	}
 	budget := JitterBudget(s.cfg.Tick)
 	for _, class := range metricClasses {
 		label := fmt.Sprintf("{class=%q}", class.String())
-		m.perClass[class] = reg.Hist("serve_latency_ticks"+label, limit)
+		m.perClass[class] = reg.Hist(name("serve_latency_ticks"+label), limit)
 		// The paper's worst-case bound and the SLO line (bound + jitter
 		// budget) emit as gauges so a scraper — `lintime stat` — can
 		// verdict p99 against them without knowing the model parameters.
-		reg.Gauge("serve_latency_formula_ticks" + label).Set(int64(FormulaTicks(p, class)))
-		reg.Gauge("serve_latency_slo_ticks" + label).Set(int64(FormulaTicks(p, class) + budget))
+		reg.Gauge(name("serve_latency_formula_ticks" + label)).Set(int64(FormulaTicks(p, class)))
+		reg.Gauge(name("serve_latency_slo_ticks" + label)).Set(int64(FormulaTicks(p, class) + budget))
 	}
 	s.obsm = m
 
-	s.cluster.SetMetrics(rtnet.NewMetrics(reg, p))
-	reg.GaugeFunc("rtnet_inbox_overflow_last_proc", func() int64 {
+	var rtLabels []string
+	if s.cfg.ShardLabel != "" {
+		rtLabels = []string{"shard", s.cfg.ShardLabel}
+	}
+	s.cluster.SetMetrics(rtnet.NewMetrics(reg, p, rtLabels...))
+	reg.GaugeFunc(name("rtnet_inbox_overflow_last_proc"), func() int64 {
 		return int64(s.cluster.LastOverflowProc())
 	})
 	for i := 0; i < p.N; i++ {
 		proc := sim.ProcID(i)
-		reg.GaugeFunc(fmt.Sprintf("rtnet_inbox_depth{proc=\"%d\"}", i), func() int64 {
+		reg.GaugeFunc(name(fmt.Sprintf("rtnet_inbox_depth{proc=\"%d\"}", i)), func() int64 {
 			return int64(s.cluster.InboxLen(proc))
 		})
 	}

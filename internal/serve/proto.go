@@ -6,8 +6,16 @@
 // answers each as its operation completes, not necessarily in order.
 //
 //	request:  {"id": 7, "op": "enqueue", "arg": 3}
+//	keyed:    {"id": 9, "key": "user:42", "op": "enqueue", "arg": 3}
 //	response: {"id": 7, "class": "MOP", "invoke": 812, "respond": 844}
 //	error:    {"id": 8, "error": "serve: type queue has no operation \"pop\""}
+//
+// The key field names the served object on a sharded deployment (see
+// shard.go): the router hashes it onto a shard cluster. Single-object
+// servers reject keyed requests and shard routers require the key, so a
+// client can never silently talk to the wrong topology. Sharded
+// responses echo the shard index that served them (omitted when zero —
+// and always, therefore, on single-object servers).
 //
 // Arguments and return values use the history interchange encoding of
 // internal/histio (integers, strings, booleans, null, {p,c} edges and
@@ -35,6 +43,7 @@ const maxFrame = 1 << 20
 
 type wireRequest struct {
 	ID  int64           `json:"id"`
+	Key string          `json:"key,omitempty"` // served object (sharded mode)
 	Op  string          `json:"op"`
 	Arg json.RawMessage `json:"arg,omitempty"`
 }
@@ -43,6 +52,7 @@ type wireResponse struct {
 	ID      int64           `json:"id"`
 	Ret     json.RawMessage `json:"ret,omitempty"`
 	Class   string          `json:"class,omitempty"`
+	Shard   int             `json:"shard,omitempty"` // shard that served a keyed request
 	Invoke  int64           `json:"invoke"`
 	Respond int64           `json:"respond"`
 	Err     string          `json:"error,omitempty"`
@@ -103,49 +113,69 @@ func readFrame(r io.Reader, v any) error {
 	return json.Unmarshal(body, v)
 }
 
-// Serve accepts connections on ln until the listener is closed (by a
+// frontend is the shared TCP front half of a Server (single object) and
+// a ShardSet router (many objects): listener bookkeeping, per-connection
+// reader goroutines, per-request handler fan-out, and the graceful
+// teardown that flushes every accepted request's response before its
+// connection closes.
+//
+// Teardown protocol: each connection handler owns a private request
+// WaitGroup, so every Add happens in the reader goroutine before the
+// reader exits — never racing a Wait — and the handler only closes its
+// connection after all pending responses are written. A drain therefore
+// shuts reads down (CloseRead where the transport supports it), lets the
+// readers run dry, and waits on connWG; nothing in flight is dropped.
+type frontend struct {
+	dispatch func(wireRequest) wireResponse
+	draining func() bool
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	connWG    sync.WaitGroup
+}
+
+func (f *frontend) init(dispatch func(wireRequest) wireResponse, draining func() bool) {
+	f.dispatch = dispatch
+	f.draining = draining
+	f.conns = map[net.Conn]struct{}{}
+}
+
+// serve accepts connections on ln until the listener is closed (by a
 // drain, or externally). It returns nil on a drain-initiated close.
-func (s *Server) Serve(ln net.Listener) error {
-	s.lnMu.Lock()
-	s.listeners = append(s.listeners, ln)
-	s.lnMu.Unlock()
+func (f *frontend) serve(ln net.Listener) error {
+	f.mu.Lock()
+	f.listeners = append(f.listeners, ln)
+	f.mu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			s.mu.Lock()
-			draining := s.draining
-			s.mu.Unlock()
-			if draining {
+			if f.draining() {
 				return nil
 			}
 			return err
 		}
-		s.lnMu.Lock()
-		s.conns[conn] = struct{}{}
-		s.lnMu.Unlock()
-		s.connWG.Add(1)
-		go s.handleConn(conn)
+		f.mu.Lock()
+		f.conns[conn] = struct{}{}
+		f.mu.Unlock()
+		f.connWG.Add(1)
+		go f.handleConn(conn)
 	}
 }
 
-func (s *Server) handleConn(conn net.Conn) {
-	defer s.connWG.Done()
-	defer func() {
-		conn.Close()
-		s.lnMu.Lock()
-		delete(s.conns, conn)
-		s.lnMu.Unlock()
-	}()
+func (f *frontend) handleConn(conn net.Conn) {
+	defer f.connWG.Done()
+	var reqs sync.WaitGroup
 	var wmu sync.Mutex // serializes response frames from concurrent requests
 	for {
 		var req wireRequest
 		if err := readFrame(conn, &req); err != nil {
-			return
+			break
 		}
-		s.reqWG.Add(1)
+		reqs.Add(1)
 		go func(req wireRequest) {
-			defer s.reqWG.Done()
-			resp := s.handleRequest(req)
+			defer reqs.Done()
+			resp := f.dispatch(req)
 			wmu.Lock()
 			defer wmu.Unlock()
 			// A write failure means the client went away; the operation
@@ -153,9 +183,57 @@ func (s *Server) handleConn(conn net.Conn) {
 			_ = writeFrame(conn, resp)
 		}(req)
 	}
+	// Flush every accepted request's response before the connection dies:
+	// requests that raced a drain get ErrDraining responses and finish
+	// quickly, so this converges as soon as reads stop.
+	reqs.Wait()
+	conn.Close()
+	f.mu.Lock()
+	delete(f.conns, conn)
+	f.mu.Unlock()
+}
+
+func (f *frontend) closeListeners() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ln := range f.listeners {
+		ln.Close()
+	}
+	f.listeners = nil
+}
+
+// shutdownConns ends every open connection gracefully: reads shut down
+// first (no new requests), the per-connection handlers flush their
+// pending responses and close, and the call returns once all handler
+// goroutines are gone.
+func (f *frontend) shutdownConns() {
+	f.mu.Lock()
+	conns := make([]net.Conn, 0, len(f.conns))
+	for conn := range f.conns {
+		conns = append(conns, conn)
+	}
+	f.mu.Unlock()
+	for _, conn := range conns {
+		if cr, ok := conn.(interface{ CloseRead() error }); ok {
+			cr.CloseRead()
+		} else {
+			conn.Close()
+		}
+	}
+	f.connWG.Wait()
+}
+
+// Serve accepts connections on ln until the listener is closed (by a
+// drain, or externally). It returns nil on a drain-initiated close.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.fe.serve(ln)
 }
 
 func (s *Server) handleRequest(req wireRequest) wireResponse {
+	if req.Key != "" {
+		return wireResponse{ID: req.ID,
+			Err: "serve: single-object server: request has an object key (connect to a shard router, or drop the key)"}
+	}
 	arg, err := histio.DecodeValue(req.Arg)
 	if err != nil {
 		return wireResponse{ID: req.ID, Err: err.Error()}
@@ -170,23 +248,6 @@ func (s *Server) handleRequest(req wireRequest) wireResponse {
 	}
 	return wireResponse{ID: req.ID, Ret: ret, Class: r.Class.String(),
 		Invoke: int64(r.Invoke), Respond: int64(r.Respond)}
-}
-
-func (s *Server) closeListeners() {
-	s.lnMu.Lock()
-	defer s.lnMu.Unlock()
-	for _, ln := range s.listeners {
-		ln.Close()
-	}
-	s.listeners = nil
-}
-
-func (s *Server) closeConns() {
-	s.lnMu.Lock()
-	defer s.lnMu.Unlock()
-	for conn := range s.conns {
-		conn.Close()
-	}
 }
 
 // Client is a TCP client for the serving protocol. Safe for concurrent
@@ -242,6 +303,21 @@ func (c *Client) readLoop() {
 // The returned Response carries the server-side invoke/respond instants
 // in virtual ticks, so latencies are comparable to the in-process path.
 func (c *Client) Call(op string, arg any) (rtnet.Response, error) {
+	return c.call("", op, arg)
+}
+
+// CallKey executes one operation against the named object of a sharded
+// deployment. The response's Arg carries the keyed argument (see
+// adt.KeyArg), so client-side logs group per shard and per object
+// exactly like server-side traces.
+func (c *Client) CallKey(key, op string, arg any) (rtnet.Response, error) {
+	if key == "" {
+		return rtnet.Response{}, fmt.Errorf("serve: CallKey needs a non-empty key")
+	}
+	return c.call(key, op, arg)
+}
+
+func (c *Client) call(key, op string, arg any) (rtnet.Response, error) {
 	raw, err := histio.EncodeValue(arg)
 	if err != nil {
 		return rtnet.Response{}, err
@@ -252,7 +328,7 @@ func (c *Client) Call(op string, arg any) (rtnet.Response, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 	c.wmu.Lock()
-	err = writeFrame(c.conn, wireRequest{ID: id, Op: op, Arg: raw})
+	err = writeFrame(c.conn, wireRequest{ID: id, Key: key, Op: op, Arg: raw})
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
@@ -282,8 +358,14 @@ func (c *Client) Call(op string, arg any) (rtnet.Response, error) {
 	if err != nil {
 		return rtnet.Response{}, err
 	}
+	recArg := any(arg)
+	if key != "" {
+		if ka, kerr := keyedArg(key, arg); kerr == nil {
+			recArg = ka
+		}
+	}
 	return rtnet.Response{
-		Op: op, Arg: arg, Ret: ret,
+		Op: op, Arg: recArg, Ret: ret,
 		Class:   classFromString(resp.Class),
 		Invoke:  simtime.Time(resp.Invoke),
 		Respond: simtime.Time(resp.Respond),

@@ -22,7 +22,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +55,15 @@ type Config struct {
 	// rtnet.DefaultInboxDepth). An overflow is a cluster failure surfaced
 	// through Call/Drain errors, never a silent stall.
 	InboxDepth int
+	// DataType, when non-nil, overrides TypeName with an explicit data
+	// type instance. The shard-set uses it to serve a keyed family
+	// (adt.Keyed) that has no registry name.
+	DataType spec.DataType
+	// ShardLabel, when non-empty, is folded into every metric name as a
+	// shard="..." label so many shard clusters can merge onto one
+	// observability endpoint without collisions. Empty (single-object
+	// serving) keeps the historical unlabeled names.
+	ShardLabel string
 }
 
 type result struct {
@@ -93,11 +101,7 @@ type Server struct {
 	reg  *obs.Registry
 	obsm *serveMetrics
 
-	lnMu      sync.Mutex
-	listeners []net.Listener
-	conns     map[net.Conn]struct{}
-	connWG    sync.WaitGroup // connection reader goroutines
-	reqWG     sync.WaitGroup // per-request handler goroutines (incl. response writes)
+	fe frontend // TCP front half (listeners, connections, teardown)
 }
 
 // New builds a server for the configuration. Call Start before Call or
@@ -112,14 +116,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
-	dt, err := adt.Lookup(cfg.TypeName)
-	if err != nil {
-		return nil, err
+	dt := cfg.DataType
+	if dt == nil {
+		var err error
+		dt, err = adt.Lookup(cfg.TypeName)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
-	classes := harness.ClassesFor(dt)
+	// The keyed wrapper preserves every operation's algebraic class (a
+	// lifted mutator still mutates only its key's substate, a lifted
+	// accessor still never mutates), so classification runs on the basis
+	// type — cheaper, and identical op names make the classes line up.
+	basis := dt
+	if k, ok := dt.(*adt.Keyed); ok {
+		basis = k.Basis()
+	}
+	classes := harness.ClassesFor(basis)
 	offsets, err := harness.Offsets(cfg.Offsets, cfg.Params, harness.DeriveSeed(cfg.Seed, "serve/offsets"))
 	if err != nil {
 		return nil, err
@@ -139,13 +155,19 @@ func New(cfg Config) (*Server, error) {
 		cluster: cluster,
 		queues:  make([]chan call, cfg.Params.N),
 		rec:     newRecorder(),
-		conns:   map[net.Conn]struct{}{},
 	}
 	for i := range s.queues {
 		s.queues[i] = make(chan call, cfg.QueueDepth)
 	}
+	s.fe.init(s.handleRequest, s.isDraining)
 	s.wireMetrics()
 	return s, nil
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Type returns the served data type.
@@ -234,8 +256,9 @@ func (s *Server) drain(timeout time.Duration) error {
 	s.mu.Unlock()
 	s.obsm.drainState.Set(1)
 	defer s.obsm.drainState.Set(2)
-	s.closeListeners()
+	s.fe.closeListeners()
 	if !started {
+		s.fe.shutdownConns()
 		return nil
 	}
 
@@ -258,11 +281,10 @@ func (s *Server) drain(timeout time.Duration) error {
 	}
 	err := s.cluster.Drain(timeout)
 	// Every response write must land before its connection is torn down:
-	// requests that raced the drain get ErrDraining responses and finish
-	// quickly, so this wait converges once clients stop sending.
-	s.reqWG.Wait()
-	s.closeConns()
-	s.connWG.Wait()
+	// shutdownConns stops reads first, then the per-connection handlers
+	// flush their pending responses (requests that raced the drain got
+	// fast ErrDraining answers) and close.
+	s.fe.shutdownConns()
 	if timedOut != nil {
 		return timedOut
 	}

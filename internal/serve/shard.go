@@ -1,0 +1,475 @@
+// Sharded multi-object serving: a keyspace of named objects hash-sharded
+// onto independent Algorithm 1 clusters behind one router front-end.
+//
+// Linearizability composes per object — a history over many objects is
+// linearizable iff each object's subhistory is (Herlihy & Wing's
+// locality theorem) — so horizontal scale comes for free as long as
+// every operation on an object is served by the same cluster. The
+// ShardSet enforces exactly that invariant: FNV-1a(key) mod M picks the
+// shard, each shard is a full n-replica Algorithm 1 cluster (its own
+// rtnet substrate, its own X tuning), and the router multiplexes client
+// connections across shards. The per-object checker then *verifies* the
+// composition instead of assuming it: every recorded operation must sit
+// on its key's home shard, and every key's (single-shard, hence
+// single-timebase) history must linearize against the base type.
+//
+// What the composition boundary cannot give: an operation spanning two
+// objects on different shards (a cross-shard Bank transfer) has no
+// single cluster ordering it, and the shards' virtual clocks share no
+// common epoch — that is where sequential-consistency-style composition
+// questions (Perrin et al.) begin, and where this design deliberately
+// stops.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"lintime/internal/adt"
+	"lintime/internal/classify"
+	"lintime/internal/harness"
+	"lintime/internal/histio"
+	"lintime/internal/lincheck"
+	"lintime/internal/obs"
+	"lintime/internal/rtnet"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// ShardSetConfig describes a sharded deployment: the base cluster
+// configuration replicated per shard, the shard count, and optional
+// per-shard X overrides.
+type ShardSetConfig struct {
+	Config
+	// Shards is the number of independent clusters M (default 1).
+	Shards int
+	// ShardX optionally tunes each shard's accessor/mutator trade-off
+	// independently: len must be 0 (every shard uses Config.Params.X) or
+	// Shards. A hot read-mostly shard can run a low X while a write-heavy
+	// one runs high, without touching the others.
+	ShardX []simtime.Duration
+}
+
+// ShardSet is a running sharded deployment: M independent single-object
+// servers each serving one keyed family (adt.Keyed) of the base type,
+// plus the router front-end that spreads keys across them.
+type ShardSet struct {
+	cfg    ShardSetConfig
+	inner  spec.DataType
+	shards []*Server
+
+	mu       sync.Mutex
+	started  bool
+	draining bool
+	inflight sync.WaitGroup
+
+	drainOnce sync.Once
+	drainErr  error
+
+	reg       *obs.Registry
+	routed    []*obs.Counter
+	routeErrs *obs.Counter
+
+	fe frontend
+
+	// misroute, when non-nil, overrides the routing decision — a test
+	// hook for the deliberately-misrouted-write mutant that the
+	// per-object checker must catch.
+	misroute func(key string, shard int) int
+}
+
+// NewShardSet builds the sharded deployment. Shard i's cluster derives
+// its seed from the master seed and i, so shards draw independent delay
+// and offset streams; its X comes from ShardX[i] when given.
+func NewShardSet(cfg ShardSetConfig) (*ShardSet, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if len(cfg.ShardX) != 0 && len(cfg.ShardX) != cfg.Shards {
+		return nil, fmt.Errorf("serve: ShardX has %d entries for %d shards", len(cfg.ShardX), cfg.Shards)
+	}
+	if cfg.TypeName == "" {
+		cfg.TypeName = "queue"
+	}
+	if cfg.DataType != nil {
+		return nil, errors.New("serve: ShardSetConfig takes a TypeName, not an explicit DataType")
+	}
+	inner, err := adt.Lookup(cfg.TypeName)
+	if err != nil {
+		return nil, err
+	}
+	ss := &ShardSet{
+		cfg:   cfg,
+		inner: inner,
+		reg:   obs.NewRegistry(),
+	}
+	ss.routeErrs = ss.reg.Counter("router_route_errors_total")
+	ss.reg.Gauge("router_shards").Set(int64(cfg.Shards))
+	for i := 0; i < cfg.Shards; i++ {
+		scfg := cfg.Config
+		scfg.DataType = adt.NewKeyed(inner)
+		scfg.ShardLabel = strconv.Itoa(i)
+		scfg.Seed = harness.DeriveSeed(cfg.Seed, fmt.Sprintf("serve/shard/%d", i))
+		if len(cfg.ShardX) != 0 {
+			scfg.Params.X = cfg.ShardX[i]
+		}
+		shard, err := New(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		ss.shards = append(ss.shards, shard)
+		ss.routed = append(ss.routed,
+			ss.reg.Counter(obs.WithLabel("router_requests_total", "shard", strconv.Itoa(i))))
+	}
+	ss.fe.init(ss.handleRequest, ss.isDraining)
+	return ss, nil
+}
+
+// ShardFor maps an object key onto its home shard: 64-bit FNV-1a mod M.
+// The mapping is part of the deployment contract (rebalancing moves
+// objects between clusters), so it is pinned by a table-driven test.
+func (ss *ShardSet) ShardFor(key string) int {
+	return ShardFor(key, len(ss.shards))
+}
+
+// ShardFor is the routing function itself, exported for clients that
+// shard their own summaries (the TCP load generator).
+func ShardFor(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// Shards returns the shard count M.
+func (ss *ShardSet) Shards() int { return len(ss.shards) }
+
+// Shard returns shard i's underlying server (tests, stats).
+func (ss *ShardSet) Shard(i int) *Server { return ss.shards[i] }
+
+// ShardParams returns each shard's resolved model parameters (per-shard
+// X included), indexed by shard.
+func (ss *ShardSet) ShardParams() []simtime.Params {
+	out := make([]simtime.Params, len(ss.shards))
+	for i, s := range ss.shards {
+		out[i] = s.Config().Params
+	}
+	return out
+}
+
+// Type returns the base (un-keyed) data type.
+func (ss *ShardSet) Type() spec.DataType { return ss.inner }
+
+// Config returns the shard-set configuration (defaults resolved).
+func (ss *ShardSet) Config() ShardSetConfig { return ss.cfg }
+
+// Start launches every shard cluster.
+func (ss *ShardSet) Start() {
+	ss.mu.Lock()
+	if ss.started {
+		ss.mu.Unlock()
+		return
+	}
+	ss.started = true
+	ss.mu.Unlock()
+	for _, s := range ss.shards {
+		s.Start()
+	}
+}
+
+func (ss *ShardSet) isDraining() bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.draining
+}
+
+// Call implements Caller by rejecting the unkeyed call: a sharded
+// deployment has no "the" object, and guessing a shard would silently
+// talk to the wrong one. It exists so a ShardSet satisfies the load
+// generator's Caller interface (keyed runs type-assert to KeyedCaller).
+func (ss *ShardSet) Call(op string, arg any) (rtnet.Response, error) {
+	return rtnet.Response{}, fmt.Errorf("serve: sharded deployment (%d shards) needs an object key (use CallKey)", len(ss.shards))
+}
+
+// CallKey executes one operation against the named object, routing it to
+// the key's home shard. Blocks until the response, like Server.Call.
+func (ss *ShardSet) CallKey(key, op string, arg any) (rtnet.Response, error) {
+	if key == "" {
+		return rtnet.Response{}, fmt.Errorf("serve: sharded call needs a non-empty object key")
+	}
+	ss.mu.Lock()
+	if !ss.started || ss.draining {
+		ss.mu.Unlock()
+		if !ss.started {
+			return rtnet.Response{}, errors.New("serve: shard set not started")
+		}
+		return rtnet.Response{}, ErrDraining
+	}
+	ss.inflight.Add(1)
+	ss.mu.Unlock()
+	defer ss.inflight.Done()
+	shard := ss.ShardFor(key)
+	if ss.misroute != nil {
+		shard = ss.misroute(key, shard)
+	}
+	karg, err := keyedArg(key, arg)
+	if err != nil {
+		ss.routeErrs.Inc()
+		return rtnet.Response{}, err
+	}
+	ss.routed[shard].Inc()
+	return ss.shards[shard].Call(op, karg)
+}
+
+// keyedArg packs (key, base arg) into the keyed argument convention.
+func keyedArg(key string, arg any) (any, error) {
+	return adt.KeyArg(key, arg)
+}
+
+// handleRequest is the router's wire dispatcher.
+func (ss *ShardSet) handleRequest(req wireRequest) wireResponse {
+	if req.Key == "" {
+		return wireResponse{ID: req.ID,
+			Err: fmt.Sprintf("serve: shard router (%d shards): request needs an object key", len(ss.shards))}
+	}
+	arg, err := histio.DecodeValue(req.Arg)
+	if err != nil {
+		return wireResponse{ID: req.ID, Err: err.Error()}
+	}
+	r, err := ss.CallKey(req.Key, req.Op, arg)
+	if err != nil {
+		return wireResponse{ID: req.ID, Err: err.Error()}
+	}
+	ret, err := histio.EncodeValue(r.Ret)
+	if err != nil {
+		return wireResponse{ID: req.ID, Err: err.Error()}
+	}
+	return wireResponse{ID: req.ID, Ret: ret, Class: r.Class.String(),
+		Shard:  ss.ShardFor(req.Key),
+		Invoke: int64(r.Invoke), Respond: int64(r.Respond)}
+}
+
+// Serve accepts router connections on ln until the listener closes.
+// Returns nil on a drain-initiated close.
+func (ss *ShardSet) Serve(ln net.Listener) error {
+	return ss.fe.serve(ln)
+}
+
+// Drain gracefully shuts the whole deployment down: the router's
+// listeners close, new calls are refused, every in-flight operation on
+// every shard completes, all shard clusters drain in parallel, and only
+// then do open connections flush their pending responses and close.
+// Idempotent; later calls return the first drain's result.
+func (ss *ShardSet) Drain(timeout time.Duration) error {
+	ss.drainOnce.Do(func() { ss.drainErr = ss.drain(timeout) })
+	return ss.drainErr
+}
+
+func (ss *ShardSet) drain(timeout time.Duration) error {
+	ss.mu.Lock()
+	started := ss.started
+	ss.draining = true
+	ss.mu.Unlock()
+	ss.fe.closeListeners()
+	var err error
+	if started {
+		// Router-level in-flight calls must land on their shards before
+		// any shard begins refusing work: quiesce the router first, then
+		// drain the shards concurrently.
+		done := make(chan struct{})
+		go func() {
+			ss.inflight.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			err = fmt.Errorf("serve: shard-set drain timed out after %v with calls in flight", timeout)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(ss.shards))
+		for i, s := range ss.shards {
+			i, s := i, s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[i] = s.Drain(timeout)
+			}()
+		}
+		wg.Wait()
+		for i, derr := range errs {
+			if derr != nil && err == nil {
+				err = fmt.Errorf("serve: shard %d drain: %w", i, derr)
+			}
+		}
+	}
+	// Responses for requests that raced the drain flush before their
+	// connections close.
+	ss.fe.shutdownConns()
+	return err
+}
+
+// Stats aggregates latency accounting across all shards.
+func (ss *ShardSet) Stats() Stats {
+	agg := newRecorder()
+	var overflow *OverflowInfo
+	for _, s := range ss.shards {
+		for _, op := range s.rec.ops() {
+			agg.recorded = append(agg.recorded, op)
+		}
+		st := s.Stats()
+		if st.Overflow != nil {
+			if overflow == nil {
+				overflow = &OverflowInfo{}
+			}
+			overflow.Count += st.Overflow.Count
+			overflow.LastProc = st.Overflow.LastProc
+		}
+	}
+	// Rebuild histograms from the merged records for exact quantiles.
+	classes := harness.ClassesFor(ss.inner)
+	st := Stats{PerClass: map[string]histio.Quantiles{}, PerOp: map[string]histio.Quantiles{}}
+	perClass := map[classify.Class]*histio.Histogram{}
+	perOp := map[string]*histio.Histogram{}
+	for _, op := range agg.recorded {
+		class, ok := classes[op.Op]
+		if !ok {
+			class = classify.Mixed
+		}
+		h := perClass[class]
+		if h == nil {
+			h = &histio.Histogram{}
+			perClass[class] = h
+		}
+		h.Add(op.Latency())
+		ho := perOp[op.Op]
+		if ho == nil {
+			ho = &histio.Histogram{}
+			perOp[op.Op] = ho
+		}
+		ho.Add(op.Latency())
+	}
+	st.Ops = len(agg.recorded)
+	for class, h := range perClass {
+		st.PerClass[class.String()] = h.Summary()
+	}
+	for op, h := range perOp {
+		st.PerOp[op] = h.Summary()
+	}
+	st.Overflow = overflow
+	return st
+}
+
+// ShardTrace returns shard i's recorded trace (keyed arguments).
+func (ss *ShardSet) ShardTrace(i int) *sim.Trace { return ss.shards[i].Trace() }
+
+// Registries returns every registry of the deployment — the router's
+// plus each shard's — for the merged observability endpoint.
+func (ss *ShardSet) Registries() []*obs.Registry {
+	regs := []*obs.Registry{ss.reg}
+	for _, s := range ss.shards {
+		regs = append(regs, s.Registry())
+	}
+	return regs
+}
+
+// ObsHandler returns the observability HTTP handler for the deployment:
+// router and shard registries merged with obs.Default.
+func (ss *ShardSet) ObsHandler() http.Handler {
+	return obs.Handler(append(ss.Registries(), obs.Default)...)
+}
+
+// RoutingViolation reports an operation recorded on a shard that is not
+// its key's home — the invariant whose preservation makes per-object
+// linearizability compose across the deployment.
+type RoutingViolation struct {
+	Key       string `json:"key"`
+	Shard     int    `json:"shard"`      // where the op was recorded
+	HomeShard int    `json:"home_shard"` // where ShardFor sends the key
+	Op        string `json:"op"`
+}
+
+// ObjectCheckReport is the outcome of the per-object composition check.
+type ObjectCheckReport struct {
+	Keys              int                `json:"keys"`
+	Ops               int                `json:"ops"`
+	RoutingViolations []RoutingViolation `json:"routing_violations,omitempty"`
+	// NonLinearizable lists keys whose home-shard history failed the
+	// linearizability check against the base type.
+	NonLinearizable []string `json:"non_linearizable_keys,omitempty"`
+}
+
+// OK reports whether composition held: every op on its home shard and
+// every object's history linearizable.
+func (r ObjectCheckReport) OK() bool {
+	return len(r.RoutingViolations) == 0 && len(r.NonLinearizable) == 0
+}
+
+// CheckPerObject runs the composition check over everything recorded so
+// far (call it after Drain, or at a quiescent point): it verifies the
+// routing invariant and then checks each key's projected history against
+// the base type with the linearizability checker. Each key's history
+// lives on a single shard — a single virtual timebase — so the per-key
+// checks are sound without cross-cluster clock comparison; that is
+// precisely why the routing invariant is checked first.
+func (ss *ShardSet) CheckPerObject(workers int) ObjectCheckReport {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	rep := ObjectCheckReport{}
+	perKey := map[string][]sim.OpRecord{}
+	keyParams := map[string]simtime.Params{}
+	for i, s := range ss.shards {
+		tr := s.Trace()
+		for _, op := range tr.Ops {
+			key, innerArg, ok := adt.SplitKeyArg(op.Arg)
+			if !ok {
+				// Not a keyed record: impossible through CallKey; surface
+				// as a routing violation rather than silently skipping.
+				rep.RoutingViolations = append(rep.RoutingViolations,
+					RoutingViolation{Key: "", Shard: i, HomeShard: -1, Op: op.Op})
+				continue
+			}
+			rep.Ops++
+			if home := ss.ShardFor(key); home != i {
+				rep.RoutingViolations = append(rep.RoutingViolations,
+					RoutingViolation{Key: key, Shard: i, HomeShard: home, Op: op.Op})
+				continue
+			}
+			proj := op
+			proj.Arg = innerArg
+			perKey[key] = append(perKey[key], proj)
+			keyParams[key] = tr.Params
+		}
+	}
+	rep.Keys = len(perKey)
+	keys := make([]string, 0, len(perKey))
+	for k := range perKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		tr := &sim.Trace{Params: keyParams[key], Ops: perKey[key]}
+		if !lincheck.CheckTraceParallel(ss.inner, tr, workers).Linearizable {
+			rep.NonLinearizable = append(rep.NonLinearizable, key)
+		}
+	}
+	return rep
+}
+
+// SetMisroute installs a test-only routing fault: every routing decision
+// flows through f. Used by the misrouted-write mutant test to prove the
+// per-object checker catches composition violations. Must be set before
+// traffic.
+func (ss *ShardSet) SetMisroute(f func(key string, shard int) int) { ss.misroute = f }
