@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-engine bench-compare bench-guard stat-smoke fuzz-smoke fuzz-native soak soak-smoke load-bench load-shard-smoke
+.PHONY: check vet build test race bench bench-engine bench-compare bench-guard stat-smoke fuzz-smoke fuzz-native soak soak-smoke load-bench load-shard-smoke verify-smoke
 
 # check is the tier-1 gate: vet, build, full tests, and a short
 # race-detector pass over the concurrency-bearing packages.
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/rtnet/ ./internal/serve/ ./internal/harness/ ./internal/lincheck/ ./internal/sim/ ./internal/adversary/ ./internal/obs/
+	$(GO) test -race -count=1 ./internal/rtnet/ ./internal/serve/ ./internal/harness/ ./internal/lincheck/ ./internal/sim/ ./internal/adversary/ ./internal/obs/ ./internal/strongcheck/ ./internal/bmc/
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -124,4 +124,16 @@ load-shard-smoke:
 # corpora (coverage-guided; not deterministic — a finder, not a gate).
 fuzz-native:
 	$(GO) test -fuzz FuzzCheck -fuzztime 20s ./internal/lincheck/
+	$(GO) test -fuzz FuzzCheckStrong -fuzztime 15s ./internal/strongcheck/
 	$(GO) test -fuzz FuzzTimeArith -fuzztime 10s ./internal/simtime/
+
+# verify-smoke is CI's bounded-model-check gate: an exhaustive sweep of
+# the n=2, 3-op smoke space for the corrected algorithm (must be clean,
+# with the four known linearizable-but-not-strongly-linearizable contexts
+# reported by the strong sweep), the exhaustive mutant kill matrix over
+# the same space, and the pinned goldens for both reports plus the
+# strong-linearizability fork hunt.
+verify-smoke:
+	$(GO) run ./cmd/lintime verify
+	$(GO) run ./cmd/lintime verify -mutant all
+	$(GO) test -count=1 -run 'TestGoldenVerify|TestGoldenFuzzStrong' ./cmd/lintime/

@@ -107,6 +107,55 @@ func TestGoldenFuzzClean(t *testing.T) {
 	checkGolden(t, "fuzz-clean", got)
 }
 
+// TestGoldenFuzzStrong pins the strong-linearizability hunt against the
+// paper's literal accessor bound: the fork pair, its shrink, and both
+// rendered futures are deterministic functions of (seed, budget).
+func TestGoldenFuzzStrong(t *testing.T) {
+	args := []string{"-strong", "-budget", "16", "-seed", "7", "-n", "3", "-mutant", "aop-no-eps"}
+	got := captureStdout(t, func() error {
+		return cmdFuzz(args)
+	})
+	checkGolden(t, "fuzz-strong-aop-no-eps", got)
+
+	for _, par := range []string{"1", "4"} {
+		out := captureStdout(t, func() error {
+			return cmdFuzz(append([]string{"-parallel", par}, args...))
+		})
+		if out != got {
+			t.Errorf("strong fuzz output at -parallel %s differs from default:\n--- got ---\n%s\n--- want ---\n%s", par, out, got)
+		}
+	}
+}
+
+// TestGoldenVerify pins a small exhaustive sweep: the space enumeration
+// is fixed, so the whole report — including the state-dedup statistics —
+// is byte-stable at every parallelism level.
+func TestGoldenVerify(t *testing.T) {
+	args := []string{"-ops", "2"}
+	got := captureStdout(t, func() error {
+		return cmdVerify(args)
+	})
+	checkGolden(t, "verify-ops2", got)
+
+	for _, par := range []string{"1", "4"} {
+		out := captureStdout(t, func() error {
+			return cmdVerify(append([]string{"-parallel", par}, args...))
+		})
+		if out != got {
+			t.Errorf("verify output at -parallel %s differs from default:\n--- got ---\n%s\n--- want ---\n%s", par, out, got)
+		}
+	}
+}
+
+// TestGoldenVerifyKillMatrix pins the exhaustive kill matrix over the CI
+// smoke space.
+func TestGoldenVerifyKillMatrix(t *testing.T) {
+	got := captureStdout(t, func() error {
+		return cmdVerify([]string{"-mutant", "all"})
+	})
+	checkGolden(t, "verify-kill-matrix", got)
+}
+
 // TestGoldenServeDryRun pins the resolved serving configuration echo:
 // classes, per-class formula ticks and the jitter budget are pure
 // functions of the flags, so the JSON is byte-stable.

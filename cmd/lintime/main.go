@@ -13,6 +13,9 @@
 //	lintime sync                the clock-synchronization round (§5's ε)
 //	lintime fuzz                adversarial schedule fuzzing with shrinking
 //	lintime fuzz -mutant all    the seeded-bug kill matrix
+//	lintime fuzz -strong        hunt delay forks that break strong linearizability
+//	lintime verify              exhaustive bounded model check of a tiny config
+//	lintime verify -mutant all  the exhaustive mutant kill matrix
 //
 // Common flags: -n (processes), -d, -u (delay bound and uncertainty),
 // -eps (clock skew; default optimal (1-1/n)u), -x (tradeoff parameter;
@@ -24,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +37,7 @@ import (
 
 	"lintime/internal/adt"
 	"lintime/internal/adversary"
+	"lintime/internal/bmc"
 	"lintime/internal/bounds"
 	"lintime/internal/classify"
 	"lintime/internal/clocksync"
@@ -66,6 +71,8 @@ func main() {
 		err = cmdSync(os.Args[2:])
 	case "fuzz":
 		err = cmdFuzz(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "load":
@@ -105,7 +112,16 @@ commands:
   fuzz        explore admissible adversarial schedules (delays, clock
               offsets, invocation timings) for linearizability violations,
               shrinking each to a minimal counterexample; -mutant runs a
-              seeded bug (or 'all' for the full kill matrix)
+              seeded bug (or 'all' for the full kill matrix); -strong
+              hunts schedules that are linearizable in every future yet
+              not strongly linearizable (a single message delay forked to
+              its other extreme changes a response)
+  verify      exhaustively enumerate EVERY schedule of a quantized
+              admissible space (tiny n and op counts; delays at the
+              interval endpoints) and model-check linearizability,
+              completeness, convergence, and strong linearizability;
+              -mutant all re-proves the kill matrix exhaustively; -json
+              emits the machine-readable report
   serve       boot an n-replica real-time cluster behind a length-prefixed
               JSON protocol over TCP; SIGINT drains gracefully (pending
               operations complete) and prints latency statistics
@@ -122,14 +138,21 @@ run 'lintime <command> -h' for command flags`)
 // paramFlags registers the shared model-parameter flags with the
 // simulator's default magnitudes.
 func paramFlags(fs *flag.FlagSet) func() (simtime.Params, error) {
-	return paramFlagsDefault(fs, int64(2*simtime.Quantum))
+	return paramFlagsWith(fs, 5, int64(2*simtime.Quantum))
 }
 
 // paramFlagsDefault registers the shared model-parameter flags with a
 // chosen default for d; the real-time commands (serve, load) use a small
 // d so wall-clock latencies stay in the tens of milliseconds.
 func paramFlagsDefault(fs *flag.FlagSet, defaultD int64) func() (simtime.Params, error) {
-	n := fs.Int("n", 5, "number of processes")
+	return paramFlagsWith(fs, 5, defaultD)
+}
+
+// paramFlagsWith registers the shared model-parameter flags with chosen
+// defaults for n and d; the exhaustive commands (verify) default to a
+// tiny n because their spaces grow exponentially in it.
+func paramFlagsWith(fs *flag.FlagSet, defaultN int, defaultD int64) func() (simtime.Params, error) {
+	n := fs.Int("n", defaultN, "number of processes")
 	d := fs.Int64("d", defaultD, "maximum message delay d")
 	u := fs.Int64("u", -1, "delay uncertainty u (default d/2)")
 	eps := fs.Int64("eps", -1, "clock skew ε (default optimal (1-1/n)u)")
@@ -469,6 +492,7 @@ func cmdFuzz(args []string) error {
 	typeName := fs.String("type", "queue", "data type ("+strings.Join(adt.Names(), ", ")+")")
 	alg := fs.String("alg", harness.AlgCore, "algorithm ("+strings.Join(harness.Algorithms(), ", ")+")")
 	mutant := fs.String("mutant", "", "seeded bug to hunt ("+strings.Join(adversary.MutantNames(), ", ")+"); 'all' runs the kill matrix")
+	strong := fs.Bool("strong", false, "hunt schedules that are linearizable in every future but not strongly linearizable")
 	budget := fs.Int("budget", 1000, "schedules to explore (per target)")
 	seed := fs.Int64("seed", 1, "master seed for schedule generation")
 	strategies := fs.String("strategies", "", "comma-separated strategies ("+strings.Join(adversary.Strategies(), ", ")+"; default all)")
@@ -516,6 +540,25 @@ func cmdFuzz(args []string) error {
 		Shrink:     !*noShrink,
 	}
 	runner := &adversary.Runner{Params: p, DT: dt, Target: opts.Target}
+	if *strong {
+		if *mutant == "all" {
+			return fmt.Errorf("fuzz: -strong hunts one target at a time; pick a -mutant or none")
+		}
+		srep, err := adversary.StrongHunt(adversary.StrongOptions{
+			Params: p, DT: dt, Target: opts.Target, Seed: *seed, Budget: *budget,
+			Parallel: *parallel, StopEarly: true, Shrink: !*noShrink,
+		})
+		if err != nil {
+			return err
+		}
+		if err := adversary.WriteStrongReport(os.Stdout, runner, srep); err != nil {
+			return err
+		}
+		if err := flushObs(); err != nil {
+			return err
+		}
+		return stopProfile()
+	}
 	if *mutant == "all" {
 		opts.Target.Mutant = ""
 		runner.Target.Mutant = ""
@@ -540,6 +583,102 @@ func cmdFuzz(args []string) error {
 	}
 	if err := adversary.WriteReport(os.Stdout, runner, rep); err != nil {
 		return err
+	}
+	if err := flushObs(); err != nil {
+		return err
+	}
+	return stopProfile()
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	getParams := paramFlagsWith(fs, 2, int64(2*simtime.Quantum))
+	typeName := fs.String("type", "queue", "data type ("+strings.Join(adt.Names(), ", ")+")")
+	mutant := fs.String("mutant", "", "seeded bug to check ("+strings.Join(adversary.MutantNames(), ", ")+"); 'all' runs the exhaustive kill matrix")
+	maxOps := fs.Int("ops", 3, "max planned operations per schedule (the space grows exponentially)")
+	strong := fs.Bool("strong", true, "also sweep each context's futures for strong linearizability")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable report as JSON")
+	stopEarly := fs.Bool("stop-early", false, "stop at the first chunk containing a violation")
+	parallel := parallelFlag(fs)
+	startProfile := profileFlags(fs)
+	startMetrics := metricsAddrFlag(fs)
+	startObsOut := obsOutFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	dt, err := adt.Lookup(*typeName)
+	if err != nil {
+		return err
+	}
+	stopProfile, err := startProfile()
+	if err != nil {
+		return err
+	}
+	stopMetrics, err := startMetrics(obs.Handler(obs.Default))
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	flushObs, err := startObsOut(obs.Default)
+	if err != nil {
+		return err
+	}
+	cfg := bmc.Config{
+		Params:    p,
+		DT:        dt,
+		Target:    adversary.Target{Mutant: *mutant},
+		MaxOps:    *maxOps,
+		Strong:    *strong,
+		StopEarly: *stopEarly,
+		Parallel:  *parallel,
+	}
+	emitJSON := func(v any) error {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", data)
+		return nil
+	}
+	if *mutant == "all" {
+		cfg.Target.Mutant = ""
+		entries, err := bmc.KillMatrix(cfg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := emitJSON(entries); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("exhaustive mutant kill matrix on %s (n=%d d=%v u=%v eps=%v X=%v, max %d ops):\n\n",
+				dt.Name(), p.N, p.D, p.U, p.Epsilon, p.X, *maxOps)
+			if err := bmc.WriteKillMatrix(os.Stdout, entries); err != nil {
+				return err
+			}
+		}
+		if err := flushObs(); err != nil {
+			return err
+		}
+		return stopProfile()
+	}
+	rep, err := bmc.Verify(cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if err := emitJSON(rep); err != nil {
+			return err
+		}
+	} else {
+		runner := &adversary.Runner{Params: p, DT: dt, Target: cfg.Target}
+		if err := bmc.WriteReport(os.Stdout, runner, rep); err != nil {
+			return err
+		}
 	}
 	if err := flushObs(); err != nil {
 		return err

@@ -1,0 +1,491 @@
+// Package bmc is a bounded model checker over the simulation substrate:
+// for tiny configurations it enumerates EVERY adversary schedule of a
+// quantized admissible space and drives each one through the deterministic
+// engine, checking linearizability, completeness, and replica convergence
+// on every run. Where the fuzzer samples the schedule space, the model
+// checker exhausts it — within explicitly declared bounds — so a clean
+// sweep is a proof that the timer discipline is correct on that space,
+// and a mutant kill is a certificate that the space contains a
+// counterexample.
+//
+// The quantized space is the product of three axes:
+//
+//   - Plans: every distribution of 1..MaxOps operations over the n
+//     processes, each slot drawing any declared operation. The first
+//     operation of a plan starts at a time from {0, w}, where w is the
+//     midpoint of the accessor timestamp window [max(0, X-ε), X) — the
+//     instant Algorithm 1's backdating makes interesting; later
+//     operations follow the previous response after a gap from {0, 5d}
+//     (immediately, or as a post-quiescence probe that reads committed
+//     state). Arguments spread deterministically across slots so
+//     reorderings stay observable.
+//   - Offsets: every clock-offset assignment in {0, ε}^n with at least
+//     one process at zero (shifting every local clock uniformly is
+//     behaviorally identical, so those points are skipped).
+//   - Delays: every per-message delay vector in {d-u, d}^M, the extremes
+//     of the admissible interval, where M is the number of messages the
+//     plan generates ((n-1) broadcasts per mutator or mixed op).
+//
+// Delay quantization to the interval endpoints is the one lossy axis:
+// an interior delay can realize an arrival order that no extremal vector
+// does. The bounds are part of the claim, and every schedule still runs
+// through adversary.Runner, so the canonical admissibility predicate —
+// not a private copy — gates exactly what the checker may explore.
+//
+// Beyond per-run checks, the checker optionally performs a strong-
+// linearizability sweep: all distinct histories of one (plan, offsets)
+// context — the futures an adversary can force by resolving each
+// message delay either way — are folded into one strongcheck prefix
+// tree. A context whose futures are individually linearizable but admit
+// no prefix-preserving linearization is exactly the
+// Chandra–Hadzilacos–Jayanti–Toueg phenomenon, quantified exhaustively.
+package bmc
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"lintime/internal/adversary"
+	"lintime/internal/classify"
+	"lintime/internal/harness"
+	"lintime/internal/lincheck"
+	"lintime/internal/obs"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+	"lintime/internal/strongcheck"
+)
+
+// State-space counters on the process-wide registry.
+var (
+	runsTotal       = obs.Default.Counter("bmc_runs_total")
+	contextsTotal   = obs.Default.Counter("bmc_contexts_total")
+	violationsTotal = obs.Default.Counter("bmc_violations_total")
+	strongViolTotal = obs.Default.Counter("bmc_strong_violations_total")
+)
+
+// chunkSize is the number of contexts evaluated between fold points; the
+// stop-early decision is taken only at chunk boundaries, in index order,
+// so results are independent of parallelism.
+const chunkSize = 64
+
+// maxStoredViolations bounds the schedules embedded in a report.
+const maxStoredViolations = 4
+
+// Config bounds the model-checking space.
+type Config struct {
+	Params simtime.Params
+	DT     spec.DataType
+	// Target must resolve to the core algorithm (optionally a mutant):
+	// the message-count model that sizes the delay axis is specific to
+	// Algorithm 1's broadcast pattern.
+	Target adversary.Target
+	// MaxOps caps the total planned operations per schedule (default 2).
+	MaxOps int
+	// Strong folds each context's futures into a strongcheck tree and
+	// counts contexts with no prefix-preserving linearization.
+	Strong bool
+	// StopEarly stops at the first chunk containing a violation.
+	StopEarly bool
+	// Parallel is the worker count (harness semantics: <1 = GOMAXPROCS).
+	Parallel int
+	// CheckWorkers is passed through to the linearizability checker.
+	CheckWorkers int
+}
+
+// Smoke returns the CI-sized configuration: n=2, three operations,
+// strong sweep on — about 10k runs, exhausted in well under a second.
+func Smoke(dt spec.DataType, target adversary.Target) Config {
+	return Config{
+		Params: simtime.DefaultParams(2),
+		DT:     dt,
+		Target: target,
+		MaxOps: 3,
+		Strong: true,
+	}
+}
+
+// planSlot is one enumerated operation choice.
+type planSlot struct {
+	op  spec.OpInfo
+	gap simtime.Duration
+}
+
+// plan is one enumerated invocation plan with its message count.
+type plan struct {
+	procs [][]planSlot
+	msgs  int
+	ops   int
+}
+
+// Space is the enumerated schedule space of one Config.
+type Space struct {
+	cfg     Config
+	classes map[string]classify.Class
+	plans   []plan
+	offsets [][]simtime.Duration
+	runs    int
+}
+
+// NewSpace enumerates the space. The enumeration order is fixed: plans
+// by ascending op count, then by composition and slot choices; offsets
+// in binary-counter order; delay vectors in binary-counter order with
+// bit i selecting message i's delay (0 = d, 1 = d-u).
+func NewSpace(cfg Config) (*Space, error) {
+	p := cfg.Params
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Target.Algorithm {
+	case "", harness.AlgCore:
+	default:
+		return nil, fmt.Errorf("bmc: target %q is not the core algorithm", cfg.Target.Algorithm)
+	}
+	if cfg.MaxOps <= 0 {
+		cfg.MaxOps = 2
+	}
+	s := &Space{cfg: cfg, classes: harness.ClassesFor(cfg.DT)}
+	s.enumeratePlans()
+	s.enumerateOffsets()
+	for _, pl := range s.plans {
+		s.runs += len(s.offsets) << pl.msgs
+	}
+	return s, nil
+}
+
+// windowStart is the midpoint of the accessor timestamp window: an op
+// invoked here (on a fast clock) backdates into the thick of concurrent
+// time-zero mutators.
+func windowStart(p simtime.Params) simtime.Duration {
+	return simtime.Max(0, p.X-p.Epsilon) + simtime.Min(p.X, p.Epsilon)/2
+}
+
+// probeGap is the post-quiescence gap: an op this long after the
+// previous response observes fully committed replica state.
+func probeGap(p simtime.Params) simtime.Duration { return 5 * p.D }
+
+func (s *Space) enumeratePlans() {
+	p := s.cfg.Params
+	ops := s.cfg.DT.Ops()
+	starts := []simtime.Duration{0, windowStart(p)}
+	if starts[1] == 0 {
+		starts = starts[:1]
+	}
+	gaps := []simtime.Duration{0, probeGap(p)}
+
+	procs := make([][]planSlot, p.N)
+	var rec func(proc, remaining int)
+	emit := func() {
+		pl := plan{procs: make([][]planSlot, p.N)}
+		for i, seq := range procs {
+			pl.procs[i] = append([]planSlot(nil), seq...)
+			pl.ops += len(seq)
+			for _, slot := range seq {
+				if s.classes[slot.op.Name] != classify.PureAccessor {
+					pl.msgs += p.N - 1
+				}
+			}
+		}
+		if pl.ops > 0 {
+			s.plans = append(s.plans, pl)
+		}
+	}
+	var recSlots func(proc, count, remaining int)
+	recSlots = func(proc, count, remaining int) {
+		if count == 0 {
+			rec(proc+1, remaining)
+			return
+		}
+		choices := gaps
+		if len(procs[proc]) == 0 {
+			choices = starts
+		}
+		for _, op := range ops {
+			for _, g := range choices {
+				procs[proc] = append(procs[proc], planSlot{op: op, gap: g})
+				recSlots(proc, count-1, remaining)
+				procs[proc] = procs[proc][:len(procs[proc])-1]
+			}
+		}
+	}
+	rec = func(proc, remaining int) {
+		if proc == p.N {
+			if remaining < s.cfg.MaxOps {
+				emit()
+			}
+			return
+		}
+		for count := 0; count <= remaining; count++ {
+			recSlots(proc, count, remaining-count)
+		}
+	}
+	rec(0, s.cfg.MaxOps)
+}
+
+func (s *Space) enumerateOffsets() {
+	p := s.cfg.Params
+	if p.Epsilon == 0 {
+		s.offsets = [][]simtime.Duration{make([]simtime.Duration, p.N)}
+		return
+	}
+	for mask := 0; mask < 1<<p.N; mask++ {
+		if mask == 1<<p.N-1 {
+			continue // uniform shift of all clocks: identical behavior
+		}
+		off := make([]simtime.Duration, p.N)
+		for i := 0; i < p.N; i++ {
+			if mask&(1<<i) != 0 {
+				off[i] = p.Epsilon
+			}
+		}
+		s.offsets = append(s.offsets, off)
+	}
+}
+
+// Contexts returns the number of (plan, offsets) contexts.
+func (s *Space) Contexts() int { return len(s.plans) * len(s.offsets) }
+
+// Runs returns the total number of schedule executions in the space.
+func (s *Space) Runs() int { return s.runs }
+
+// Plans returns the number of enumerated invocation plans.
+func (s *Space) Plans() int { return len(s.plans) }
+
+// OffsetPatterns returns the number of enumerated clock-offset patterns.
+func (s *Space) OffsetPatterns() int { return len(s.offsets) }
+
+// context materializes context i as a reusable schedule skeleton: the
+// plan and offsets are shared (the runner never mutates them), only the
+// delay vector varies per run.
+func (s *Space) context(i int) (base adversary.Schedule, msgs int) {
+	pl := s.plans[i/len(s.offsets)]
+	off := s.offsets[i%len(s.offsets)]
+	plans := make([][]adversary.PlannedOp, len(pl.procs))
+	slot := 0
+	for proc, seq := range pl.procs {
+		for _, sl := range seq {
+			plans[proc] = append(plans[proc], adversary.PlannedOp{
+				Op:  sl.op.Name,
+				Arg: sl.op.Args[slot%len(sl.op.Args)],
+				Gap: sl.gap,
+			})
+			slot++
+		}
+	}
+	return adversary.Schedule{Offsets: off, Plans: plans}, pl.msgs
+}
+
+// Schedule materializes the schedule of context i under delay vector
+// code (bit j of code selects message j's delay: 0 = d, 1 = d-u).
+func (s *Space) Schedule(i int, code uint64) adversary.Schedule {
+	base, msgs := s.context(i)
+	base.Delays = s.delays(code, msgs)
+	return base
+}
+
+func (s *Space) delays(code uint64, msgs int) []simtime.Duration {
+	p := s.cfg.Params
+	delays := make([]simtime.Duration, msgs)
+	for j := 0; j < msgs; j++ {
+		if code&(1<<uint(j)) != 0 {
+			delays[j] = p.MinDelay()
+		} else {
+			delays[j] = p.D
+		}
+	}
+	return delays
+}
+
+// FindContext returns the index of the first context matching the
+// predicate, or -1. It lets tests and reports address a known schedule
+// shape inside the enumerated space without sweeping it.
+func (s *Space) FindContext(match func(sched adversary.Schedule) bool) int {
+	for i := 0; i < s.Contexts(); i++ {
+		base, _ := s.context(i)
+		if match(base) {
+			return i
+		}
+	}
+	return -1
+}
+
+// contextResult is the fold input of one context.
+type contextResult struct {
+	runs       int
+	sigs       []uint64 // in first-seen order
+	histFPs    []uint64 // distinct history fingerprints, first-seen order
+	violation  *Violation
+	strongDone bool
+	strongBad  bool
+	branches   int
+	explored   int
+}
+
+// Violation is one schedule that broke a checked property, addressed by
+// its coordinates in the enumeration.
+type Violation struct {
+	Context   int                `json:"context"`
+	DelayCode uint64             `json:"delay_code"`
+	Kind      string             `json:"kind"`
+	Schedule  adversary.Schedule `json:"schedule"`
+}
+
+// StrongViolation identifies a context whose futures admit no
+// prefix-preserving linearization although each is linearizable.
+type StrongViolation struct {
+	Context  int `json:"context"`
+	Branches int `json:"branches"`
+	Ops      int `json:"ops"`
+}
+
+// Verify exhausts the space and reports. The report is a pure function
+// of the Config (minus Parallel): contexts fan out through
+// harness.RunIndexed and fold in index order.
+func Verify(cfg Config) (*Report, error) {
+	space, err := NewSpace(cfg)
+	if err != nil {
+		return nil, err
+	}
+	runner := &adversary.Runner{
+		Params: cfg.Params, DT: cfg.DT, Target: cfg.Target,
+		CheckWorkers: cfg.CheckWorkers, Trace: sim.TraceOps,
+	}
+	rep := &Report{
+		Target:         cfg.Target.String(),
+		Params:         cfg.Params,
+		MaxOps:         space.cfg.MaxOps,
+		Plans:          space.Plans(),
+		OffsetPatterns: space.OffsetPatterns(),
+		Contexts:       space.Contexts(),
+		TotalRuns:      space.Runs(),
+		OK:             true,
+	}
+	seenSigs := map[uint64]bool{}
+	seenHists := map[uint64]bool{}
+
+	total := space.Contexts()
+	for baseCtx := 0; baseCtx < total; baseCtx += chunkSize {
+		count := chunkSize
+		if baseCtx+count > total {
+			count = total - baseCtx
+		}
+		results := make([]contextResult, count)
+		err := harness.RunIndexed(count, cfg.Parallel, func(k int) error {
+			res, err := space.checkContext(runner, baseCtx+k)
+			if err != nil {
+				return err
+			}
+			results[k] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		chunkViolated := false
+		for k := 0; k < count; k++ {
+			res := results[k]
+			contextsTotal.Inc()
+			rep.Runs += res.runs
+			runsTotal.Add(int64(res.runs))
+			for _, sig := range res.sigs {
+				if !seenSigs[sig] {
+					seenSigs[sig] = true
+				}
+			}
+			for _, fp := range res.histFPs {
+				if !seenHists[fp] {
+					seenHists[fp] = true
+				}
+			}
+			if res.violation != nil {
+				chunkViolated = true
+				rep.OK = false
+				rep.ViolationsTotal++
+				violationsTotal.Inc()
+				if len(rep.Violations) < maxStoredViolations {
+					rep.Violations = append(rep.Violations, *res.violation)
+				}
+			}
+			if res.strongDone {
+				rep.StrongChecked++
+				rep.StrongExplored += res.explored
+				if res.strongBad {
+					rep.StrongViolations++
+					strongViolTotal.Inc()
+					if len(rep.StrongExamples) < maxStoredViolations {
+						rep.StrongExamples = append(rep.StrongExamples, StrongViolation{
+							Context:  baseCtx + k,
+							Branches: res.branches,
+							Ops:      res.explored,
+						})
+					}
+				}
+			}
+		}
+		if cfg.StopEarly && chunkViolated {
+			rep.Stopped = true
+			break
+		}
+	}
+	rep.Signatures = len(seenSigs)
+	rep.Histories = len(seenHists)
+	return rep, nil
+}
+
+// checkContext runs every delay vector of one context and, when
+// configured, the strong-linearizability sweep over its futures.
+func (s *Space) checkContext(runner *adversary.Runner, ctx int) (contextResult, error) {
+	base, msgs := s.context(ctx)
+	var res contextResult
+	sigSeen := map[uint64]bool{}
+	histSeen := map[uint64]bool{}
+	var histories [][]lincheck.Op
+	for code := uint64(0); code < 1<<uint(msgs); code++ {
+		sched := base
+		sched.Delays = s.delays(code, msgs)
+		out, err := runner.Run(sched)
+		if err != nil {
+			return res, err
+		}
+		if got := len(out.Trace.Msgs); got != msgs {
+			return res, fmt.Errorf("bmc: context %d sent %d messages, model says %d — delay axis not exhaustive", ctx, got, msgs)
+		}
+		res.runs++
+		if sig := out.Signature(); !sigSeen[sig] {
+			sigSeen[sig] = true
+			res.sigs = append(res.sigs, sig)
+		}
+		if kind := out.Violation(); kind != "" && res.violation == nil {
+			res.violation = &Violation{Context: ctx, DelayCode: code, Kind: kind, Schedule: sched}
+		}
+		history := lincheck.FromTrace(out.Trace)
+		if fp := historyFingerprint(history); !histSeen[fp] {
+			histSeen[fp] = true
+			res.histFPs = append(res.histFPs, fp)
+			histories = append(histories, history)
+		}
+	}
+	// The strong sweep is meaningful only when every future is clean:
+	// a plain violation already condemns the context.
+	if s.cfg.Strong && res.violation == nil {
+		tree := strongcheck.NewTree()
+		for _, h := range histories {
+			tree.Add(h)
+		}
+		st := tree.Check(s.cfg.DT)
+		res.strongDone = true
+		res.strongBad = !st.Strong
+		res.branches = tree.Branches()
+		res.explored = tree.Ops()
+	}
+	return res, nil
+}
+
+// historyFingerprint hashes a completed history's observable content.
+func historyFingerprint(history []lincheck.Op) uint64 {
+	h := fnv.New64a()
+	for _, op := range history {
+		fmt.Fprintf(h, "%d·%s·%s·%d·%d·%s;", op.Proc, op.Name, spec.FormatValue(op.Arg), op.Invoke, op.Respond, spec.FormatValue(op.Ret))
+	}
+	return h.Sum64()
+}

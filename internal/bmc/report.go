@@ -1,0 +1,135 @@
+package bmc
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"lintime/internal/adversary"
+	"lintime/internal/diagram"
+	"lintime/internal/obs"
+	"lintime/internal/simtime"
+)
+
+var killsTotal = obs.Default.Counter("bmc_mutant_kills_total")
+
+// Report is the machine-readable result of one exhaustive sweep.
+type Report struct {
+	Target         string         `json:"target"`
+	Params         simtime.Params `json:"params"`
+	MaxOps         int            `json:"max_ops"`
+	Plans          int            `json:"plans"`
+	OffsetPatterns int            `json:"offset_patterns"`
+	Contexts       int            `json:"contexts"`
+	TotalRuns      int            `json:"total_runs"` // size of the space
+	Runs           int            `json:"runs"`       // runs executed (== TotalRuns unless stopped early)
+	Signatures     int            `json:"distinct_signatures"`
+	Histories      int            `json:"distinct_histories"`
+	OK             bool           `json:"ok"`
+	Stopped        bool           `json:"stopped_early,omitempty"`
+
+	ViolationsTotal int         `json:"violations_total"`
+	Violations      []Violation `json:"violations,omitempty"` // first few, with schedules
+
+	StrongChecked    int               `json:"strong_contexts_checked,omitempty"`
+	StrongExplored   int               `json:"strong_tree_ops,omitempty"`
+	StrongViolations int               `json:"strong_violations,omitempty"`
+	StrongExamples   []StrongViolation `json:"strong_examples,omitempty"`
+}
+
+// WriteReport renders a sweep report as deterministic plain text,
+// including a space-time diagram for each stored violation.
+func WriteReport(w io.Writer, r *adversary.Runner, rep *Report) error {
+	fmt.Fprintf(w, "target      %s on %s (bounded model check)\n", rep.Target, r.DT.Name())
+	fmt.Fprintf(w, "params      n=%d d=%v u=%v eps=%v X=%v\n",
+		rep.Params.N, rep.Params.D, rep.Params.U, rep.Params.Epsilon, rep.Params.X)
+	fmt.Fprintf(w, "space       %d plans x %d offset patterns = %d contexts, %d runs (max %d ops, delays in {d-u, d})\n",
+		rep.Plans, rep.OffsetPatterns, rep.Contexts, rep.TotalRuns, rep.MaxOps)
+	executed := fmt.Sprintf("%d", rep.Runs)
+	if rep.Stopped {
+		executed += " (stopped early)"
+	}
+	fmt.Fprintf(w, "executed    %s\n", executed)
+	fmt.Fprintf(w, "states      %d distinct event orderings, %d distinct histories\n", rep.Signatures, rep.Histories)
+	fmt.Fprintf(w, "violations  %d\n", rep.ViolationsTotal)
+	if rep.StrongChecked > 0 {
+		fmt.Fprintf(w, "strong      %d contexts swept, %d without prefix-preserving linearization\n",
+			rep.StrongChecked, rep.StrongViolations)
+	}
+	if rep.OK && rep.StrongViolations == 0 {
+		fmt.Fprintf(w, "verdict     every enumerated schedule is linearizable, complete, and convergent\n")
+	} else if rep.OK {
+		fmt.Fprintf(w, "verdict     every enumerated schedule is linearizable, complete, and convergent;\n")
+		fmt.Fprintf(w, "            %d contexts are linearizable in every future but not strongly linearizable\n", rep.StrongViolations)
+	}
+	for vi := range rep.Violations {
+		v := &rep.Violations[vi]
+		fmt.Fprintf(w, "\n--- violation %d: %s (context %d, delay code %d) ---\n",
+			vi+1, v.Kind, v.Context, v.DelayCode)
+		fmt.Fprint(w, v.Schedule.String())
+		out, err := r.Run(v.Schedule)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "replayed violation: %s\n", out.Violation())
+		fmt.Fprint(w, diagram.Render(out.Trace, diagram.Options{SuppressMessages: true, MaxRows: 40}))
+	}
+	return nil
+}
+
+// KillEntry is one row of the exhaustive mutant kill matrix.
+type KillEntry struct {
+	Mutant string `json:"mutant"`
+	Desc   string `json:"desc"`
+	Killed bool   `json:"killed"`
+	Kind   string `json:"kind,omitempty"`
+	Runs   int    `json:"runs"` // runs executed before the verdict
+}
+
+// KillMatrix sweeps every seeded mutant (and the corrected algorithm as
+// a control) over the same bounded space, stopping each sweep at the
+// first violating chunk. A mutant that survives has no counterexample
+// anywhere in the space — a far stronger statement than a fuzzing miss.
+func KillMatrix(cfg Config) ([]KillEntry, error) {
+	targets := []adversary.Mutant{{Name: adversary.Correct}}
+	targets = append(targets, adversary.Mutants()...)
+	entries := make([]KillEntry, 0, len(targets))
+	for _, m := range targets {
+		c := cfg
+		c.Target = adversary.Target{Algorithm: cfg.Target.Algorithm, Mutant: m.Name}
+		c.StopEarly = true
+		c.Strong = false
+		rep, err := Verify(c)
+		if err != nil {
+			return nil, err
+		}
+		e := KillEntry{Mutant: m.Name, Desc: m.Desc, Killed: !rep.OK, Runs: rep.Runs}
+		if e.Mutant == adversary.Correct {
+			e.Mutant = "correct"
+			e.Desc = "corrected Algorithm 1 (control)"
+		}
+		if e.Killed {
+			killsTotal.Inc()
+			e.Kind = rep.Violations[0].Kind
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// WriteKillMatrix renders the exhaustive kill matrix as deterministic
+// text.
+func WriteKillMatrix(w io.Writer, entries []KillEntry) error {
+	fmt.Fprintf(w, "%-14s %-26s %-10s %s\n", "mutant", "verdict", "runs", "description")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 84))
+	for _, e := range entries {
+		verdict := "survived full space"
+		if e.Killed {
+			verdict = "killed: " + e.Kind
+		} else if e.Mutant == "correct" {
+			verdict = "clean (exhaustive)"
+		}
+		fmt.Fprintf(w, "%-14s %-26s %-10d %s\n", e.Mutant, verdict, e.Runs, e.Desc)
+	}
+	return nil
+}

@@ -62,46 +62,6 @@ func refCheck(dt spec.DataType, history []Op) bool {
 	return rec(dt.Initial(), completed)
 }
 
-// decodeHistory turns fuzz bytes into a small queue history: each op
-// consumes four bytes (kind, argument, invocation time, duration/return),
-// capped so the reference checker's factorial search stays fast.
-func decodeHistory(data []byte) []Op {
-	const maxOps = 6
-	var history []Op
-	for i := 0; i+4 <= len(data) && len(history) < maxOps; i += 4 {
-		kind, argB, invB, durB := data[i], data[i+1], data[i+2], data[i+3]
-		op := Op{ID: len(history), Invoke: simtime.Time(invB % 16)}
-		// Durations 0-6 complete the op; 7 leaves it pending.
-		if dur := durB % 8; dur == 7 {
-			op.Respond = simtime.Infinity
-		} else {
-			op.Respond = op.Invoke.Add(simtime.Duration(dur))
-		}
-		arg := int(argB % 4)
-		// The high bits of durB pick the recorded return for completed
-		// accessors: ⊥ or a small int (possibly an illegal one — both
-		// checkers must agree it is illegal).
-		retChoice := int(durB/8) % 6
-		var ret spec.Value
-		if retChoice > 0 {
-			ret = retChoice - 1
-		}
-		switch kind % 3 {
-		case 0:
-			op.Name, op.Arg, op.Ret = "enqueue", arg, nil
-		case 1:
-			op.Name, op.Ret = "dequeue", ret
-		case 2:
-			op.Name, op.Ret = "peek", ret
-		}
-		if op.Pending() {
-			op.Ret = nil
-		}
-		history = append(history, op)
-	}
-	return history
-}
-
 // FuzzCheck cross-checks the production checker (sequential and parallel)
 // against the brute-force reference on randomly generated histories.
 func FuzzCheck(f *testing.F) {
@@ -113,7 +73,7 @@ func FuzzCheck(f *testing.F) {
 	f.Add([]byte{2, 0, 0, 1, 0, 1, 4, 2, 1, 0, 9, 14})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dt := adt.NewQueue()
-		history := decodeHistory(data)
+		history := DecodeFuzzHistory(data)
 		want := refCheck(dt, history)
 		if got := Check(dt, history); got.Linearizable != want {
 			t.Fatalf("Check = %v, reference = %v\nhistory: %+v", got.Linearizable, want, history)

@@ -1,0 +1,51 @@
+package lincheck
+
+import (
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// DecodeFuzzHistory turns fuzz-input bytes into a small queue history:
+// each operation consumes four bytes (kind, argument, invocation time,
+// duration/return), capped at six operations so brute-force reference
+// checkers stay fast. It is the shared decoding scheme of the FuzzCheck
+// corpus under testdata/fuzz/FuzzCheck; internal/strongcheck reuses it to
+// cross-check CheckStrong against Check over the same corpus.
+//
+// Durations 0-6 complete the op; 7 leaves it pending. The high bits of the
+// duration byte pick the recorded return for completed accessors: ⊥ or a
+// small int (possibly an illegal one — checkers must agree it is illegal).
+// The process id cycles over three processes; the plain checker ignores
+// it, the strong checker uses it for event identity.
+func DecodeFuzzHistory(data []byte) []Op {
+	const maxOps = 6
+	var history []Op
+	for i := 0; i+4 <= len(data) && len(history) < maxOps; i += 4 {
+		kind, argB, invB, durB := data[i], data[i+1], data[i+2], data[i+3]
+		op := Op{ID: len(history), Proc: len(history) % 3, Invoke: simtime.Time(invB % 16)}
+		if dur := durB % 8; dur == 7 {
+			op.Respond = simtime.Infinity
+		} else {
+			op.Respond = op.Invoke.Add(simtime.Duration(dur))
+		}
+		arg := int(argB % 4)
+		retChoice := int(durB/8) % 6
+		var ret spec.Value
+		if retChoice > 0 {
+			ret = retChoice - 1
+		}
+		switch kind % 3 {
+		case 0:
+			op.Name, op.Arg, op.Ret = "enqueue", arg, nil
+		case 1:
+			op.Name, op.Ret = "dequeue", ret
+		case 2:
+			op.Name, op.Ret = "peek", ret
+		}
+		if op.Pending() {
+			op.Ret = nil
+		}
+		history = append(history, op)
+	}
+	return history
+}

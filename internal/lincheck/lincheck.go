@@ -29,9 +29,13 @@ import (
 
 // Op is one operation instance of a history with its real-time interval.
 // A pending operation has Respond == simtime.Infinity and its Ret is
-// ignored.
+// ignored. Proc is informational for the plain checker (real-time order
+// alone decides linearizability) but load-bearing for the strong checker's
+// prefix trees, where events from different histories are identified by
+// (time, process, operation).
 type Op struct {
 	ID      int
+	Proc    int
 	Name    string
 	Arg     spec.Value
 	Ret     spec.Value
@@ -49,6 +53,7 @@ func FromTrace(tr *sim.Trace) []Op {
 	for i, rec := range tr.Ops {
 		ops = append(ops, Op{
 			ID:      i,
+			Proc:    int(rec.Proc),
 			Name:    rec.Op,
 			Arg:     rec.Arg,
 			Ret:     rec.Ret,

@@ -1,0 +1,89 @@
+package strongcheck
+
+import (
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/lincheck"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// refStrong is a brute-force reference for the single-trace strong check:
+// it searches for a legal sequence of commit points directly. An order of
+// operations (all completed ops, any subset of pending ones) is realizable
+// iff commit times can be chosen non-decreasing with each inside its
+// operation's interval — the greedy choice c_i = max(c_{i-1}, invoke_i)
+// is optimal, so the recursion just carries the running commit time. This
+// enforces real-time order purely through the stabbing constraint, with
+// none of the production checker's event sweep, memoization, or pruning.
+func refStrong(dt spec.DataType, history []lincheck.Op) bool {
+	taken := make([]bool, len(history))
+	completed := 0
+	for _, op := range history {
+		if !op.Pending() {
+			completed++
+		}
+	}
+	var rec func(st spec.State, last simtime.Time, left int) bool
+	rec = func(st spec.State, last simtime.Time, left int) bool {
+		if left == 0 {
+			return true // remaining pending ops are dropped
+		}
+		for i, t := range taken {
+			if t {
+				continue
+			}
+			op := history[i]
+			commit := last
+			if op.Invoke > commit {
+				commit = op.Invoke
+			}
+			if commit > op.Respond {
+				continue // interval already closed before the running point
+			}
+			ret, next := st.Apply(op.Name, op.Arg)
+			if !op.Pending() && !spec.ValuesEqual(ret, op.Ret) {
+				continue
+			}
+			l := left
+			if !op.Pending() {
+				l--
+			}
+			taken[i] = true
+			if rec(next, commit, l) {
+				taken[i] = false
+				return true
+			}
+			taken[i] = false
+		}
+		return false
+	}
+	return rec(dt.Initial(), 0, completed)
+}
+
+// FuzzCheckStrong cross-checks the production strong checker against the
+// brute-force commit-point reference on randomly generated histories,
+// using the same encoding as lincheck's FuzzCheck corpus.
+func FuzzCheckStrong(f *testing.F) {
+	// An overlap resolvable either way, an illegal return, a pending
+	// enqueue observed by a dequeue, a real-time violation, and
+	// zero-duration ops with touching intervals.
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 1, 10})
+	f.Add([]byte{0, 2, 0, 1, 2, 0, 5, 3})
+	f.Add([]byte{0, 3, 0, 7, 1, 0, 8, 12})
+	f.Add([]byte{2, 0, 0, 1, 0, 1, 4, 2, 1, 0, 9, 14})
+	f.Add([]byte{0, 1, 2, 0, 1, 0, 2, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dt := adt.NewQueue()
+		history := lincheck.DecodeFuzzHistory(data)
+		want := refStrong(dt, history)
+		res := CheckStrong(dt, history)
+		if res.Strong != want {
+			t.Fatalf("CheckStrong = %v, reference = %v\nhistory: %+v", res.Strong, want, history)
+		}
+		if plain := lincheck.Check(dt, history); res.Strong != plain.Linearizable {
+			t.Fatalf("CheckStrong = %v, Check = %v: single-trace verdicts must agree\nhistory: %+v", res.Strong, plain.Linearizable, history)
+		}
+	})
+}

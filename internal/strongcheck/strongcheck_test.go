@@ -1,0 +1,254 @@
+package strongcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/lincheck"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// mkOp builds a history entry; resp == simtime.Infinity leaves it pending.
+func mkOp(id, proc int, name string, arg, ret spec.Value, inv, resp simtime.Time) lincheck.Op {
+	return lincheck.Op{ID: id, Proc: proc, Name: name, Arg: arg, Ret: ret, Invoke: inv, Respond: resp}
+}
+
+// TestCheckStrongPositives exercises prefix-closed histories with known
+// verdicts on a single trace: sequential runs, overlapping ops, and
+// pending invocations that must (or need not) take effect.
+func TestCheckStrongPositives(t *testing.T) {
+	q := adt.NewQueue()
+	cases := []struct {
+		name    string
+		history []lincheck.Op
+		want    bool
+	}{
+		{"empty", nil, true},
+		{"sequential", []lincheck.Op{
+			mkOp(0, 0, "enqueue", 1, nil, 0, 1),
+			mkOp(1, 0, "dequeue", nil, 1, 2, 3),
+		}, true},
+		{"overlap-either-order", []lincheck.Op{
+			mkOp(0, 0, "enqueue", 1, nil, 0, 4),
+			mkOp(1, 1, "peek", nil, adt.EmptyMarker, 1, 2),
+		}, true},
+		{"pending-enqueue-observed", []lincheck.Op{
+			mkOp(0, 0, "enqueue", 7, nil, 0, simtime.Infinity),
+			mkOp(1, 1, "dequeue", nil, 7, 2, 3),
+		}, true},
+		{"illegal-return", []lincheck.Op{
+			mkOp(0, 0, "enqueue", 1, nil, 0, 1),
+			mkOp(1, 1, "dequeue", nil, 2, 2, 3),
+		}, false},
+		{"realtime-violation", []lincheck.Op{
+			mkOp(0, 0, "enqueue", 1, nil, 0, 1),
+			mkOp(1, 0, "enqueue", 2, nil, 2, 3),
+			mkOp(2, 1, "dequeue", nil, 2, 4, 5),
+		}, false},
+		{"touching-intervals-concurrent", []lincheck.Op{
+			// dequeue invoked at the instant enqueue responds: the
+			// intervals touch, so either order is allowed and the empty
+			// return is legal.
+			mkOp(0, 0, "enqueue", 1, nil, 0, 2),
+			mkOp(1, 1, "dequeue", nil, adt.EmptyMarker, 2, 3),
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := CheckStrong(q, tc.history)
+			if res.Strong != tc.want {
+				t.Fatalf("CheckStrong = %v, want %v", res.Strong, tc.want)
+			}
+			plain := lincheck.Check(q, tc.history)
+			if res.Strong != plain.Linearizable {
+				t.Fatalf("CheckStrong = %v but Check = %v: single-trace verdicts must agree", res.Strong, plain.Linearizable)
+			}
+			if res.Strong {
+				checkWitness(t, q, tc.history, res)
+			}
+		})
+	}
+}
+
+// checkWitness validates the commit-point witness: the linearization is a
+// legal sequence, commit points are in event order (non-decreasing), and
+// each commit falls inside its operation's interval — after its
+// invocation event and not after its response event.
+func checkWitness(t *testing.T, dt spec.DataType, history []lincheck.Op, res Result) {
+	t.Helper()
+	if len(res.Points) != len(res.Linearization) {
+		t.Fatalf("witness: %d points for %d instances", len(res.Points), len(res.Linearization))
+	}
+	if !spec.Legal(dt, res.Linearization) {
+		t.Fatalf("witness linearization illegal: %s", spec.FormatSeq(res.Linearization))
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i] < res.Points[i-1] {
+			t.Fatalf("witness commit points not monotone: %v", res.Points)
+		}
+	}
+	evs := eventSeq(history)
+	completed := 0
+	for _, op := range history {
+		if !op.Pending() {
+			completed++
+		}
+	}
+	if len(res.Linearization) < completed {
+		t.Fatalf("witness drops completed ops: %d instances < %d completed", len(res.Linearization), completed)
+	}
+	// Every response event must have its op committed no later than the
+	// event: count commits at or before each response.
+	for ei, ev := range evs {
+		if ev.kind != evRespond {
+			continue
+		}
+		found := false
+		for li, in := range res.Linearization {
+			if res.Points[li] <= ei && in.Op == history[ev.op].Name && spec.ValuesEqual(in.Ret, ev.ret) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("response of op %d at event %d has no committed instance before it", ev.op, ei)
+		}
+	}
+}
+
+// TestCheckStrongTreeQueueCounterexample is the classic example of a
+// history family that is linearizable branch by branch but not strongly
+// linearizable: an enqueue completes while a concurrent peek is pending,
+// and the adversary forks the run so the peek returns the old front in
+// one branch and the new element in the other. The shared prefix contains
+// the completed enqueue — it must be committed there — so no single
+// choice for the peek's linearization point satisfies both futures.
+func TestCheckStrongTreeQueueCounterexample(t *testing.T) {
+	q := adt.NewQueue()
+	shared := []lincheck.Op{
+		mkOp(0, 1, "enqueue", 5, nil, 0, 2),
+	}
+	sees := append(append([]lincheck.Op(nil), shared...),
+		mkOp(1, 0, "peek", nil, 5, 1, 4))
+	misses := append(append([]lincheck.Op(nil), shared...),
+		mkOp(1, 0, "peek", nil, adt.EmptyMarker, 1, 4))
+
+	for name, branch := range map[string][]lincheck.Op{"sees": sees, "misses": misses} {
+		if !lincheck.Check(q, branch).Linearizable {
+			t.Fatalf("branch %q must be linearizable on its own", name)
+		}
+		if !CheckStrong(q, branch).Strong {
+			t.Fatalf("branch %q must pass the single-trace check on its own", name)
+		}
+	}
+
+	tree := NewTree()
+	tree.Add(sees)
+	tree.Add(misses)
+	if tree.Branches() != 2 || tree.Ops() != 2 {
+		t.Fatalf("tree shape: branches=%d ops=%d, want 2 and 2", tree.Branches(), tree.Ops())
+	}
+	res := CheckStrongTree(q, tree)
+	if res.Strong {
+		t.Fatalf("fork of peek returns must not be strongly linearizable")
+	}
+}
+
+// TestCheckStrongTreePositives: forks that remain strongly linearizable —
+// branches that diverge only in which op is invoked next, or in response
+// *times* with identical returns, impose no conflicting commits.
+func TestCheckStrongTreePositives(t *testing.T) {
+	q := adt.NewQueue()
+	t.Run("diverging-invocations", func(t *testing.T) {
+		shared := mkOp(0, 0, "enqueue", 1, nil, 0, 1)
+		tree := NewTree()
+		tree.Add([]lincheck.Op{shared, mkOp(1, 1, "dequeue", nil, 1, 2, 3)})
+		tree.Add([]lincheck.Op{shared, mkOp(1, 1, "peek", nil, 1, 2, 3)})
+		if res := tree.Check(q); !res.Strong {
+			t.Fatalf("fork on next invocation must stay strong")
+		}
+	})
+	t.Run("diverging-response-times-same-ret", func(t *testing.T) {
+		shared := mkOp(0, 0, "enqueue", 1, nil, 0, 1)
+		tree := NewTree()
+		tree.Add([]lincheck.Op{shared, mkOp(1, 1, "peek", nil, 1, 2, 3)})
+		tree.Add([]lincheck.Op{shared, mkOp(1, 1, "peek", nil, 1, 2, 4)})
+		if res := tree.Check(q); !res.Strong {
+			t.Fatalf("fork on response time with equal returns must stay strong")
+		}
+	})
+	t.Run("single-history-twice", func(t *testing.T) {
+		tree := NewTree()
+		h := []lincheck.Op{mkOp(0, 0, "enqueue", 1, nil, 0, 1)}
+		tree.Add(h)
+		tree.Add(h)
+		if tree.Nodes() != 2 {
+			t.Fatalf("identical histories must share all nodes, got %d", tree.Nodes())
+		}
+		if res := tree.Check(q); !res.Strong {
+			t.Fatalf("duplicate history must stay strong")
+		}
+	})
+}
+
+// TestCheckStrongMatchesCheckOnCorpus replays every seed of the FuzzCheck
+// corpus through both checkers: on a single trace the strong check must
+// agree exactly with plain linearizability (CheckStrong ⇒ Check, and the
+// converse holds because commit points can always realize a real-time
+// respecting linearization).
+func TestCheckStrongMatchesCheckOnCorpus(t *testing.T) {
+	q := adt.NewQueue()
+	dir := filepath.Join("..", "lincheck", "testdata", "fuzz", "FuzzCheck")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading FuzzCheck corpus: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("FuzzCheck corpus is empty")
+	}
+	for _, e := range entries {
+		data, err := decodeCorpusFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		history := lincheck.DecodeFuzzHistory(data)
+		strong := CheckStrong(q, history)
+		plain := lincheck.Check(q, history)
+		if strong.Strong != plain.Linearizable {
+			t.Errorf("%s: CheckStrong = %v, Check = %v\nhistory: %+v", e.Name(), strong.Strong, plain.Linearizable, history)
+		}
+		if strong.Strong {
+			checkWitness(t, q, history, strong)
+		}
+	}
+}
+
+// decodeCorpusFile parses a `go test fuzz v1` corpus entry holding one
+// []byte value.
+func decodeCorpusFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "go test fuzz") {
+		return nil, errMalformed(path)
+	}
+	body := strings.TrimSpace(lines[1])
+	body = strings.TrimPrefix(body, "[]byte(")
+	body = strings.TrimSuffix(body, ")")
+	s, err := strconv.Unquote(body)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+type errMalformed string
+
+func (e errMalformed) Error() string { return "malformed corpus file: " + string(e) }
