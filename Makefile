@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-engine bench-compare bench-guard stat-smoke fuzz-smoke fuzz-native soak soak-smoke load-bench load-shard-smoke verify-smoke
+.PHONY: check vet build test race bench bench-engine bench-compare bench-guard stat-smoke fuzz-smoke fuzz-native soak soak-smoke load-bench load-shard-smoke verify-smoke crash-smoke
 
 # check is the tier-1 gate: vet, build, full tests, and a short
 # race-detector pass over the concurrency-bearing packages.
@@ -126,6 +126,23 @@ fuzz-native:
 	$(GO) test -fuzz FuzzCheck -fuzztime 20s ./internal/lincheck/
 	$(GO) test -fuzz FuzzCheckStrong -fuzztime 15s ./internal/strongcheck/
 	$(GO) test -fuzz FuzzTimeArith -fuzztime 10s ./internal/simtime/
+	$(GO) test -fuzz FuzzQuorum -fuzztime 20s ./internal/adversary/
+
+# crash-smoke is CI's crash-tolerance gate: the rtnet crash regressions
+# and serve crash tests under the race detector, the FuzzQuorum seed
+# corpus (deterministic replay, no -fuzz), a bounded exhaustive sweep of
+# the quorum backend's crash-augmented space with its full mutant kill
+# matrix, the fuzzing kill matrix with fault axes, and a live quorum load
+# run that crashes a minority mid-run and must still meet the 4d SLO.
+crash-smoke:
+	$(GO) test -race -count=1 -run 'TestCrash|TestServerQuorum|TestServerAllCrashed|TestRunLoadQuorumCrashMidRun' ./internal/rtnet/ ./internal/serve/ -v
+	$(GO) test -count=1 -run 'FuzzQuorum|TestGoldenVerifyQuorum|TestGoldenFuzzQuorumKillMatrix|TestGoldenLoadSimQuorum' ./internal/adversary/ ./cmd/lintime/
+	$(GO) run ./cmd/lintime verify -backend quorum -d 8 -u 6 -ops 2
+	$(GO) run ./cmd/lintime verify -backend quorum -d 8 -u 6 -ops 2 -mutant all
+	$(GO) run ./cmd/lintime fuzz -backend quorum -n 3 -d 8 -u 6 -budget 16384 -seed 1 -mutant all
+	$(GO) run ./cmd/lintime load -backend quorum -n 3 -clients 6 -duration 10s \
+		-crash 2@5s -seed 1 -require-slo -o /tmp/crash-smoke-load.json
+	@echo "crash-smoke: crash regressions, exhaustive quorum sweep, kill matrices, and crashed-minority load OK"
 
 # verify-smoke is CI's bounded-model-check gate: an exhaustive sweep of
 # the n=2, 3-op smoke space for the corrected algorithm (must be clean,

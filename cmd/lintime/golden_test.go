@@ -156,6 +156,73 @@ func TestGoldenVerifyKillMatrix(t *testing.T) {
 	checkGolden(t, "verify-kill-matrix", got)
 }
 
+// TestGoldenVerifyQuorum pins the exhaustive sweep of the ABD quorum
+// backend over its two-op crash-augmented space: -backend quorum routes
+// the register type and the quorum message model automatically, and the
+// report is byte-stable at every parallelism level.
+func TestGoldenVerifyQuorum(t *testing.T) {
+	args := []string{"-backend", "quorum", "-d", "8", "-u", "6", "-ops", "2"}
+	got := captureStdout(t, func() error {
+		return cmdVerify(args)
+	})
+	checkGolden(t, "verify-quorum-ops2", got)
+
+	for _, par := range []string{"1", "4"} {
+		out := captureStdout(t, func() error {
+			return cmdVerify(append([]string{"-parallel", par}, args...))
+		})
+		if out != got {
+			t.Errorf("quorum verify output at -parallel %s differs from default:\n--- got ---\n%s\n--- want ---\n%s", par, out, got)
+		}
+	}
+}
+
+// TestGoldenVerifyQuorumKillMatrix pins the exhaustive quorum kill
+// matrix: the control survives its full space, crash-threshold dies
+// inside the shared sweep, and the remaining mutants die in their
+// targeted certificate contexts (recorded in the space column).
+func TestGoldenVerifyQuorumKillMatrix(t *testing.T) {
+	got := captureStdout(t, func() error {
+		return cmdVerify([]string{"-backend", "quorum", "-d", "8", "-u", "6", "-ops", "2", "-mutant", "all"})
+	})
+	checkGolden(t, "verify-quorum-kill-matrix", got)
+}
+
+// TestGoldenVerifyStrongSequencer pins the ROADMAP 5d headline: the
+// total-order-broadcast sequencer is strongly linearizable over its
+// whole n=2 three-op space — 984 contexts swept, none without a
+// prefix-preserving linearization — where Algorithm 1 and the ABD
+// register both fail the same sweep.
+func TestGoldenVerifyStrongSequencer(t *testing.T) {
+	got := captureStdout(t, func() error {
+		return cmdVerify([]string{"-backend", "sequencer", "-ops", "3"})
+	})
+	checkGolden(t, "verify-strong-sequencer", got)
+}
+
+// TestGoldenFuzzQuorumKillMatrix pins the crash-tolerance fuzzing
+// headline end-to-end: schedule exploration with fault axes kills every
+// seeded ABD mutant within budget while the correct protocol survives,
+// and the shrunk counterexamples are deterministic functions of the
+// seed.
+func TestGoldenFuzzQuorumKillMatrix(t *testing.T) {
+	args := []string{"-backend", "quorum", "-n", "3", "-d", "8", "-u", "6",
+		"-budget", "16384", "-seed", "1", "-mutant", "all"}
+	got := captureStdout(t, func() error {
+		return cmdFuzz(args)
+	})
+	checkGolden(t, "fuzz-quorum-kill-matrix", got)
+
+	for _, par := range []string{"1", "4"} {
+		out := captureStdout(t, func() error {
+			return cmdFuzz(append([]string{"-parallel", par}, args...))
+		})
+		if out != got {
+			t.Errorf("quorum fuzz output at -parallel %s differs from default:\n--- got ---\n%s\n--- want ---\n%s", par, out, got)
+		}
+	}
+}
+
 // TestGoldenServeDryRun pins the resolved serving configuration echo:
 // classes, per-class formula ticks and the jitter budget are pure
 // functions of the flags, so the JSON is byte-stable.
@@ -178,6 +245,16 @@ func TestGoldenLoadSim(t *testing.T) {
 	checkGolden(t, "load-sim", got)
 }
 
+// TestGoldenLoadSimQuorum pins the virtual-time summary of the quorum
+// backend: -backend quorum routes the register type and the harness's
+// ABD nodes, and every class is judged against the flat 4d bound.
+func TestGoldenLoadSimQuorum(t *testing.T) {
+	got := captureStdout(t, func() error {
+		return cmdLoad([]string{"-backend", "quorum", "-sim", "-ops", "5", "-seed", "3", "-n", "3"})
+	})
+	checkGolden(t, "load-sim-quorum", got)
+}
+
 // TestCmdLoadErrors exercises load flag validation.
 func TestCmdLoadErrors(t *testing.T) {
 	if err := cmdLoad([]string{"-sim"}); err == nil {
@@ -188,6 +265,18 @@ func TestCmdLoadErrors(t *testing.T) {
 	}
 	if err := cmdLoad([]string{"-type", "bogus", "-ops", "1"}); err == nil {
 		t.Error("unknown type should error")
+	}
+	if err := cmdLoad([]string{"-backend", "quorum", "-shards", "2", "-keys", "4", "-ops", "1"}); err == nil {
+		t.Error("quorum with shards should error")
+	}
+	if err := cmdLoad([]string{"-crash", "1@1s", "-sim", "-ops", "1"}); err == nil {
+		t.Error("-crash with -sim should error")
+	}
+	if err := cmdLoad([]string{"-crash", "bogus", "-ops", "1"}); err == nil {
+		t.Error("malformed crash schedule should error")
+	}
+	if err := cmdLoad([]string{"-crash", "0@1s,1@1s", "-n", "3", "-ops", "1"}); err == nil {
+		t.Error("majority crash schedule should error")
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"lintime/internal/histio"
 	"lintime/internal/lowerbound"
 	"lintime/internal/obs"
+	"lintime/internal/quorum"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
 )
@@ -486,11 +487,48 @@ func cmdSweep(args []string) error {
 	return nil
 }
 
+// quorumMutantNames lists the quorum backend's seeded-bug registry for
+// flag help text.
+func quorumMutantNames() []string {
+	names := make([]string, 0, len(quorum.Mutants()))
+	for _, m := range quorum.Mutants() {
+		names = append(names, m.Name)
+	}
+	return names
+}
+
+// applyBackendDefaults adjusts flag defaults that depend on the chosen
+// backend. The quorum backend serves exactly the register type, so -type
+// follows unless the user pinned it; its strong sweep is off by default
+// because ABD's prefix-violating futures are a documented property, not
+// a bug to report. Explicitly set flags always win.
+func applyBackendDefaults(fs *flag.FlagSet, backend string, typeName *string, strong *bool) {
+	if backend != harness.AlgQuorum {
+		return
+	}
+	typeSet, strongSet := false, false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "type":
+			typeSet = true
+		case "strong":
+			strongSet = true
+		}
+	})
+	if !typeSet {
+		*typeName = "register"
+	}
+	if !strongSet && strong != nil {
+		*strong = false
+	}
+}
+
 func cmdFuzz(args []string) error {
 	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
 	getParams := paramFlags(fs)
-	typeName := fs.String("type", "queue", "data type ("+strings.Join(adt.Names(), ", ")+")")
+	typeName := fs.String("type", "queue", "data type ("+strings.Join(adt.Names(), ", ")+"; -backend quorum defaults to register)")
 	alg := fs.String("alg", harness.AlgCore, "algorithm ("+strings.Join(harness.Algorithms(), ", ")+")")
+	backendF := fs.String("backend", "", "alias for -alg (wins when both are set)")
 	mutant := fs.String("mutant", "", "seeded bug to hunt ("+strings.Join(adversary.MutantNames(), ", ")+"); 'all' runs the kill matrix")
 	strong := fs.Bool("strong", false, "hunt schedules that are linearizable in every future but not strongly linearizable")
 	budget := fs.Int("budget", 1000, "schedules to explore (per target)")
@@ -504,6 +542,10 @@ func cmdFuzz(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *backendF != "" {
+		*alg = *backendF
+	}
+	applyBackendDefaults(fs, *alg, typeName, nil)
 	p, err := getParams()
 	if err != nil {
 		return err
@@ -593,10 +635,11 @@ func cmdFuzz(args []string) error {
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	getParams := paramFlagsWith(fs, 2, int64(2*simtime.Quantum))
-	typeName := fs.String("type", "queue", "data type ("+strings.Join(adt.Names(), ", ")+")")
-	mutant := fs.String("mutant", "", "seeded bug to check ("+strings.Join(adversary.MutantNames(), ", ")+"); 'all' runs the exhaustive kill matrix")
+	backend := fs.String("backend", harness.AlgCore, "backend to verify (core, central, sequencer, quorum)")
+	typeName := fs.String("type", "queue", "data type ("+strings.Join(adt.Names(), ", ")+"; -backend quorum defaults to register)")
+	mutant := fs.String("mutant", "", "seeded bug to check (core: "+strings.Join(adversary.MutantNames(), ", ")+"; quorum: "+strings.Join(quorumMutantNames(), ", ")+"); 'all' runs the exhaustive kill matrix")
 	maxOps := fs.Int("ops", 3, "max planned operations per schedule (the space grows exponentially)")
-	strong := fs.Bool("strong", true, "also sweep each context's futures for strong linearizability")
+	strong := fs.Bool("strong", true, "also sweep each context's futures for strong linearizability (-backend quorum defaults off: ABD admits prefix-violating futures by design)")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable report as JSON")
 	stopEarly := fs.Bool("stop-early", false, "stop at the first chunk containing a violation")
 	parallel := parallelFlag(fs)
@@ -606,6 +649,7 @@ func cmdVerify(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	applyBackendDefaults(fs, *backend, typeName, strong)
 	p, err := getParams()
 	if err != nil {
 		return err
@@ -630,7 +674,7 @@ func cmdVerify(args []string) error {
 	cfg := bmc.Config{
 		Params:    p,
 		DT:        dt,
-		Target:    adversary.Target{Mutant: *mutant},
+		Target:    adversary.Target{Algorithm: *backend, Mutant: *mutant},
 		MaxOps:    *maxOps,
 		Strong:    *strong,
 		StopEarly: *stopEarly,

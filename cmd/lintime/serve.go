@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"lintime/internal/adt"
+	"lintime/internal/classify"
 	"lintime/internal/harness"
 	"lintime/internal/obs"
 	"lintime/internal/rtnet"
@@ -35,7 +36,10 @@ func serveParamFlags(fs *flag.FlagSet) func() (simtime.Params, error) {
 // golden test: field order is fixed and map keys are sorted by
 // encoding/json.
 type serveEcho struct {
-	Type        string            `json:"type"`
+	Type string `json:"type"`
+	// Backend is set only for non-default protocols (quorum): the core
+	// default stays omitted so historical echoes are unchanged.
+	Backend     string            `json:"backend,omitempty"`
 	Addr        string            `json:"addr"`
 	N           int               `json:"n"`
 	D           int64             `json:"d"`
@@ -65,7 +69,11 @@ func buildServeEcho(s *serve.Server, addr string, tick time.Duration) serveEcho 
 	}
 	formulas := map[string]int64{}
 	for _, class := range s.Classes() {
-		formulas[class.String()] = int64(serve.FormulaTicks(p, class))
+		formulas[class.String()] = int64(s.Formula(class))
+	}
+	backend := cfg.Backend
+	if backend == harness.AlgCore {
+		backend = ""
 	}
 	inboxDepth := cfg.InboxDepth
 	if inboxDepth == 0 {
@@ -77,7 +85,7 @@ func buildServeEcho(s *serve.Server, addr string, tick time.Duration) serveEcho 
 		offsetTicks[i] = int64(off)
 	}
 	return serveEcho{
-		Type: cfg.TypeName, Addr: addr,
+		Type: cfg.TypeName, Backend: backend, Addr: addr,
 		N: p.N, D: int64(p.D), U: int64(p.U), Epsilon: int64(p.Epsilon), X: int64(p.X),
 		TickNS: tick.Nanoseconds(), Offsets: cfg.Offsets, OffsetTicks: offsetTicks,
 		Seed: cfg.Seed, QueueDepth: cfg.QueueDepth, InboxDepth: inboxDepth, Classes: classes,
@@ -115,6 +123,7 @@ func writeJSON(v any) error {
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	getParams := serveParamFlags(fs)
+	backend := fs.String("backend", harness.AlgCore, "replicated protocol (core = Algorithm 1, quorum = ABD crash-tolerant register)")
 	typeName := fs.String("type", "queue", "data type to serve ("+strings.Join(adt.Names(), ", ")+")")
 	addr := fs.String("addr", "127.0.0.1:8377", "TCP listen address")
 	tick := fs.Duration("tick", time.Millisecond, "wall-clock duration of one virtual tick")
@@ -134,8 +143,12 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	applyBackendDefaults(fs, *backend, typeName, nil)
 	if *shards < 1 {
 		return fmt.Errorf("serve: -shards must be ≥ 1, got %d", *shards)
+	}
+	if *shards > 1 && *backend == harness.AlgQuorum {
+		return fmt.Errorf("serve: the quorum backend has no sharded mode (it serves one register)")
 	}
 	sx, err := parseShardX(*shardX, *shards)
 	if err != nil {
@@ -145,7 +158,7 @@ func cmdServe(args []string) error {
 		p.X = sx[0]
 	}
 	baseCfg := serve.Config{
-		Params: p, TypeName: *typeName, Tick: *tick,
+		Params: p, Backend: *backend, TypeName: *typeName, Tick: *tick,
 		Offsets: *offsets, Seed: *seed, QueueDepth: *queueDepth, InboxDepth: *inboxDepth,
 	}
 
@@ -300,6 +313,52 @@ func parseShardX(s string, shards int) ([]simtime.Duration, error) {
 	return out, nil
 }
 
+// crashSpec is one scheduled fault injection: crash process proc after
+// the run has been going for the given wall-clock delay.
+type crashSpec struct {
+	proc  int
+	after time.Duration
+}
+
+// parseCrashes parses a -crash schedule ("2@3s" or "2@3s,1@5s") and
+// refuses schedules that would crash a majority: with fewer than a
+// majority of replicas alive no quorum can form, so the run could never
+// complete another operation and the closed-loop clients would hang.
+func parseCrashes(s string, n int) ([]crashSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []crashSpec
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		at := strings.IndexByte(part, '@')
+		if at < 0 {
+			return nil, fmt.Errorf("bad -crash entry %q (want proc@delay, e.g. 2@3s)", part)
+		}
+		proc, err := strconv.Atoi(strings.TrimSpace(part[:at]))
+		if err != nil || proc < 0 || proc >= n {
+			return nil, fmt.Errorf("bad -crash entry %q: process must be in [0,%d)", part, n)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(part[at+1:]))
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad -crash entry %q: want proc@delay with a non-negative delay", part)
+		}
+		if seen[proc] {
+			return nil, fmt.Errorf("bad -crash: process %d listed twice", proc)
+		}
+		seen[proc] = true
+		out = append(out, crashSpec{proc: proc, after: d})
+	}
+	if 2*len(out) >= n {
+		return nil, fmt.Errorf("-crash schedules %d of %d processes: only a minority may crash (a majority must survive to form quorums)", len(out), n)
+	}
+	return out, nil
+}
+
 // loadKeys generates the keyed workload's object names: obj-0..obj-{n-1}.
 // Fixed names keep runs reproducible and let the pinned FNV-1a mapping
 // determine each object's home shard ahead of time.
@@ -314,6 +373,8 @@ func loadKeys(n int) []string {
 func cmdLoad(args []string) error {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	getParams := serveParamFlags(fs)
+	backend := fs.String("backend", harness.AlgCore, "replicated protocol (core = Algorithm 1, quorum = ABD crash-tolerant register)")
+	crashFlag := fs.String("crash", "", "crash schedule for the in-process cluster, e.g. 2@3s (comma-separated proc@delay; minority only)")
 	typeName := fs.String("type", "queue", "data type ("+strings.Join(adt.Names(), ", ")+")")
 	clients := fs.Int("clients", 8, "closed-loop client count")
 	duration := fs.Duration("duration", 5*time.Second, "run length (ignored when -ops is set)")
@@ -341,6 +402,7 @@ func cmdLoad(args []string) error {
 	if err != nil {
 		return err
 	}
+	applyBackendDefaults(fs, *backend, typeName, nil)
 	mix, err := parseMix(*mixFlag)
 	if err != nil {
 		return err
@@ -349,8 +411,24 @@ func cmdLoad(args []string) error {
 	if err != nil {
 		return err
 	}
+	crashes, err := parseCrashes(*crashFlag, p.N)
+	if err != nil {
+		return err
+	}
+	if len(crashes) > 0 && (*simMode || *addr != "" || *shards > 1) {
+		return fmt.Errorf("load: -crash injects into the in-process single-cluster run only (for virtual-time crash sweeps use lintime verify -backend quorum)")
+	}
 	if *shards < 1 {
 		return fmt.Errorf("load: -shards must be ≥ 1, got %d", *shards)
+	}
+	if *shards > 1 && *backend == harness.AlgQuorum {
+		return fmt.Errorf("load: the quorum backend has no sharded mode (it serves one register)")
+	}
+	// The quorum protocol's bound is two majority round trips — 4d flat,
+	// for every class; nil keeps Algorithm 1's per-class formulas.
+	var formula func(classify.Class) simtime.Duration
+	if *backend == harness.AlgQuorum {
+		formula = func(classify.Class) simtime.Duration { return serve.QuorumFormulaTicks(p) }
 	}
 	sx, err := parseShardX(*shardX, *shards)
 	if err != nil {
@@ -412,7 +490,7 @@ func cmdLoad(args []string) error {
 			return err
 		}
 		res, err := harness.Run(
-			harness.Config{Params: p, TypeName: *typeName, Algorithm: harness.AlgCore,
+			harness.Config{Params: p, TypeName: *typeName, Algorithm: *backend,
 				Network: harness.NetRandom, Offsets: *offsets, Seed: *seed,
 				Trace: sim.TraceOps},
 			harness.Workload{OpsPerProc: *ops, MaxGap: p.D / 2, Seed: *seed, Mix: mix})
@@ -424,7 +502,11 @@ func cmdLoad(args []string) error {
 			Mix: serve.FormatMix(mix), Seed: *seed,
 			N: p.N, D: int64(p.D), U: int64(p.U), Epsilon: int64(p.Epsilon), X: int64(p.X),
 		}
-		sum = serve.Summarize(p, 0, harness.ClassesFor(dt), res.Trace.Ops, echo)
+		if formula != nil {
+			sum = serve.SummarizeWith(formula, 0, harness.ClassesFor(dt), res.Trace.Ops, echo)
+		} else {
+			sum = serve.Summarize(p, 0, harness.ClassesFor(dt), res.Trace.Ops, echo)
+		}
 	case *addr != "":
 		c, err := serve.Dial(*addr)
 		if err != nil {
@@ -441,7 +523,7 @@ func cmdLoad(args []string) error {
 		}
 		sum, err = serve.RunLoad(c, dt, p, *tick, serve.LoadConfig{
 			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
-			Stop: stopCh, Keys: keys, Zipf: *zipf, ShardParams: shardParams,
+			Stop: stopCh, Keys: keys, Zipf: *zipf, ShardParams: shardParams, Formula: formula,
 		})
 		if err != nil {
 			return err
@@ -489,7 +571,7 @@ func cmdLoad(args []string) error {
 		}
 	default:
 		s, err := serve.New(serve.Config{
-			Params: p, TypeName: *typeName, Tick: *tick, Offsets: *offsets, Seed: *seed,
+			Params: p, Backend: *backend, TypeName: *typeName, Tick: *tick, Offsets: *offsets, Seed: *seed,
 		})
 		if err != nil {
 			return err
@@ -503,10 +585,26 @@ func cmdLoad(args []string) error {
 			return err
 		}
 		s.Start()
+		// Scheduled fault injection: each entry crashes its process
+		// mid-run; the router drops it from rotation and (on the quorum
+		// backend) the survivors keep serving. Timers that have not fired
+		// by the end of the run are stopped, not left to crash a cluster
+		// that is already draining.
+		timers := make([]*time.Timer, 0, len(crashes))
+		for _, c := range crashes {
+			c := c
+			timers = append(timers, time.AfterFunc(c.after, func() {
+				fmt.Fprintf(os.Stderr, "lintime load: crashing process %d (t=%v)\n", c.proc, c.after)
+				s.Crash(c.proc)
+			}))
+		}
 		sum, err = serve.RunLoad(s, dt, p, *tick, serve.LoadConfig{
 			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
-			Stop: stopCh, Keys: keys, Zipf: *zipf,
+			Stop: stopCh, Keys: keys, Zipf: *zipf, Formula: formula,
 		})
+		for _, t := range timers {
+			t.Stop()
+		}
 		if drainErr := s.Drain(*drainTimeout); drainErr != nil && err == nil {
 			err = drainErr
 		}

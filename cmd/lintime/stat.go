@@ -159,6 +159,13 @@ func renderStat(w io.Writer, prev, cur obs.Snapshot, elapsed time.Duration) {
 		sumByBase(cur.Counters, "rtnet_messages_delivered_total"), rate("rtnet_messages_delivered_total"),
 		sumByBase(cur.Counters, "rtnet_timer_fires_total"), maxByBase(cur.Gauges, "rtnet_inbox_depth_max"),
 		sumByBase(cur.Counters, "rtnet_inbox_overflows_total"), overflowNote)
+	phases := sumByBase(cur.Counters, "quorum_phase_total")
+	crashes := sumByBase(cur.Counters, "crashes_injected")
+	if phases > 0 || crashes > 0 {
+		fmt.Fprintf(w, "quorum  phases %d (%s)  crashes %d  post-crash drops %d\n",
+			phases, rate("quorum_phase_total"), crashes,
+			sumByBase(cur.Counters, "rtnet_post_crash_drops_total"))
+	}
 	if runs := cur.Counters["harness_runs_total"]; runs > 0 {
 		fmt.Fprintf(w, "harness runs %d (%s)\n", runs, rate("harness_runs_total"))
 	}

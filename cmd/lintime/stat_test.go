@@ -88,6 +88,18 @@ func TestRenderStatFrame(t *testing.T) {
 	}
 }
 
+func TestRenderStatQuorumLine(t *testing.T) {
+	snap := statSnapshot(t, 41)
+	snap.Counters["quorum_phase_total"] = 24
+	snap.Counters["crashes_injected"] = 1
+	snap.Counters["rtnet_post_crash_drops_total"] = 3
+	var sb strings.Builder
+	renderStat(&sb, snap, snap, time.Second)
+	if !strings.Contains(sb.String(), "quorum  phases 24 (0.0/s)  crashes 1  post-crash drops 3") {
+		t.Fatalf("quorum line missing:\n%s", sb.String())
+	}
+}
+
 func TestRenderStatOverflowNote(t *testing.T) {
 	snap := statSnapshot(t, 41)
 	snap.Counters["rtnet_inbox_overflows_total"] = 2

@@ -41,7 +41,7 @@ func BenchmarkRunnerRun(b *testing.B) {
 		b.Fatal(err)
 	}
 	r := &Runner{Params: p, DT: dt}
-	cand := randomCandidate(p, opsFor(dt), 1, "bench", 0)
+	cand := randomCandidate(p, opsFor(dt), 1, "bench", 0, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Run(cand.sched); err != nil {

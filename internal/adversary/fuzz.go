@@ -8,6 +8,7 @@ import (
 
 	"lintime/internal/harness"
 	"lintime/internal/obs"
+	"lintime/internal/quorum"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
 	"lintime/internal/spec"
@@ -84,21 +85,47 @@ func Fuzz(opts Options) (*Report, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	enabled := opts.Strategies
-	if len(enabled) == 0 {
-		enabled = Strategies()
+	// Crash-tolerant targets get the fault axes (crashes, drops) mixed
+	// into random and coverage candidates plus the deterministic
+	// faultcorner strategy; the boundary strategy stays fault-free (its
+	// rule-based schedules probe the timing bounds, which assume reliable
+	// delivery). Against reliable targets the default strategy set drops
+	// faultcorner silently — so existing campaigns are byte-identical —
+	// while requesting it explicitly is an error.
+	faults := opts.Target.SupportsFaults()
+	explicit := len(opts.Strategies) > 0
+	requested := opts.Strategies
+	if !explicit {
+		requested = Strategies()
 	}
-	for _, s := range enabled {
+	enabled := make([]string, 0, len(requested))
+	for _, s := range requested {
 		switch s {
 		case StratBoundary, StratRandom, StratCoverage:
+			enabled = append(enabled, s)
+		case StratFaultCorner:
+			if !faults {
+				if explicit {
+					return nil, fmt.Errorf("adversary: strategy %q applies only to crash-tolerant targets (have %s)", s, opts.Target)
+				}
+				continue
+			}
+			enabled = append(enabled, s)
 		default:
 			return nil, fmt.Errorf("adversary: unknown strategy %q (have %s)", s, strings.Join(Strategies(), ", "))
 		}
+	}
+	if len(enabled) == 0 {
+		return nil, fmt.Errorf("adversary: no applicable strategies for target %s", opts.Target)
 	}
 	if opts.Budget <= 0 {
 		opts.Budget = batchSize
 	}
 	ops := opsFor(opts.DT)
+	var corners []candidate
+	if faults {
+		corners = faultCorners(p, ops)
+	}
 	boundary := newBoundarySource(p, ops)
 	// The campaign never reads Steps: coverage signatures come from the
 	// engine's incremental hash, so the runner skips recording them.
@@ -138,17 +165,25 @@ func Fuzz(opts Options) (*Report, error) {
 				cand := boundary.candidateAt(p, ops, opts.Seed, ordinal)
 				sched, out, err = runner.RunRule(cand.offsets, cand.plans, cand.net)
 			case StratRandom:
-				cand := randomCandidate(p, ops, opts.Seed, "random", ordinal)
+				cand := randomCandidate(p, ops, opts.Seed, "random", ordinal, faults)
 				sched = cand.sched
 				out, err = runner.Run(sched)
 			case StratCoverage:
 				if len(poolSnap) == 0 {
-					cand := randomCandidate(p, ops, opts.Seed, "coverage-seed", ordinal)
+					cand := randomCandidate(p, ops, opts.Seed, "coverage-seed", ordinal, faults)
 					sched = cand.sched
 				} else {
 					rng := rand.New(rand.NewSource(harness.DeriveSeed(opts.Seed, fmt.Sprintf("adversary/coverage/%d", ordinal))))
 					parent := poolSnap[rng.Intn(len(poolSnap))]
-					sched = mutateSchedule(parent, p, ops, rng)
+					sched = mutateSchedule(parent, p, ops, rng, faults)
+				}
+				out, err = runner.Run(sched)
+			case StratFaultCorner:
+				if len(corners) == 0 { // degenerate n: no corners apply
+					cand := randomCandidate(p, ops, opts.Seed, "faultcorner-fill", ordinal, faults)
+					sched = cand.sched
+				} else {
+					sched = corners[ordinal%len(corners)].sched
 				}
 				out, err = runner.Run(sched)
 			}
@@ -222,7 +257,15 @@ type KillEntry struct {
 // control row has Mutant == "correct" and must never be killed.
 func KillMatrix(opts Options) ([]KillEntry, error) {
 	targets := []Mutant{{Name: Correct}}
-	targets = append(targets, Mutants()...)
+	controlDesc := "corrected Algorithm 1 (control)"
+	if opts.Target.Algorithm == harness.AlgQuorum {
+		controlDesc = "correct ABD quorum register (control)"
+		for _, m := range quorum.Mutants() {
+			targets = append(targets, Mutant{Name: m.Name, Desc: m.Desc})
+		}
+	} else {
+		targets = append(targets, Mutants()...)
+	}
 	entries := make([]KillEntry, 0, len(targets))
 	for _, m := range targets {
 		o := opts
@@ -240,7 +283,7 @@ func KillMatrix(opts Options) ([]KillEntry, error) {
 		}
 		if e.Mutant == Correct {
 			e.Mutant = "correct"
-			e.Desc = "corrected Algorithm 1 (control)"
+			e.Desc = controlDesc
 		}
 		if e.Killed {
 			mutantKills.Inc()
@@ -268,7 +311,7 @@ func (r *Report) SortedStrategies() []string {
 	extra := make([]string, 0)
 	for s := range r.ByStrategy {
 		switch s {
-		case StratBoundary, StratRandom, StratCoverage:
+		case StratBoundary, StratRandom, StratCoverage, StratFaultCorner:
 		default:
 			extra = append(extra, s)
 		}

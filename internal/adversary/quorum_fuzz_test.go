@@ -1,0 +1,165 @@
+package adversary
+
+import (
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/harness"
+	"lintime/internal/lincheck"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// fuzzReader consumes the fuzzer's byte string left to right; exhausted
+// input reads as zero so every byte string decodes to some valid
+// schedule (coverage-guided mutation must never hit a reject wall).
+type fuzzReader struct {
+	data []byte
+	i    int
+}
+
+func (r *fuzzReader) next() byte {
+	if r.i < len(r.data) {
+		b := r.data[r.i]
+		r.i++
+		return b
+	}
+	return 0
+}
+
+// decodeQuorumSchedule maps an arbitrary byte string onto an admissible
+// crash/loss schedule for the ABD quorum register: n ∈ {2,3}, up to five
+// operations with bounded gaps, explicit delays in [d−u, d], at most a
+// minority of crashes, and a handful of dropped send ordinals. Keeping
+// the op count small keeps the brute-force reference check tractable.
+func decodeQuorumSchedule(data []byte) (simtime.Params, Schedule) {
+	r := &fuzzReader{data: data}
+	n := 2 + int(r.next())%2
+	p := quorumParams(n)
+
+	s := Schedule{
+		Offsets: make([]simtime.Duration, n),
+		Plans:   make([][]PlannedOp, n),
+	}
+	ops := 1 + int(r.next())%5
+	for i := 0; i < ops; i++ {
+		proc := int(r.next()) % n
+		op := adt.OpWrite
+		var arg spec.Value
+		if r.next()%2 == 0 {
+			op = adt.OpRead
+		} else {
+			arg = int(r.next() % 4)
+		}
+		gap := simtime.Duration(r.next()%8) * simtime.Quantum
+		s.Plans[proc] = append(s.Plans[proc], PlannedOp{Op: op, Arg: arg, Gap: gap})
+	}
+	delays := int(r.next()) % 33
+	for i := 0; i < delays; i++ {
+		frac := simtime.Duration(r.next())
+		s.Delays = append(s.Delays, p.D-p.U+frac*p.U/255)
+	}
+	maxCrash := (n - 1) / 2
+	if crashes := int(r.next()) % (maxCrash + 1); crashes > 0 {
+		s.Crashes = make([]simtime.Time, n)
+		for i := range s.Crashes {
+			s.Crashes[i] = simtime.Infinity
+		}
+		for i := 0; i < crashes; i++ {
+			proc := int(r.next()) % n
+			s.Crashes[proc] = simtime.Time(r.next()) * simtime.Time(simtime.Quantum) / 4
+		}
+	}
+	drops := int(r.next()) % 4
+	for i := 0; i < drops; i++ {
+		s.Drops = append(s.Drops, int64(r.next())%40)
+	}
+	return p, s
+}
+
+// refRegisterCheck is a brute-force reference linearizability check for
+// the fuzz histories: plain recursive enumeration of every permutation
+// respecting real-time precedence, with completed operations required to
+// match their recorded returns and pending operations (including those
+// orphaned by a crash) free to take effect or be dropped. No memoization,
+// no pruning — slow but obviously correct at the ≤ 5-op sizes the
+// decoder emits, and entirely independent of the production checker.
+func refRegisterCheck(dt spec.DataType, history []lincheck.Op) bool {
+	taken := make([]bool, len(history))
+	var rec func(st spec.State, completedLeft int) bool
+	rec = func(st spec.State, completedLeft int) bool {
+		if completedLeft == 0 {
+			return true
+		}
+		minRespond := simtime.Infinity
+		for i, t := range taken {
+			if !t && history[i].Respond < minRespond {
+				minRespond = history[i].Respond
+			}
+		}
+		for i, t := range taken {
+			if t {
+				continue
+			}
+			op := history[i]
+			if op.Invoke > minRespond {
+				continue
+			}
+			ret, next := st.Apply(op.Name, op.Arg)
+			if !op.Pending() && !spec.ValuesEqual(ret, op.Ret) {
+				continue
+			}
+			left := completedLeft
+			if !op.Pending() {
+				left--
+			}
+			taken[i] = true
+			if rec(next, left) {
+				taken[i] = false
+				return true
+			}
+			taken[i] = false
+		}
+		return false
+	}
+	completed := 0
+	for _, op := range history {
+		if !op.Pending() {
+			completed++
+		}
+	}
+	return rec(dt.Initial(), completed)
+}
+
+// FuzzQuorum is the native coverage-guided hunt over the ABD quorum
+// register's fault space: every byte string decodes to an admissible
+// crash/loss schedule, the trace is cross-checked against the
+// brute-force atomic-register reference, and any history the correct
+// protocol produces must be linearizable. A failure here is either a
+// protocol bug (quorum intersection broken under the decoded faults) or
+// a checker bug (lincheck disagrees with the reference).
+func FuzzQuorum(f *testing.F) {
+	// Overlapping write/read with delay spread, a crash at p2 under a
+	// read racing the write-back, two transit drops, and two concurrent
+	// writers at n=2.
+	f.Add([]byte{1, 2, 0, 1, 1, 0, 1, 0, 0, 0, 2, 1, 2, 2, 4, 0, 255, 128, 64, 0, 0})
+	f.Add([]byte{1, 1, 0, 1, 3, 0, 1, 0, 0, 4, 0, 1, 2, 8, 0})
+	f.Add([]byte{1, 1, 0, 1, 1, 0, 1, 0, 0, 2, 0, 0, 2, 3, 5})
+	f.Add([]byte{0, 2, 0, 1, 1, 0, 1, 1, 2, 0, 0, 0, 0, 1, 2, 255, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, s := decodeQuorumSchedule(data)
+		dt := adt.NewRegister(0)
+		r := &Runner{Params: p, DT: dt, Target: Target{Algorithm: harness.AlgQuorum}}
+		out, err := r.Run(s)
+		if err != nil {
+			t.Fatalf("decoded schedule rejected: %v\n%s", err, s)
+		}
+		want := refRegisterCheck(dt, lincheck.FromTrace(out.Trace))
+		if got := out.Check.Linearizable; got != want {
+			t.Fatalf("lincheck = %v, brute-force reference = %v\nschedule:\n%s", got, want, s)
+		}
+		if !want {
+			t.Fatalf("correct ABD produced a non-linearizable history under faults\nschedule:\n%s", s)
+		}
+	})
+}

@@ -57,7 +57,13 @@ func writeDiagram(w io.Writer, r *Runner, s Schedule) error {
 
 // WriteKillMatrix renders a mutant kill matrix as deterministic text.
 func WriteKillMatrix(w io.Writer, r *Runner, entries []KillEntry) error {
-	fmt.Fprintf(w, "%-14s %-24s %-10s %s\n", "mutant", "verdict", "schedules", "description")
+	nameW := 14
+	for _, e := range entries {
+		if len(e.Mutant)+1 > nameW {
+			nameW = len(e.Mutant) + 1
+		}
+	}
+	fmt.Fprintf(w, "%-*s %-24s %-10s %s\n", nameW, "mutant", "verdict", "schedules", "description")
 	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 84))
 	for _, e := range entries {
 		verdict := "survived"
@@ -66,7 +72,7 @@ func WriteKillMatrix(w io.Writer, r *Runner, entries []KillEntry) error {
 		} else if e.Mutant == "correct" {
 			verdict = "clean"
 		}
-		fmt.Fprintf(w, "%-14s %-24s %-10d %s\n", e.Mutant, verdict, e.Schedules, e.Desc)
+		fmt.Fprintf(w, "%-*s %-24s %-10d %s\n", nameW, e.Mutant, verdict, e.Schedules, e.Desc)
 	}
 	for _, e := range entries {
 		if e.Shrunk == nil {

@@ -29,6 +29,7 @@ import (
 	"lintime/internal/folklore"
 	"lintime/internal/harness"
 	"lintime/internal/lincheck"
+	"lintime/internal/quorum"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
 	"lintime/internal/spec"
@@ -48,11 +49,21 @@ type PlannedOp struct {
 // Schedule is one fully explicit admissible adversary: clock offsets per
 // process (within the skew bound), a delay for each message by global
 // send order (within [d-u, d]; sends past the end of the vector get the
-// maximum delay d), and an invocation plan per process.
+// maximum delay d), and an invocation plan per process. Against
+// crash-tolerant targets two fault axes extend the format: per-process
+// crash times (at most a minority finite, preserving quorum liveness)
+// and per-message loss by send ordinal.
 type Schedule struct {
 	Offsets []simtime.Duration
 	Delays  []simtime.Duration
 	Plans   [][]PlannedOp
+
+	// Crashes holds one crash time per process (simtime.Infinity =
+	// never). Empty means no crashes. Only crash-tolerant targets accept
+	// a non-empty axis.
+	Crashes []simtime.Time
+	// Drops lists send ordinals lost in transit.
+	Drops []int64
 }
 
 // Clone returns a deep copy (argument values are shared).
@@ -61,11 +72,29 @@ func (s Schedule) Clone() Schedule {
 		Offsets: append([]simtime.Duration(nil), s.Offsets...),
 		Delays:  append([]simtime.Duration(nil), s.Delays...),
 		Plans:   make([][]PlannedOp, len(s.Plans)),
+		Crashes: append([]simtime.Time(nil), s.Crashes...),
+		Drops:   append([]int64(nil), s.Drops...),
 	}
 	for i, plan := range s.Plans {
 		out.Plans[i] = append([]PlannedOp(nil), plan...)
 	}
 	return out
+}
+
+// HasFaults reports whether the schedule uses either fault axis.
+func (s Schedule) HasFaults() bool {
+	return len(s.Drops) > 0 || s.NumCrashed() > 0
+}
+
+// NumCrashed returns the number of processes with a finite crash time.
+func (s Schedule) NumCrashed() int {
+	n := 0
+	for _, c := range s.Crashes {
+		if c != simtime.Infinity {
+			n++
+		}
+	}
+	return n
 }
 
 // NumOps returns the total number of planned invocations.
@@ -113,6 +142,25 @@ func (s Schedule) validate(p simtime.Params, dtName string, hasOp func(string) b
 			}
 		}
 	}
+	if len(s.Crashes) != 0 && len(s.Crashes) != p.N {
+		return fmt.Errorf("adversary: %d crash times for n=%d", len(s.Crashes), p.N)
+	}
+	for proc, c := range s.Crashes {
+		if c != simtime.Infinity && c < 0 {
+			return fmt.Errorf("adversary: p%d crash time %v is negative", proc, c)
+		}
+	}
+	// The fault model allows only a minority of crashes: a crashed
+	// majority stalls every quorum, so incompleteness would stop
+	// witnessing bugs.
+	if crashed := s.NumCrashed(); crashed > (p.N-1)/2 {
+		return fmt.Errorf("adversary: %d crashes exceed the minority bound for n=%d", crashed, p.N)
+	}
+	for _, ix := range s.Drops {
+		if ix < 0 {
+			return fmt.Errorf("adversary: drop ordinal %d is negative", ix)
+		}
+	}
 	return nil
 }
 
@@ -122,6 +170,18 @@ func (s Schedule) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "offsets %v\n", s.Offsets)
 	fmt.Fprintf(&b, "delays  %v (then d)\n", s.Delays)
+	if s.NumCrashed() > 0 {
+		fmt.Fprintf(&b, "crashes")
+		for proc, c := range s.Crashes {
+			if c != simtime.Infinity {
+				fmt.Fprintf(&b, " p%d@%v", proc, c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(s.Drops) > 0 {
+		fmt.Fprintf(&b, "drops   %v\n", s.Drops)
+	}
 	for proc, plan := range s.Plans {
 		if len(plan) == 0 {
 			continue
@@ -229,12 +289,18 @@ func signatureFromTrace(tr *sim.Trace) uint64 {
 }
 
 // Target selects the implementation under test: one of the harness
-// algorithm names, plus (for the core algorithm) an optional seeded
-// mutant from the Mutants registry.
+// algorithm names, plus an optional seeded mutant — from the core
+// Mutants registry for the core algorithm, from internal/quorum's
+// registry for the quorum backend.
 type Target struct {
-	Algorithm string // harness.AlgCore (default ""), AlgCentral, AlgSequencer
-	Mutant    string // core only; "" = the corrected Algorithm 1
+	Algorithm string // harness.AlgCore (default ""), AlgCentral, AlgSequencer, AlgQuorum
+	Mutant    string // core and quorum only; "" = the correct protocol
 }
+
+// SupportsFaults reports whether the target tolerates the crash/drop
+// schedule axes. Algorithm 1 and the folklore baselines assume reliable
+// processes and channels; only the quorum backend accepts faults.
+func (t Target) SupportsFaults() bool { return t.Algorithm == harness.AlgQuorum }
 
 // String renders the target for reports.
 func (t Target) String() string {
@@ -276,6 +342,16 @@ func (t Target) buildNodes(p simtime.Params, dt spec.DataType) ([]sim.Node, []*c
 			return nil, nil, fmt.Errorf("adversary: mutants apply only to the core algorithm")
 		}
 		return folklore.NewSequencerNodes(p.N, dt), nil, nil
+	case harness.AlgQuorum:
+		cfg, err := quorum.ConfigFor(quorum.DefaultConfig(p), t.Mutant)
+		if err != nil {
+			return nil, nil, err
+		}
+		// No fingerprints: quorum replicas legitimately diverge when an
+		// update reached only a partial quorum, so convergence is not a
+		// checkable property of this backend.
+		nodes, err := harness.QuorumNodes(p, dt, cfg)
+		return nodes, nil, err
 	default:
 		return nil, nil, fmt.Errorf("adversary: unknown algorithm %q", t.Algorithm)
 	}
@@ -338,6 +414,12 @@ func (r *Runner) RunRule(offsets []simtime.Duration, plans [][]PlannedOp, net si
 	}
 	s.Delays = make([]simtime.Duration, len(out.Trace.Msgs))
 	for i, m := range out.Trace.Msgs {
+		if !m.Received() {
+			// A transit-dropped message has no delay; its vector slot is
+			// never consulted on replay, so pin the placeholder d.
+			s.Delays[i] = r.Params.D
+			continue
+		}
 		s.Delays[i] = m.Delay()
 	}
 	return s, out, nil
@@ -346,6 +428,9 @@ func (r *Runner) RunRule(offsets []simtime.Duration, plans [][]PlannedOp, net si
 func (r *Runner) runWith(s Schedule, net sim.Network) (*Outcome, error) {
 	if err := s.validate(r.Params, r.DT.Name(), r.hasOp); err != nil {
 		return nil, err
+	}
+	if s.HasFaults() && !r.Target.SupportsFaults() {
+		return nil, fmt.Errorf("adversary: target %s assumes reliable processes and channels; crash/drop axes require the quorum backend", r.Target)
 	}
 	nodes, replicas, err := r.Target.buildNodes(r.Params, r.DT)
 	if err != nil {
@@ -365,6 +450,11 @@ func (r *Runner) runWith(s Schedule, net sim.Network) (*Outcome, error) {
 	}
 	defer r.engines.Put(eng)
 	eng.SetTraceLevel(r.Trace)
+	if s.HasFaults() {
+		if err := eng.SetFaults(sim.FaultPlan{Crashes: s.Crashes, Drops: s.Drops}); err != nil {
+			return nil, err
+		}
+	}
 	cursor := make([]int, r.Params.N)
 	eng.OnRespond = func(rec sim.OpRecord) {
 		plan := s.Plans[rec.Proc]
@@ -394,9 +484,12 @@ func (r *Runner) runWith(s Schedule, net sim.Network) (*Outcome, error) {
 		sig = (sig ^ uint64(byte(m.To))) * fnvPrime
 	}
 	out := &Outcome{
-		Trace:      tr,
-		Check:      lincheck.CheckTraceParallel(r.DT, tr, workers),
-		Incomplete: tr.CheckComplete() != nil,
+		Trace: tr,
+		Check: lincheck.CheckTraceParallel(r.DT, tr, workers),
+		// Crash-aware completeness: an op pending at a crashed invoker is
+		// legitimate; at a live process it is a liveness violation. On
+		// fault-free runs this is exactly CheckComplete.
+		Incomplete: tr.CheckCompleteExceptCrashed() != nil,
 		sig:        sig,
 		hasSig:     true,
 	}

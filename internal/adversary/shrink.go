@@ -117,11 +117,44 @@ func Shrink(r *Runner, s Schedule, opts ShrinkOptions) (Schedule, string, int, e
 				}
 			}
 		}
+
+		// Pass 5: remove crashes (set to Infinity), else normalize a
+		// surviving crash to time 0.
+		for i := 0; i < len(cur.Crashes) && runs < maxRuns; i++ {
+			if cur.Crashes[i] == simtime.Infinity {
+				continue
+			}
+			for _, v := range []simtime.Time{simtime.Infinity, 0} {
+				if cur.Crashes[i] == v {
+					break
+				}
+				cand := cur.Clone()
+				cand.Crashes[i] = v
+				if k, err := violates(cand); err != nil {
+					return Schedule{}, "", runs, err
+				} else if k != "" {
+					cur, kind, improved = cand, k, true
+					break
+				}
+			}
+		}
+
+		// Pass 6: remove message drops, one at a time.
+		for i := len(cur.Drops) - 1; i >= 0 && runs < maxRuns; i-- {
+			cand := cur.Clone()
+			cand.Drops = append(cand.Drops[:i:i], cand.Drops[i+1:]...)
+			if k, err := violates(cand); err != nil {
+				return Schedule{}, "", runs, err
+			} else if k != "" {
+				cur, kind, improved = cand, k, true
+			}
+		}
 	}
 
 	// Final tidy: truncate the delay vector to the messages actually sent
 	// (the tail is dead weight; replay is unchanged since out-of-range
-	// sends already default to d).
+	// sends already default to d — dropped sends still consume their
+	// ordinal, so the recorded message count remains the right cutoff).
 	if out, err := r.Run(cur); err == nil {
 		runs++
 		if n := len(out.Trace.Msgs); n < len(cur.Delays) {
@@ -131,6 +164,11 @@ func Shrink(r *Runner, s Schedule, opts ShrinkOptions) (Schedule, string, int, e
 				cur, kind = cand, k
 			}
 		}
+	}
+	// A crash axis with no finite entry is semantically absent: drop it
+	// without a replay.
+	if len(cur.Crashes) > 0 && cur.NumCrashed() == 0 {
+		cur.Crashes = nil
 	}
 
 	return cur, kind, runs, nil

@@ -22,7 +22,7 @@ func TestCachedSignatureMatchesTraceOracle(t *testing.T) {
 	full := &Runner{Params: p, DT: dt}
 	ops := &Runner{Params: p, DT: dt, Trace: sim.TraceOps}
 	for i := 0; i < 16; i++ {
-		cand := randomCandidate(p, opsFor(dt), 7, "sig-test", i)
+		cand := randomCandidate(p, opsFor(dt), 7, "sig-test", i, false)
 		outFull, err := full.Run(cand.sched)
 		if err != nil {
 			t.Fatal(err)

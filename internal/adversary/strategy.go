@@ -16,10 +16,17 @@ const (
 	StratBoundary = "boundary"
 	StratRandom   = "random"
 	StratCoverage = "coverage"
+	// StratFaultCorner enumerates deterministic crash/drop corner
+	// schedules derived from the quorum protocol's phase structure. It
+	// applies only to crash-tolerant targets; against reliable-channel
+	// targets it is skipped (or rejected when requested explicitly).
+	StratFaultCorner = "faultcorner"
 )
 
 // Strategies lists the generation strategies in fixed order.
-func Strategies() []string { return []string{StratBoundary, StratRandom, StratCoverage} }
+func Strategies() []string {
+	return []string{StratBoundary, StratRandom, StratCoverage, StratFaultCorner}
+}
 
 // candidate is one generated adversary: either rule-based (net != nil;
 // concretized by the runner) or an explicit schedule (coverage mutants).
@@ -417,10 +424,165 @@ func (b *boundarySource) candidateAt(p simtime.Params, ops opset, seed int64, i 
 	return cand
 }
 
+// faultCorners enumerates deterministic crash/drop corner schedules
+// derived from the quorum protocol's phase structure. Random fault
+// sampling reliably finds single-axis bugs, but the classic new-old
+// inversion needs a conjunction — the writer's entire propagate phase
+// lost in transit plus one precisely slow acknowledgment — that random
+// search essentially never hits. Each corner is an explicit Schedule
+// (net == nil), so the shrinker and coverage mutator apply unchanged.
+//
+// Ordinal bookkeeping: a broadcast sends n-1 messages in process order
+// (skipping self), so with a lone writer starting at time 0 and all
+// earlier delays at the minimum d-u, its query requests take ordinals
+// [0, n-1), the acknowledgments [n-1, 2(n-1)), and the propagate-phase
+// updates [2(n-1), 3(n-1)) — the window the inversion corners drop.
+// Later ordinals shift with scheduling details, so the slow-message
+// corners sweep a window of ordinals instead of pinning one.
+func faultCorners(p simtime.Params, ops opset) []candidate {
+	if p.N < 2 {
+		return nil
+	}
+	du := p.MinDelay()
+	phase := simtime.Duration(2) * du // one quorum round trip at minimum delay
+	nm := p.N - 1                     // messages per broadcast
+	minVec := func(w int) []simtime.Duration {
+		out := make([]simtime.Duration, w)
+		for i := range out {
+			out[i] = du
+		}
+		return out
+	}
+	noCrash := func() []simtime.Time {
+		out := make([]simtime.Time, p.N)
+		for i := range out {
+			out[i] = simtime.Infinity
+		}
+		return out
+	}
+	var out []candidate
+	add := func(s Schedule) { out = append(out, candidate{sched: s}) }
+
+	// 1. Equal-timestamp collision: two writes whose query phases fully
+	// overlap propose the same timestamp; the proc-id tie-break must
+	// commit one order everywhere. Post-quiescence probes on p0 and p1
+	// read the committed states sequentially, so a tie-break that keeps
+	// the incumbent turns into two reads returning different values.
+	{
+		plans := emptyPlans(p.N)
+		plans[0] = append(plans[0], planned(ops.mutators[0], 1, 0))
+		plans[1] = append(plans[1], planned(ops.mutators[0], 2, 0))
+		add(Schedule{Offsets: make([]simtime.Duration, p.N), Delays: minVec(4 * nm),
+			Plans: addProbes(plans, ops, p)})
+	}
+
+	if p.N >= 3 {
+		// 2. New-old inversion: the writer's propagate phase is lost in
+		// transit, so only the writer's own replica holds the new tag.
+		// Reader 1 reaches a quorum containing the writer and returns new;
+		// reader 2, invoked strictly after reader 1 responded, reaches the
+		// complementary quorum when the writer's acknowledgment travels at
+		// the maximum delay — and returns old. Which ordinal carries that
+		// acknowledgment depends on ack interleaving, so sweep a window.
+		r1 := phase + 1
+		r2 := simtime.Duration(2)*phase + 2
+		drops := make([]int64, 0, nm)
+		for i := 2 * nm; i < 3*nm; i++ {
+			drops = append(drops, int64(i))
+		}
+		for k := 3 * nm; k < 7*nm+4; k++ {
+			plans := emptyPlans(p.N)
+			plans[0] = append(plans[0], planned(ops.mutators[0], 1, 0))
+			plans[1] = append(plans[1], planned(ops.accessors[0], 0, r1))
+			plans[2] = append(plans[2], planned(ops.accessors[0], 0, r2))
+			delays := minVec(8*nm + 8)
+			delays[k] = p.D
+			add(Schedule{Offsets: make([]simtime.Duration, p.N), Delays: delays,
+				Plans: addProbes(plans, ops, p), Drops: append([]int64(nil), drops...)})
+		}
+
+		// 3. Stale-read window: the propagate update to the last process
+		// travels at the maximum delay while the write completes through
+		// the rest of the quorum. A read at the lagging replica invoked
+		// after the write responded must still see the new value — any
+		// read quorum too small to intersect the write quorum returns the
+		// stale local copy.
+		writeDone := simtime.Duration(2) * phase
+		arrival := phase + p.D
+		if writeDone < arrival {
+			plans := emptyPlans(p.N)
+			plans[0] = append(plans[0], planned(ops.mutators[0], 1, 0))
+			plans[p.N-1] = append(plans[p.N-1], planned(ops.accessors[0], 0,
+				writeDone+(arrival-writeDone)/2))
+			delays := minVec(4 * nm)
+			delays[3*nm-1] = p.D // propagate update to the last process
+			add(Schedule{Offsets: make([]simtime.Duration, p.N), Delays: delays,
+				Plans: addProbes(plans, ops, p)})
+		}
+	}
+
+	// 4. Crash corners: a minority of processes crash at each phase
+	// boundary of a write-then-read run. The correct protocol stays live
+	// and linearizable through every placement; implementations that
+	// miscount a crashed process toward a quorum die here.
+	if maxCrashes := (p.N - 1) / 2; maxCrashes > 0 {
+		moments := []simtime.Time{0, simtime.Time(du), simtime.Time(phase),
+			simtime.Time(p.D), simtime.Time(3 * p.D)}
+		for c := 1; c <= maxCrashes; c++ {
+			for _, m := range moments {
+				plans := emptyPlans(p.N)
+				plans[0] = append(plans[0], planned(ops.mutators[0], 1, 0))
+				plans[1] = append(plans[1], planned(ops.accessors[0], 0, phase+1))
+				crashes := noCrash()
+				for i := 0; i < c; i++ {
+					crashes[p.N-1-i] = m // crash the idle tail processes
+				}
+				add(Schedule{Offsets: make([]simtime.Duration, p.N), Delays: minVec(4 * nm),
+					Plans: addProbes(plans, ops, p), Crashes: crashes})
+			}
+		}
+		// One corner crashing a reader mid-operation: its pending op must
+		// be excused by crash-aware completeness, not reported stuck.
+		plans := emptyPlans(p.N)
+		plans[0] = append(plans[0], planned(ops.mutators[0], 1, 0))
+		plans[1] = append(plans[1], planned(ops.accessors[0], 0, phase+1))
+		crashes := noCrash()
+		crashes[1] = simtime.Time(phase + 2)
+		add(Schedule{Offsets: make([]simtime.Duration, p.N), Delays: minVec(4 * nm),
+			Plans: addProbes(plans, ops, p), Crashes: crashes})
+	}
+	return out
+}
+
+// randomFaults draws a crash/drop assignment for a crash-tolerant
+// target: with probability 1/2 a minority of processes crash at times
+// biased toward phase boundaries, and with probability 1/3 a few early
+// send ordinals are lost in transit.
+func randomFaults(s *Schedule, p simtime.Params, rng *rand.Rand) {
+	if maxCrashes := (p.N - 1) / 2; maxCrashes > 0 && rng.Intn(2) == 0 {
+		crashes := make([]simtime.Time, p.N)
+		for i := range crashes {
+			crashes[i] = simtime.Infinity
+		}
+		moments := []simtime.Time{0, 0, simtime.Time(p.MinDelay()), simtime.Time(p.D),
+			simtime.Time(2 * p.D), simtime.Time(rng.Int63n(int64(4*p.D) + 1))}
+		for _, proc := range rng.Perm(p.N)[:1+rng.Intn(maxCrashes)] {
+			crashes[proc] = moments[rng.Intn(len(moments))]
+		}
+		s.Crashes = crashes
+	}
+	if rng.Intn(3) == 0 {
+		count := 1 + rng.Intn(3)
+		for i := 0; i < count; i++ {
+			s.Drops = append(s.Drops, rng.Int63n(32))
+		}
+	}
+}
+
 // randomCandidate returns the i-th biased-random candidate: offsets and
 // delays biased toward the admissible extremes, short plans with gaps
 // clustered around the algorithm's critical constants.
-func randomCandidate(p simtime.Params, ops opset, seed int64, stream string, i int) candidate {
+func randomCandidate(p simtime.Params, ops opset, seed int64, stream string, i int, faults bool) candidate {
 	rng := rand.New(rand.NewSource(harness.DeriveSeed(seed, fmt.Sprintf("adversary/%s/%d", stream, i))))
 	offsets := make([]simtime.Duration, p.N)
 	for pi := range offsets {
@@ -472,18 +634,26 @@ func randomCandidate(p simtime.Params, ops opset, seed int64, stream string, i i
 			plans[pi] = append(plans[pi], planned(info, rng.Intn(4), gap))
 		}
 	}
-	return candidate{
-		sched: Schedule{Offsets: offsets, Delays: delays, Plans: addProbes(plans, ops, p)},
+	sched := Schedule{Offsets: offsets, Delays: delays, Plans: addProbes(plans, ops, p)}
+	if faults {
+		randomFaults(&sched, p, rng)
 	}
+	return candidate{sched: sched}
 }
 
 // mutateSchedule derives a coverage-strategy candidate by applying a few
 // random admissible edits to a parent schedule from the novelty pool.
-func mutateSchedule(parent Schedule, p simtime.Params, ops opset, rng *rand.Rand) Schedule {
+// Against crash-tolerant targets (faults) the edit space additionally
+// toggles crash times and message drops.
+func mutateSchedule(parent Schedule, p simtime.Params, ops opset, rng *rand.Rand, faults bool) Schedule {
 	s := parent.Clone()
+	kinds := 6
+	if faults {
+		kinds = 8
+	}
 	edits := 1 + rng.Intn(3)
 	for e := 0; e < edits; e++ {
-		switch rng.Intn(6) {
+		switch rng.Intn(kinds) {
 		case 0: // flip a delay to an extreme
 			if len(s.Delays) > 0 {
 				choices := []simtime.Duration{p.D, p.MinDelay(), p.MinDelay() + p.U/2}
@@ -517,6 +687,33 @@ func mutateSchedule(parent Schedule, p simtime.Params, ops opset, rng *rand.Rand
 		case 5: // delete an op
 			if proc, oi, ok := pickOp(s, rng); ok && s.NumOps() > 1 {
 				s.Plans[proc] = append(s.Plans[proc][:oi:oi], s.Plans[proc][oi+1:]...)
+			}
+		case 6: // toggle a crash (faults only)
+			if maxCrashes := (p.N - 1) / 2; maxCrashes > 0 {
+				if len(s.Crashes) == 0 {
+					s.Crashes = make([]simtime.Time, len(s.Plans))
+					for i := range s.Crashes {
+						s.Crashes[i] = simtime.Infinity
+					}
+				}
+				proc := rng.Intn(len(s.Crashes))
+				if s.Crashes[proc] == simtime.Infinity && s.NumCrashed() < maxCrashes {
+					moments := []simtime.Time{0, simtime.Time(p.MinDelay()),
+						simtime.Time(p.D), simtime.Time(2 * p.D)}
+					s.Crashes[proc] = moments[rng.Intn(len(moments))]
+				} else {
+					s.Crashes[proc] = simtime.Infinity
+				}
+				if s.NumCrashed() == 0 {
+					s.Crashes = nil
+				}
+			}
+		case 7: // add or remove a message drop (faults only)
+			if len(s.Drops) > 0 && rng.Intn(2) == 0 {
+				i := rng.Intn(len(s.Drops))
+				s.Drops = append(s.Drops[:i:i], s.Drops[i+1:]...)
+			} else {
+				s.Drops = append(s.Drops, rng.Int63n(32))
 			}
 		}
 	}

@@ -176,7 +176,7 @@ func StrongHunt(opts StrongOptions) (*StrongReport, error) {
 				}
 				base, out, err = runner.RunRule(cand.offsets, cand.plans, cand.net)
 			case StratRandom:
-				cand := randomCandidate(p, ops, opts.Seed, "strong-random", ordinal)
+				cand := randomCandidate(p, ops, opts.Seed, "strong-random", ordinal, false)
 				base = cand.sched
 				out, err = runner.Run(base)
 			}

@@ -32,6 +32,37 @@
 // through adversary.Runner, so the canonical admissibility predicate —
 // not a private copy — gates exactly what the checker may explore.
 //
+// The space is target-aware. Each backend brings its own message-count
+// model (sizing the delay axis) and its own irrelevant axes, which
+// collapse instead of multiplying the space:
+//
+//   - core (Algorithm 1): non-accessor ops broadcast n-1 announcements;
+//     accessors send nothing. Offsets enumerate {0, ε}^n.
+//   - central: a remote invocation costs a request and a reply (2); a
+//     server-local one costs nothing. The protocol never reads a clock,
+//     so the offset axis collapses to all-zero.
+//   - sequencer: a sequencer-local invocation broadcasts n-1 ordered
+//     messages; a remote one adds the hop to the sequencer (n). Clock-
+//     free, so offsets collapse.
+//   - quorum (ABD): every operation runs two phases of (n-1) requests
+//     plus one ack per live recipient (reads drop to one phase under the
+//     skip-writeback mutant); an op invoked at a crashed process is
+//     suppressed and costs nothing. Clock-free, so offsets collapse —
+//     and a fourth axis opens instead: every minority subset of
+//     processes crashed from time zero. First-op start times quantize to
+//     the protocol's own interesting instants ({0, (d-u)/2, 2(d-u)+d}:
+//     inside the window where a bogusly fast write has responded but no
+//     message can have arrived, and just past the latest first-attempt
+//     propagate arrival).
+//
+// A space may also be drop-augmented (Config.Drops): a fixed set of send
+// ordinals is lost in every schedule. Lost sends still consume delay-
+// vector slots, but the retransmissions they provoke exceed the modeled
+// message count and run at the default delay d — so a drop-augmented
+// space is exhaustive over the first modeled ordinals only. It exists
+// for targeted kill certificates (skip-writeback needs real message
+// loss), not for cleanliness sweeps.
+//
 // Beyond per-run checks, the checker optionally performs a strong-
 // linearizability sweep: all distinct histories of one (plan, offsets)
 // context — the futures an adversary can force by resolving each
@@ -44,12 +75,14 @@ package bmc
 import (
 	"fmt"
 	"hash/fnv"
+	"math/bits"
 
 	"lintime/internal/adversary"
 	"lintime/internal/classify"
 	"lintime/internal/harness"
 	"lintime/internal/lincheck"
 	"lintime/internal/obs"
+	"lintime/internal/quorum"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
 	"lintime/internal/spec"
@@ -76,12 +109,16 @@ const maxStoredViolations = 4
 type Config struct {
 	Params simtime.Params
 	DT     spec.DataType
-	// Target must resolve to the core algorithm (optionally a mutant):
-	// the message-count model that sizes the delay axis is specific to
-	// Algorithm 1's broadcast pattern.
+	// Target selects the backend (core, central, sequencer, or quorum;
+	// mutants apply to core and quorum). Each backend has its own
+	// message-count model sizing the delay axis — see the package doc.
 	Target adversary.Target
 	// MaxOps caps the total planned operations per schedule (default 2).
 	MaxOps int
+	// Drops lists send ordinals lost in transit in every schedule of the
+	// space (quorum targets only). See the package doc for the weakened
+	// exhaustiveness claim of a drop-augmented space.
+	Drops []int64
 	// Strong folds each context's futures into a strongcheck tree and
 	// counts contexts with no prefix-preserving linearization.
 	Strong bool
@@ -111,46 +148,135 @@ type planSlot struct {
 	gap simtime.Duration
 }
 
-// plan is one enumerated invocation plan with its message count.
+// plan is one enumerated invocation plan.
 type plan struct {
 	procs [][]planSlot
-	msgs  int
 	ops   int
+}
+
+// placement is one enumerated crash assignment: the processes in mask
+// crash at time zero. The zero placement (mask 0, nil crashes) is the
+// fault-free run present in every space.
+type placement struct {
+	mask    uint64
+	crashes []simtime.Time // per-process crash times; nil = fault-free
+	crashed int
 }
 
 // Space is the enumerated schedule space of one Config.
 type Space struct {
-	cfg     Config
-	classes map[string]classify.Class
-	plans   []plan
-	offsets [][]simtime.Duration
-	runs    int
+	cfg        Config
+	classes    map[string]classify.Class
+	qcfg       quorum.Config
+	plans      []plan
+	offsets    [][]simtime.Duration
+	placements []placement
+	runs       int
 }
 
 // NewSpace enumerates the space. The enumeration order is fixed: plans
 // by ascending op count, then by composition and slot choices; offsets
-// in binary-counter order; delay vectors in binary-counter order with
-// bit i selecting message i's delay (0 = d, 1 = d-u).
+// in binary-counter order; crash placements by ascending crash count
+// then mask order; delay vectors in binary-counter order with bit i
+// selecting message i's delay (0 = d, 1 = d-u).
 func NewSpace(cfg Config) (*Space, error) {
 	p := cfg.Params
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	s := &Space{cfg: cfg, classes: harness.ClassesFor(cfg.DT)}
 	switch cfg.Target.Algorithm {
 	case "", harness.AlgCore:
+	case harness.AlgCentral, harness.AlgSequencer:
+		if cfg.Target.Mutant != "" {
+			return nil, fmt.Errorf("bmc: target %q has no mutant registry", cfg.Target.Algorithm)
+		}
+	case harness.AlgQuorum:
+		qcfg, err := quorum.ConfigFor(quorum.DefaultConfig(p), cfg.Target.Mutant)
+		if err != nil {
+			return nil, err
+		}
+		s.qcfg = qcfg
 	default:
-		return nil, fmt.Errorf("bmc: target %q is not the core algorithm", cfg.Target.Algorithm)
+		return nil, fmt.Errorf("bmc: unsupported target algorithm %q (have core, central, sequencer, quorum)", cfg.Target.Algorithm)
 	}
-	if cfg.MaxOps <= 0 {
-		cfg.MaxOps = 2
+	if len(cfg.Drops) > 0 && cfg.Target.Algorithm != harness.AlgQuorum {
+		return nil, fmt.Errorf("bmc: drop augmentation applies only to the quorum target (have %s)", cfg.Target)
 	}
-	s := &Space{cfg: cfg, classes: harness.ClassesFor(cfg.DT)}
+	if s.cfg.MaxOps <= 0 {
+		s.cfg.MaxOps = 2
+	}
 	s.enumeratePlans()
 	s.enumerateOffsets()
+	s.enumeratePlacements()
 	for _, pl := range s.plans {
-		s.runs += len(s.offsets) << pl.msgs
+		for _, pc := range s.placements {
+			s.runs += len(s.offsets) << s.planMsgs(pl, pc)
+		}
 	}
 	return s, nil
+}
+
+// clockFree reports whether the target protocol never reads a local
+// clock, making the offset axis behaviorally inert.
+func (s *Space) clockFree() bool {
+	switch s.cfg.Target.Algorithm {
+	case harness.AlgCentral, harness.AlgSequencer, harness.AlgQuorum:
+		return true
+	}
+	return false
+}
+
+// opMsgs is the per-target message-count model: the messages one
+// operation contributes when invoked at proc with `crashed` processes
+// down from time zero. See the package doc for each model's derivation.
+func (s *Space) opMsgs(proc int, opName string, crashed int) int {
+	n := s.cfg.Params.N
+	switch s.cfg.Target.Algorithm {
+	case "", harness.AlgCore:
+		if s.classes[opName] == classify.PureAccessor {
+			return 0
+		}
+		return n - 1
+	case harness.AlgCentral:
+		if proc == 0 {
+			return 0 // server-local: applied on the spot, no messages
+		}
+		return 2 // request to the server + reply
+	case harness.AlgSequencer:
+		if proc == 0 {
+			return n - 1 // sequencer-local: stamped locally, Ordered broadcast
+		}
+		return n // hop to the sequencer + Ordered broadcast
+	case harness.AlgQuorum:
+		// Per phase: n-1 requests broadcast (sends to crashed replicas
+		// still occupy trace slots — delivery, not transit, is what a
+		// crash suppresses) plus one ack per live recipient. Quorums are
+		// reached within the 2d round trip, under the 3d retransmission
+		// period, so drop-free runs never exceed this count.
+		phases := 2
+		if s.qcfg.SkipWriteBack && opName == quorum.OpRead {
+			phases = 1
+		}
+		return phases * ((n - 1) + (n - 1 - crashed))
+	}
+	panic(fmt.Sprintf("bmc: no message model for target %q", s.cfg.Target.Algorithm))
+}
+
+// planMsgs is the modeled message count of one plan under one crash
+// placement. Operations invoked at a crashed process are suppressed by
+// the engine (no invocation record, no messages) and contribute nothing.
+func (s *Space) planMsgs(pl plan, pc placement) int {
+	msgs := 0
+	for proc, seq := range pl.procs {
+		if pc.mask&(1<<uint(proc)) != 0 {
+			continue
+		}
+		for _, sl := range seq {
+			msgs += s.opMsgs(proc, sl.op.Name, pc.crashed)
+		}
+	}
+	return msgs
 }
 
 // windowStart is the midpoint of the accessor timestamp window: an op
@@ -164,13 +290,36 @@ func windowStart(p simtime.Params) simtime.Duration {
 // previous response observes fully committed replica state.
 func probeGap(p simtime.Params) simtime.Duration { return 5 * p.D }
 
+// startTimes returns the first-op start instants the plan axis
+// enumerates, deduplicated ascending. Clock-driven targets (core) use
+// the accessor-window midpoint; clock-free targets use instants defined
+// by the message bounds themselves: (d-u)/2 sits before any time-zero
+// message can have arrived, and 2(d-u)+d (quorum only) lands just past
+// the latest arrival of a minimum-delay write's propagate phase.
+func (s *Space) startTimes() []simtime.Duration {
+	p := s.cfg.Params
+	var raw []simtime.Duration
+	switch s.cfg.Target.Algorithm {
+	case harness.AlgCentral, harness.AlgSequencer:
+		raw = []simtime.Duration{0, p.MinDelay() / 2}
+	case harness.AlgQuorum:
+		raw = []simtime.Duration{0, p.MinDelay() / 2, 2*p.MinDelay() + p.D}
+	default:
+		raw = []simtime.Duration{0, windowStart(p)}
+	}
+	starts := raw[:1]
+	for _, t := range raw[1:] {
+		if t > starts[len(starts)-1] {
+			starts = append(starts, t)
+		}
+	}
+	return starts
+}
+
 func (s *Space) enumeratePlans() {
 	p := s.cfg.Params
 	ops := s.cfg.DT.Ops()
-	starts := []simtime.Duration{0, windowStart(p)}
-	if starts[1] == 0 {
-		starts = starts[:1]
-	}
+	starts := s.startTimes()
 	gaps := []simtime.Duration{0, probeGap(p)}
 
 	procs := make([][]planSlot, p.N)
@@ -180,11 +329,6 @@ func (s *Space) enumeratePlans() {
 		for i, seq := range procs {
 			pl.procs[i] = append([]planSlot(nil), seq...)
 			pl.ops += len(seq)
-			for _, slot := range seq {
-				if s.classes[slot.op.Name] != classify.PureAccessor {
-					pl.msgs += p.N - 1
-				}
-			}
 		}
 		if pl.ops > 0 {
 			s.plans = append(s.plans, pl)
@@ -224,7 +368,7 @@ func (s *Space) enumeratePlans() {
 
 func (s *Space) enumerateOffsets() {
 	p := s.cfg.Params
-	if p.Epsilon == 0 {
+	if p.Epsilon == 0 || s.clockFree() {
 		s.offsets = [][]simtime.Duration{make([]simtime.Duration, p.N)}
 		return
 	}
@@ -242,8 +386,36 @@ func (s *Space) enumerateOffsets() {
 	}
 }
 
-// Contexts returns the number of (plan, offsets) contexts.
-func (s *Space) Contexts() int { return len(s.plans) * len(s.offsets) }
+// enumeratePlacements builds the crash axis: the fault-free placement
+// always, plus — for the quorum target — every minority subset of
+// processes crashed from time zero, by ascending crash count then mask.
+func (s *Space) enumeratePlacements() {
+	s.placements = []placement{{}}
+	if s.cfg.Target.Algorithm != harness.AlgQuorum {
+		return
+	}
+	p := s.cfg.Params
+	maxCrash := (p.N - 1) / 2
+	for size := 1; size <= maxCrash; size++ {
+		for mask := uint64(1); mask < 1<<uint(p.N); mask++ {
+			if bits.OnesCount64(mask) != size {
+				continue
+			}
+			crashes := make([]simtime.Time, p.N)
+			for i := 0; i < p.N; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					crashes[i] = 0
+				} else {
+					crashes[i] = simtime.Infinity
+				}
+			}
+			s.placements = append(s.placements, placement{mask: mask, crashes: crashes, crashed: size})
+		}
+	}
+}
+
+// Contexts returns the number of (plan, offsets, placement) contexts.
+func (s *Space) Contexts() int { return len(s.plans) * len(s.offsets) * len(s.placements) }
 
 // Runs returns the total number of schedule executions in the space.
 func (s *Space) Runs() int { return s.runs }
@@ -254,12 +426,19 @@ func (s *Space) Plans() int { return len(s.plans) }
 // OffsetPatterns returns the number of enumerated clock-offset patterns.
 func (s *Space) OffsetPatterns() int { return len(s.offsets) }
 
+// CrashPlacements returns the number of enumerated crash placements
+// (1 — the fault-free placement — for crash-intolerant targets).
+func (s *Space) CrashPlacements() int { return len(s.placements) }
+
 // context materializes context i as a reusable schedule skeleton: the
-// plan and offsets are shared (the runner never mutates them), only the
-// delay vector varies per run.
+// plan, offsets, and crash placement are shared (the runner never
+// mutates them), only the delay vector varies per run.
 func (s *Space) context(i int) (base adversary.Schedule, msgs int) {
-	pl := s.plans[i/len(s.offsets)]
-	off := s.offsets[i%len(s.offsets)]
+	perPlan := len(s.offsets) * len(s.placements)
+	pl := s.plans[i/perPlan]
+	rem := i % perPlan
+	off := s.offsets[rem/len(s.placements)]
+	pc := s.placements[rem%len(s.placements)]
 	plans := make([][]adversary.PlannedOp, len(pl.procs))
 	slot := 0
 	for proc, seq := range pl.procs {
@@ -272,7 +451,14 @@ func (s *Space) context(i int) (base adversary.Schedule, msgs int) {
 			slot++
 		}
 	}
-	return adversary.Schedule{Offsets: off, Plans: plans}, pl.msgs
+	base = adversary.Schedule{Offsets: off, Plans: plans}
+	if pc.crashes != nil {
+		base.Crashes = pc.crashes
+	}
+	if len(s.cfg.Drops) > 0 {
+		base.Drops = s.cfg.Drops
+	}
+	return base, s.planMsgs(pl, pc)
 }
 
 // Schedule materializes the schedule of context i under delay vector
@@ -359,6 +545,14 @@ func Verify(cfg Config) (*Report, error) {
 		Contexts:       space.Contexts(),
 		TotalRuns:      space.Runs(),
 		OK:             true,
+	}
+	// Reported only when the crash axis is non-trivial, so reports (and
+	// goldens) of crash-intolerant targets are unchanged.
+	if space.CrashPlacements() > 1 {
+		rep.CrashPlacements = space.CrashPlacements()
+	}
+	if len(cfg.Drops) > 0 {
+		rep.Drops = append([]int64(nil), cfg.Drops...)
 	}
 	seenSigs := map[uint64]bool{}
 	seenHists := map[uint64]bool{}
@@ -447,8 +641,19 @@ func (s *Space) checkContext(runner *adversary.Runner, ctx int) (contextResult, 
 		if err != nil {
 			return res, err
 		}
-		if got := len(out.Trace.Msgs); got != msgs {
-			return res, fmt.Errorf("bmc: context %d sent %d messages, model says %d — delay axis not exhaustive", ctx, got, msgs)
+		got := len(out.Trace.Msgs)
+		if len(s.cfg.Drops) == 0 {
+			if got != msgs {
+				return res, fmt.Errorf("bmc: context %d sent %d messages, model says %d — delay axis not exhaustive", ctx, got, msgs)
+			}
+		} else if got < msgs-len(s.cfg.Drops) {
+			// Drop-augmented spaces bend the count both ways: a dropped
+			// request suppresses the ack it would have provoked (at most
+			// one missing message per drop), while retransmissions add
+			// messages beyond the modeled count (those run at the default
+			// delay d). Anything below the floor still means the model is
+			// wrong.
+			return res, fmt.Errorf("bmc: context %d sent %d messages, model floor is %d", ctx, got, msgs-len(s.cfg.Drops))
 		}
 		res.runs++
 		if sig := out.Signature(); !sigSeen[sig] {

@@ -8,6 +8,7 @@ import (
 
 	"lintime/internal/adt"
 	"lintime/internal/adversary"
+	"lintime/internal/harness"
 	"lintime/internal/lincheck"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
@@ -277,16 +278,31 @@ func TestReportJSON(t *testing.T) {
 	}
 }
 
-// TestRejectsNonCoreTarget: the message-count model is specific to
-// Algorithm 1's broadcast pattern, so other targets must be refused
-// rather than silently under-enumerated.
-func TestRejectsNonCoreTarget(t *testing.T) {
-	_, err := NewSpace(Config{
+// TestRejectsUnmodeledTarget: each accepted backend has an explicit
+// message-count model; anything else must be refused rather than
+// silently under-enumerated. Folklore targets carry no mutant registry,
+// and drop augmentation is a quorum-only axis.
+func TestRejectsUnmodeledTarget(t *testing.T) {
+	if _, err := NewSpace(Config{
 		Params: simtime.DefaultParams(2),
 		DT:     adt.NewQueue(),
-		Target: adversary.Target{Algorithm: "central"},
-	})
-	if err == nil {
-		t.Fatal("NewSpace accepted a non-core target")
+		Target: adversary.Target{Algorithm: "no-such-backend"},
+	}); err == nil {
+		t.Fatal("NewSpace accepted an unmodeled target")
+	}
+	if _, err := NewSpace(Config{
+		Params: simtime.DefaultParams(2),
+		DT:     adt.NewQueue(),
+		Target: adversary.Target{Algorithm: harness.AlgCentral, Mutant: "skip-writeback"},
+	}); err == nil {
+		t.Fatal("NewSpace accepted a mutant on a folklore target")
+	}
+	if _, err := NewSpace(Config{
+		Params: simtime.DefaultParams(2),
+		DT:     adt.NewQueue(),
+		Target: adversary.Target{Algorithm: harness.AlgCentral},
+		Drops:  []int64{0},
+	}); err == nil {
+		t.Fatal("NewSpace accepted drop augmentation on a non-quorum target")
 	}
 }

@@ -1,0 +1,182 @@
+package bmc
+
+import (
+	"reflect"
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/adversary"
+	"lintime/internal/harness"
+	"lintime/internal/simtime"
+)
+
+// quorumParams mirrors the fuzzer's quorum parameters: wide delay
+// uncertainty (u = 3d/4) so extremal delay vectors realize genuinely
+// different interleavings. The protocol reads no clocks, so ε and X are
+// irrelevant and left zero.
+func quorumParams(n int) simtime.Params {
+	return simtime.Params{N: n, D: 8 * simtime.Quantum, U: 6 * simtime.Quantum}
+}
+
+func quorumConfig(n, maxOps int) Config {
+	return Config{
+		Params: quorumParams(n),
+		DT:     adt.NewRegister(0),
+		Target: adversary.Target{Algorithm: harness.AlgQuorum},
+		MaxOps: maxOps,
+	}
+}
+
+// TestQuorumSpaceShape pins the crash-augmented quorum spaces. The
+// numbers are part of the exhaustiveness claim: the offset axis must
+// collapse (clock-free protocol), the crash axis must open at n=3
+// (fault-free + 3 single-crash placements), and the per-placement
+// message model sizes the delay axis.
+func TestQuorumSpaceShape(t *testing.T) {
+	cases := []struct {
+		n, maxOps                         int
+		plans, placements, contexts, runs int
+	}{
+		{2, 2, 96, 1, 96, 21696},
+		{2, 3, 576, 1, 576, 1987776},
+		{3, 1, 18, 4, 72, 6930},
+	}
+	for _, tc := range cases {
+		sp, err := NewSpace(quorumConfig(tc.n, tc.maxOps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Plans() != tc.plans || sp.OffsetPatterns() != 1 ||
+			sp.CrashPlacements() != tc.placements || sp.Contexts() != tc.contexts || sp.Runs() != tc.runs {
+			t.Errorf("n=%d maxOps=%d space drifted: plans=%d offsets=%d placements=%d contexts=%d runs=%d, want %d/1/%d/%d/%d",
+				tc.n, tc.maxOps, sp.Plans(), sp.OffsetPatterns(), sp.CrashPlacements(), sp.Contexts(), sp.Runs(),
+				tc.plans, tc.placements, tc.contexts, tc.runs)
+		}
+	}
+}
+
+// TestQuorumVerifyExhaustive sweeps the n=2 two-op space: the correct
+// ABD register is linearizable and complete on every schedule, and the
+// strong sweep pins the known phenomenon that ABD is NOT strongly
+// linearizable — 7 contexts admit no prefix-preserving linearization
+// although each future is linearizable. The report must also be a pure
+// function of the config, independent of parallelism.
+func TestQuorumVerifyExhaustive(t *testing.T) {
+	cfg := quorumConfig(2, 2)
+	cfg.Strong = true
+	rep, err := Verify(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("correct ABD violated: %+v", rep.Violations[0])
+	}
+	if rep.Runs != 21696 {
+		t.Errorf("executed %d runs, want 21696", rep.Runs)
+	}
+	if rep.Signatures != 88 || rep.Histories != 2237 {
+		t.Errorf("state counts drifted: sigs=%d hists=%d, want 88/2237", rep.Signatures, rep.Histories)
+	}
+	if rep.StrongViolations != 7 {
+		t.Errorf("ABD strong-linearizability failures: %d contexts, want 7", rep.StrongViolations)
+	}
+	cfg.Parallel = 4
+	rep4, err := Verify(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep4) {
+		t.Error("quorum verify report depends on parallelism")
+	}
+}
+
+// TestQuorumCrashPlacements sweeps the n=3 single-op space across every
+// minority crash placement: operations at live processes complete
+// against the surviving majority, operations at crashed processes are
+// excused, and every run stays linearizable.
+func TestQuorumCrashPlacements(t *testing.T) {
+	rep, err := Verify(quorumConfig(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("crash-placement sweep violated: %+v", rep.Violations[0])
+	}
+	if rep.CrashPlacements != 4 {
+		t.Errorf("crash placements = %d, want 4 (fault-free + 3 single crashes)", rep.CrashPlacements)
+	}
+	if rep.Runs != 6930 {
+		t.Errorf("executed %d runs, want 6930", rep.Runs)
+	}
+}
+
+// TestQuorumKillMatrixExhaustive is the crash-tolerance counterpart of
+// the Algorithm 1 kill matrix: the control survives its full space while
+// every seeded ABD mutant is killed — crash-threshold inside the shared
+// sweep, the rest in targeted certificate contexts (their
+// counterexamples provably need n=3, message loss, or four operations).
+func TestQuorumKillMatrixExhaustive(t *testing.T) {
+	entries, err := KillMatrix(quorumConfig(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("expected 5 kill-matrix rows, got %d", len(entries))
+	}
+	wantCert := map[string]bool{
+		"crash-threshold":   false,
+		"skip-writeback":    true,
+		"stale-tiebreak":    true,
+		"sub-majority-read": true,
+	}
+	for _, e := range entries {
+		if e.Mutant == "correct" {
+			if e.Killed {
+				t.Errorf("control (correct ABD) was killed: %s", e.Kind)
+			}
+			if e.Runs != 21696 {
+				t.Errorf("control swept %d runs, want the full 21696", e.Runs)
+			}
+			continue
+		}
+		if !e.Killed {
+			t.Errorf("mutant %q survived (%d runs, space %q)", e.Mutant, e.Runs, e.Space)
+			continue
+		}
+		if e.Kind != "non-linearizable" {
+			t.Errorf("mutant %q killed by %q, want non-linearizable", e.Mutant, e.Kind)
+		}
+		if cert, ok := wantCert[e.Mutant]; !ok {
+			t.Errorf("unexpected kill-matrix row %q", e.Mutant)
+		} else if cert != (e.Space != "") {
+			t.Errorf("mutant %q certificate provenance = %q, want cert=%v", e.Mutant, e.Space, cert)
+		}
+		t.Logf("%-18s killed after %5d runs%s", e.Mutant, e.Runs, certSuffix(e))
+	}
+}
+
+func certSuffix(e KillEntry) string {
+	if e.Space == "" {
+		return ""
+	}
+	return " [" + e.Space + "]"
+}
+
+// TestQuorumDropAugmentedSpace pins the weakened exhaustiveness claim of
+// a drop-augmented space: the sweep still runs (message counts may land
+// anywhere in [msgs-len(drops), ∞) once retransmissions kick in) and the
+// correct protocol stays linearizable under the loss.
+func TestQuorumDropAugmentedSpace(t *testing.T) {
+	cfg := quorumConfig(2, 1)
+	cfg.Drops = []int64{0}
+	rep, err := Verify(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("correct ABD violated under drop augmentation: %+v", rep.Violations[0])
+	}
+	if len(rep.Drops) != 1 || rep.Drops[0] != 0 {
+		t.Errorf("report drops = %v, want [0]", rep.Drops)
+	}
+}

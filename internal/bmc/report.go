@@ -7,7 +7,10 @@ import (
 
 	"lintime/internal/adversary"
 	"lintime/internal/diagram"
+	"lintime/internal/harness"
 	"lintime/internal/obs"
+	"lintime/internal/quorum"
+	"lintime/internal/sim"
 	"lintime/internal/simtime"
 )
 
@@ -20,13 +23,17 @@ type Report struct {
 	MaxOps         int            `json:"max_ops"`
 	Plans          int            `json:"plans"`
 	OffsetPatterns int            `json:"offset_patterns"`
-	Contexts       int            `json:"contexts"`
-	TotalRuns      int            `json:"total_runs"` // size of the space
-	Runs           int            `json:"runs"`       // runs executed (== TotalRuns unless stopped early)
-	Signatures     int            `json:"distinct_signatures"`
-	Histories      int            `json:"distinct_histories"`
-	OK             bool           `json:"ok"`
-	Stopped        bool           `json:"stopped_early,omitempty"`
+	// CrashPlacements is the size of the crash axis; reported only when
+	// non-trivial (quorum targets with n >= 3).
+	CrashPlacements int     `json:"crash_placements,omitempty"`
+	Drops           []int64 `json:"drops,omitempty"` // drop augmentation, if any
+	Contexts        int     `json:"contexts"`
+	TotalRuns       int     `json:"total_runs"` // size of the space
+	Runs            int     `json:"runs"`       // runs executed (== TotalRuns unless stopped early)
+	Signatures      int     `json:"distinct_signatures"`
+	Histories       int     `json:"distinct_histories"`
+	OK              bool    `json:"ok"`
+	Stopped         bool    `json:"stopped_early,omitempty"`
 
 	ViolationsTotal int         `json:"violations_total"`
 	Violations      []Violation `json:"violations,omitempty"` // first few, with schedules
@@ -43,8 +50,13 @@ func WriteReport(w io.Writer, r *adversary.Runner, rep *Report) error {
 	fmt.Fprintf(w, "target      %s on %s (bounded model check)\n", rep.Target, r.DT.Name())
 	fmt.Fprintf(w, "params      n=%d d=%v u=%v eps=%v X=%v\n",
 		rep.Params.N, rep.Params.D, rep.Params.U, rep.Params.Epsilon, rep.Params.X)
-	fmt.Fprintf(w, "space       %d plans x %d offset patterns = %d contexts, %d runs (max %d ops, delays in {d-u, d})\n",
-		rep.Plans, rep.OffsetPatterns, rep.Contexts, rep.TotalRuns, rep.MaxOps)
+	if rep.CrashPlacements > 1 {
+		fmt.Fprintf(w, "space       %d plans x %d offset patterns x %d crash placements = %d contexts, %d runs (max %d ops, delays in {d-u, d})\n",
+			rep.Plans, rep.OffsetPatterns, rep.CrashPlacements, rep.Contexts, rep.TotalRuns, rep.MaxOps)
+	} else {
+		fmt.Fprintf(w, "space       %d plans x %d offset patterns = %d contexts, %d runs (max %d ops, delays in {d-u, d})\n",
+			rep.Plans, rep.OffsetPatterns, rep.Contexts, rep.TotalRuns, rep.MaxOps)
+	}
 	executed := fmt.Sprintf("%d", rep.Runs)
 	if rep.Stopped {
 		executed += " (stopped early)"
@@ -84,13 +96,21 @@ type KillEntry struct {
 	Killed bool   `json:"killed"`
 	Kind   string `json:"kind,omitempty"`
 	Runs   int    `json:"runs"` // runs executed before the verdict
+	// Space names the certificate space when the verdict came from a
+	// targeted context rather than the shared sweep (quorum rows only).
+	Space string `json:"space,omitempty"`
 }
 
 // KillMatrix sweeps every seeded mutant (and the corrected algorithm as
 // a control) over the same bounded space, stopping each sweep at the
 // first violating chunk. A mutant that survives has no counterexample
 // anywhere in the space — a far stronger statement than a fuzzing miss.
+// Quorum targets dispatch to the ABD mutant registry, where some rows
+// run as targeted certificates instead — see quorumKillMatrix.
 func KillMatrix(cfg Config) ([]KillEntry, error) {
+	if cfg.Target.Algorithm == harness.AlgQuorum {
+		return quorumKillMatrix(cfg)
+	}
 	targets := []adversary.Mutant{{Name: adversary.Correct}}
 	targets = append(targets, adversary.Mutants()...)
 	entries := make([]KillEntry, 0, len(targets))
@@ -117,19 +137,202 @@ func KillMatrix(cfg Config) ([]KillEntry, error) {
 	return entries, nil
 }
 
+// quorumCert pins a targeted kill certificate: one context of a small
+// enumerated space whose delay vectors contain a counterexample for a
+// mutant that provably cannot die in the shared sweep. At n=2 every
+// write quorum covers all replicas, so sub-majority reads always see the
+// latest committed write, and two reads querying the same two replicas
+// can never invert — those mutants need n=3, and skip-writeback
+// additionally needs real message loss to keep the propagate phase away
+// from the second reader. stale-tiebreak needs four operations (two
+// tying writes plus one probe read per writer) — a uniform 4-op sweep is
+// astronomically large, the single context is not.
+type quorumCert struct {
+	n      int
+	maxOps int
+	drops  []int64
+	space  string // provenance label for the report row
+	match  func(p simtime.Params, sched adversary.Schedule) bool
+}
+
+// certPlanIs matches one process's plan by operation names and gaps
+// (arguments are fixed by slot position and carry no information here).
+func certPlanIs(ops []adversary.PlannedOp, want ...adversary.PlannedOp) bool {
+	if len(ops) != len(want) {
+		return false
+	}
+	for i := range want {
+		if ops[i].Op != want[i].Op || ops[i].Gap != want[i].Gap {
+			return false
+		}
+	}
+	return true
+}
+
+func certOp(name string, gap simtime.Duration) adversary.PlannedOp {
+	return adversary.PlannedOp{Op: name, Gap: gap}
+}
+
+// quorumCertificates maps mutant name to its targeted certificate.
+var quorumCertificates = map[string]quorumCert{
+	// A write commits at {writer, p1} while the propagate to the reader
+	// is lost; the sub-majority read at the reader then answers from its
+	// own stale replica strictly after the write responded.
+	"sub-majority-read": {
+		n: 3, maxOps: 2, drops: []int64{4},
+		space: "n=3 targeted context, drop ordinal 4",
+		match: func(p simtime.Params, sched adversary.Schedule) bool {
+			late := 2*p.MinDelay() + p.D
+			return len(sched.Crashes) == 0 &&
+				certPlanIs(sched.Plans[0], certOp("read", late)) &&
+				len(sched.Plans[1]) == 0 &&
+				certPlanIs(sched.Plans[2], certOp("write", 0))
+		},
+	},
+	// The whole propagate phase is lost, so only the writer holds the new
+	// tag; an early read learns it from the writer's ack and — without
+	// the write-back — leaves both other replicas stale, so a later read
+	// completing against them inverts (new-old read inversion).
+	"skip-writeback": {
+		n: 3, maxOps: 3, drops: []int64{5, 6},
+		space: "n=3 targeted context, drop ordinals 5,6",
+		match: func(p simtime.Params, sched adversary.Schedule) bool {
+			mid := p.MinDelay() / 2
+			late := 2*p.MinDelay() + p.D
+			return len(sched.Crashes) == 0 &&
+				certPlanIs(sched.Plans[0], certOp("read", mid)) &&
+				certPlanIs(sched.Plans[1], certOp("read", late)) &&
+				certPlanIs(sched.Plans[2], certOp("write", 0))
+		},
+	},
+	// Two concurrent writes draw the same timestamp and the TS-only order
+	// keeps each incumbent: the replicas diverge silently, and one probe
+	// read per writer observes both divergent values after both writes
+	// completed — unlinearizable in any order.
+	"stale-tiebreak": {
+		n: 2, maxOps: 4,
+		space: "n=2 4-op targeted context",
+		match: func(p simtime.Params, sched adversary.Schedule) bool {
+			return len(sched.Crashes) == 0 &&
+				certPlanIs(sched.Plans[0], certOp("write", 0), certOp("read", 0)) &&
+				certPlanIs(sched.Plans[1], certOp("write", 0), certOp("read", probeGap(p)))
+		},
+	},
+}
+
+// runQuorumCert exhausts the delay vectors of one certificate context.
+// Codes run in descending order — the minimum-delay interleavings, where
+// quorum counterexamples concentrate, come first — and stop at the first
+// violation.
+func runQuorumCert(cfg Config, m quorum.Mutant, cert quorumCert) (KillEntry, error) {
+	p := simtime.Params{N: cert.n, D: cfg.Params.D, U: cfg.Params.U}
+	c := Config{
+		Params: p, DT: cfg.DT,
+		Target:       adversary.Target{Algorithm: harness.AlgQuorum, Mutant: m.Name},
+		MaxOps:       cert.maxOps,
+		Drops:        cert.drops,
+		CheckWorkers: cfg.CheckWorkers,
+	}
+	sp, err := NewSpace(c)
+	if err != nil {
+		return KillEntry{}, err
+	}
+	ctx := sp.FindContext(func(sched adversary.Schedule) bool { return cert.match(p, sched) })
+	if ctx < 0 {
+		return KillEntry{}, fmt.Errorf("bmc: certificate context for mutant %q is not in its enumerated space", m.Name)
+	}
+	runner := &adversary.Runner{
+		Params: p, DT: cfg.DT, Target: c.Target,
+		CheckWorkers: cfg.CheckWorkers, Trace: sim.TraceOps,
+	}
+	base, msgs := sp.context(ctx)
+	e := KillEntry{Mutant: m.Name, Desc: m.Desc, Space: cert.space}
+	for code := uint64(1)<<uint(msgs) - 1; ; code-- {
+		sched := base
+		sched.Delays = sp.delays(code, msgs)
+		out, err := runner.Run(sched)
+		if err != nil {
+			return KillEntry{}, err
+		}
+		e.Runs++
+		if kind := out.Violation(); kind != "" {
+			e.Killed = true
+			e.Kind = kind
+			killsTotal.Inc()
+			break
+		}
+		if code == 0 {
+			break
+		}
+	}
+	return e, nil
+}
+
+// quorumKillMatrix is the ABD kill matrix: the control and in-space
+// killable mutants sweep the shared space (StopEarly), the rest run
+// their targeted certificates.
+func quorumKillMatrix(cfg Config) ([]KillEntry, error) {
+	rows := append([]quorum.Mutant{{Name: quorum.Correct}}, quorum.Mutants()...)
+	entries := make([]KillEntry, 0, len(rows))
+	for _, m := range rows {
+		if cert, ok := quorumCertificates[m.Name]; ok && m.Name != quorum.Correct {
+			e, err := runQuorumCert(cfg, m, cert)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, e)
+			continue
+		}
+		c := cfg
+		c.Target = adversary.Target{Algorithm: harness.AlgQuorum, Mutant: m.Name}
+		c.StopEarly = true
+		c.Strong = false
+		rep, err := Verify(c)
+		if err != nil {
+			return nil, err
+		}
+		e := KillEntry{Mutant: m.Name, Desc: m.Desc, Killed: !rep.OK, Runs: rep.Runs}
+		if m.Name == quorum.Correct {
+			e.Mutant = "correct"
+			e.Desc = "correct ABD quorum register (control)"
+		}
+		if e.Killed {
+			killsTotal.Inc()
+			e.Kind = rep.Violations[0].Kind
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
 // WriteKillMatrix renders the exhaustive kill matrix as deterministic
 // text.
 func WriteKillMatrix(w io.Writer, entries []KillEntry) error {
-	fmt.Fprintf(w, "%-14s %-26s %-10s %s\n", "mutant", "verdict", "runs", "description")
+	nameW := 14
+	for _, e := range entries {
+		if len(e.Mutant)+1 > nameW {
+			nameW = len(e.Mutant) + 1
+		}
+	}
+	fmt.Fprintf(w, "%-*s %-26s %-10s %s\n", nameW, "mutant", "verdict", "runs", "description")
 	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 84))
 	for _, e := range entries {
-		verdict := "survived full space"
-		if e.Killed {
-			verdict = "killed: " + e.Kind
-		} else if e.Mutant == "correct" {
-			verdict = "clean (exhaustive)"
+		desc := e.Desc
+		if e.Space != "" {
+			desc += " [" + e.Space + "]"
 		}
-		fmt.Fprintf(w, "%-14s %-26s %-10d %s\n", e.Mutant, verdict, e.Runs, e.Desc)
+		fmt.Fprintf(w, "%-*s %-26s %-10d %s\n", nameW, e.Mutant, verdictOf(e), e.Runs, desc)
 	}
 	return nil
+}
+
+func verdictOf(e KillEntry) string {
+	switch {
+	case e.Killed:
+		return "killed: " + e.Kind
+	case e.Mutant == "correct":
+		return "clean (exhaustive)"
+	default:
+		return "survived full space"
+	}
 }

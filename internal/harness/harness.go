@@ -16,6 +16,7 @@ import (
 	"lintime/internal/folklore"
 	"lintime/internal/lincheck"
 	"lintime/internal/obs"
+	"lintime/internal/quorum"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
 	"lintime/internal/spec"
@@ -28,11 +29,12 @@ const (
 	AlgCoreAllOOP = "core-alloop" // ablation: classification disabled
 	AlgCentral    = "central"     // folklore centralized
 	AlgSequencer  = "sequencer"   // folklore total-order broadcast
+	AlgQuorum     = "quorum"      // ABD crash-tolerant majority-quorum register
 )
 
 // Algorithms lists the accepted algorithm names.
 func Algorithms() []string {
-	return []string{AlgCore, AlgCorePaper, AlgCoreAllOOP, AlgCentral, AlgSequencer}
+	return []string{AlgCore, AlgCorePaper, AlgCoreAllOOP, AlgCentral, AlgSequencer, AlgQuorum}
 }
 
 // Network names accepted by Config.
@@ -219,9 +221,27 @@ func buildNodes(cfg Config, dt spec.DataType) ([]sim.Node, []*core.Replica, erro
 		return folklore.NewCentralNodes(n, dt), nil, nil
 	case AlgSequencer:
 		return folklore.NewSequencerNodes(n, dt), nil, nil
+	case AlgQuorum:
+		nodes, err := QuorumNodes(cfg.Params, dt, quorum.DefaultConfig(cfg.Params))
+		return nodes, nil, err
 	default:
 		return nil, nil, fmt.Errorf("harness: unknown algorithm %q (have %v)", cfg.Algorithm, Algorithms())
 	}
+}
+
+// QuorumNodes builds the ABD quorum-register replicas for a
+// configuration. The quorum backend serves exactly the register data
+// type: its initial value is recovered by reading the initial state.
+func QuorumNodes(p simtime.Params, dt spec.DataType, cfg quorum.Config) ([]sim.Node, error) {
+	if dt.Name() != adt.NewRegister(0).Name() {
+		return nil, fmt.Errorf("harness: the quorum backend serves the register type, not %q", dt.Name())
+	}
+	v, _ := dt.Initial().Apply(quorum.OpRead, nil)
+	initial, ok := v.(int)
+	if !ok {
+		return nil, fmt.Errorf("harness: register initial read returned %T, want int", v)
+	}
+	return quorum.NewReplicas(p.N, initial, cfg), nil
 }
 
 // buildNetwork constructs the delay model.

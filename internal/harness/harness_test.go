@@ -14,7 +14,11 @@ func TestRunAllAlgorithms(t *testing.T) {
 	p := hp()
 	for _, alg := range Algorithms() {
 		t.Run(alg, func(t *testing.T) {
-			res, err := Run(Config{Params: p, TypeName: "queue", Algorithm: alg,
+			typeName := "queue"
+			if alg == AlgQuorum {
+				typeName = "register" // the quorum backend serves only the register
+			}
+			res, err := Run(Config{Params: p, TypeName: typeName, Algorithm: alg,
 				Network: NetRandom, Offsets: OffSpread, Seed: 3},
 				Workload{OpsPerProc: 5, MaxGap: 50, Seed: 4})
 			if err != nil {

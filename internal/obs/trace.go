@@ -12,13 +12,16 @@ import (
 // fires; the response closes the span.
 type Stage uint8
 
-// Lifecycle stages, in canonical order.
+// Lifecycle stages, in canonical order. StageDropped sits outside the
+// happy path: it marks a delivery that reached a crashed process and was
+// discarded instead of handled.
 const (
 	StageInvoke Stage = iota
 	StageBroadcast
 	StageDeliver
 	StageTimer
 	StageRespond
+	StageDropped
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +37,8 @@ func (s Stage) String() string {
 		return "timer"
 	case StageRespond:
 		return "respond"
+	case StageDropped:
+		return "dropped"
 	default:
 		return fmt.Sprintf("Stage(%d)", uint8(s))
 	}

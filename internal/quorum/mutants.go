@@ -1,0 +1,93 @@
+package quorum
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mutant names one deliberately weakened protocol configuration. The
+// registry mirrors internal/adversary's Algorithm 1 mutants: each entry
+// removes one safeguard whose necessity the fuzzer and the exhaustive
+// bmc sweep must demonstrate by killing the mutant.
+type Mutant struct {
+	// Name identifies the mutant on the command line ("" = correct).
+	Name string
+	// Desc is a one-line description for reports.
+	Desc string
+	// Apply weakens a correct configuration in place.
+	Apply func(cfg *Config)
+}
+
+// Correct is the mutant name of the unmodified protocol.
+const Correct = ""
+
+var mutants = []Mutant{
+	{
+		Name: "sub-majority-read",
+		Desc: "read query phase waits for 1 ack instead of a majority",
+		Apply: func(cfg *Config) {
+			cfg.ReadQuorum = 1
+		},
+	},
+	{
+		Name: "skip-writeback",
+		Desc: "reads respond after the query phase without writing back",
+		Apply: func(cfg *Config) {
+			cfg.SkipWriteBack = true
+		},
+	},
+	{
+		Name: "stale-tiebreak",
+		Desc: "tags compared by timestamp only; ties keep the incumbent",
+		Apply: func(cfg *Config) {
+			cfg.TSOnlyTieBreak = true
+		},
+	},
+	{
+		Name: "crash-threshold",
+		Desc: "every phase waits for 1 ack: tolerates crash counts over the minority threshold, at the cost of quorum intersection",
+		Apply: func(cfg *Config) {
+			cfg.ReadQuorum = 1
+			cfg.WriteQuorum = 1
+		},
+	},
+}
+
+// Mutants returns the seeded mutants in deterministic (name) order.
+func Mutants() []Mutant {
+	out := append([]Mutant(nil), mutants...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LookupMutant resolves a mutant by name; "" and "none" mean the correct
+// protocol.
+func LookupMutant(name string) (Mutant, error) {
+	if name == Correct || name == "none" {
+		return Mutant{Name: Correct, Desc: "correct ABD quorum register"}, nil
+	}
+	for _, m := range mutants {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	names := make([]string, 0, len(mutants))
+	for _, m := range Mutants() {
+		names = append(names, m.Name)
+	}
+	return Mutant{}, fmt.Errorf("quorum: unknown mutant %q (have %v)", name, names)
+}
+
+// ConfigFor returns the protocol configuration of the named mutant,
+// starting from base.
+func ConfigFor(base Config, name string) (Config, error) {
+	m, err := LookupMutant(name)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := base
+	if m.Apply != nil {
+		m.Apply(&cfg)
+	}
+	return cfg, nil
+}

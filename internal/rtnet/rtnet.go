@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lintime/internal/classify"
@@ -48,6 +49,12 @@ type Params struct {
 // ErrStopped is returned by Invoke/Call after the cluster has stopped
 // without a recorded failure.
 var ErrStopped = errors.New("rtnet: cluster stopped")
+
+// ErrCrashed is returned by Invoke/Call when the chosen process has been
+// crashed with Crash. A crashed process is not a cluster failure: the
+// rest of the cluster keeps running (that is the point of injecting the
+// crash under a fault-tolerant backend).
+var ErrCrashed = errors.New("rtnet: process crashed")
 
 // InboxOverflowError reports that a bounded inbox was full when an event
 // had to be delivered. It stops the cluster: overflow means the event
@@ -130,6 +137,12 @@ type Cluster struct {
 	// processes are scheduled.
 	sendRngs []*rand.Rand
 
+	// crashed flags are written under mu (Crash serializes against the
+	// registration paths) but read lock-free from the event loops and
+	// Send; crashCh[p] is closed when p crashes so blocked Calls unstick.
+	crashed []atomic.Bool
+	crashCh []chan struct{}
+
 	mu           sync.Mutex
 	err          error // first failure (inbox overflow); sticky
 	overflows    int64
@@ -138,8 +151,17 @@ type Cluster struct {
 	msgIdx       int64
 	delays       sim.Network
 	pending      map[int64]*pendingCall
-	timers       map[sim.TimerID]*time.Timer
+	timers       map[sim.TimerID]procTimer
 	timerID      sim.TimerID
+}
+
+// procTimer is a registered timer together with the process that owns
+// it; the attribution is what lets Crash cancel exactly the crashed
+// process's timers instead of leaking them until they fire into a dead
+// inbox.
+type procTimer struct {
+	t    *time.Timer
+	proc sim.ProcID
 }
 
 // Metrics is the substrate's instrumentation hook set. All fields must
@@ -152,6 +174,8 @@ type Metrics struct {
 	Overflows  *obs.Counter // inbox overflows (any value > 0 means the run failed)
 	MsgLatency *obs.Hist    // observed delivery delay in virtual ticks vs the [d-u, d] envelope
 	InboxMax   *obs.Max     // high-water mark of any inbox depth, observed at post time
+	Crashes    *obs.Counter // processes crashed with Crash
+	CrashDrops *obs.Counter // deliveries discarded because the receiver had crashed
 }
 
 // NewMetrics builds the substrate's instrument set on a registry. The
@@ -177,6 +201,8 @@ func NewMetrics(reg *obs.Registry, p simtime.Params, labels ...string) *Metrics 
 		Overflows:  reg.Counter(name("rtnet_inbox_overflows_total")),
 		MsgLatency: reg.Hist(name("rtnet_message_latency_ticks"), limit),
 		InboxMax:   reg.Max(name("rtnet_inbox_depth_max")),
+		Crashes:    reg.Counter(name("crashes_injected")),
+		CrashDrops: reg.Counter(name("rtnet_post_crash_drops_total")),
 	}
 }
 
@@ -231,13 +257,16 @@ func NewCluster(p Params, tick time.Duration, offsets []simtime.Duration, nodes 
 		inboxes:      make([]chan *event, p.N),
 		stopped:      make(chan struct{}),
 		sendRngs:     make([]*rand.Rand, p.N),
+		crashed:      make([]atomic.Bool, p.N),
+		crashCh:      make([]chan struct{}, p.N),
 		pending:      map[int64]*pendingCall{},
-		timers:       map[sim.TimerID]*time.Timer{},
+		timers:       map[sim.TimerID]procTimer{},
 	}
 	for i := range c.inboxes {
 		c.inboxes[i] = make(chan *event, depth)
 		c.sendRngs[i] = rand.New(rand.NewSource(
 			harness.DeriveSeed(seed, fmt.Sprintf("rtnet/send/p%d", i))))
+		c.crashCh[i] = make(chan struct{})
 	}
 	return c, nil
 }
@@ -292,6 +321,26 @@ func (c *Cluster) loop(proc sim.ProcID) {
 		case <-c.stopped:
 			return
 		case ev := <-c.inboxes[proc]:
+			// A crashed process keeps draining its inbox — in-flight
+			// deliveries and timer fires land in a bounded channel, and
+			// letting them pile up would eventually blame an
+			// InboxOverflowError on a process that is merely dead — but
+			// nothing is handled: deliveries are recorded as dropped,
+			// timer fires are discarded (Crash already unregistered the
+			// entries), and only Inspect still runs so state checks can
+			// look at the corpse.
+			if c.crashed[proc].Load() && ev.kind != 3 {
+				if ev.kind == 1 {
+					if c.metrics != nil {
+						c.metrics.CrashDrops.Inc()
+					}
+					if c.tracing {
+						c.tracer.Event(ev.span, obs.StageDropped, int32(proc), int64(c.now()))
+					}
+				}
+				putEvent(ev)
+				continue
+			}
 			switch ev.kind {
 			case 0:
 				if c.tracing {
@@ -354,12 +403,48 @@ func (c *Cluster) Stop() {
 	c.stopOnce.Do(func() { close(c.stopped) })
 	c.mu.Lock()
 	for id, t := range c.timers {
-		t.Stop()
+		t.t.Stop()
 		delete(c.timers, id)
 	}
 	c.mu.Unlock()
 	c.wg.Wait()
 }
+
+// Crash kills one process mid-run: its registered timers are canceled,
+// its pending invocations fail with ErrCrashed, and from the next inbox
+// event on it handles nothing (deliveries are drained and recorded as
+// dropped, never delivered to the node). The crash lands on an event
+// boundary: an event being handled at the moment of the call completes,
+// and its sends are already in flight — exactly a process that stopped
+// between steps. The rest of the cluster keeps running; whether live
+// operations still complete is the backend's crash-tolerance story, not
+// the substrate's. Crashing a crashed process is a no-op.
+func (c *Cluster) Crash(proc sim.ProcID) {
+	c.mu.Lock()
+	if c.crashed[proc].Swap(true) {
+		c.mu.Unlock()
+		return
+	}
+	for id, t := range c.timers {
+		if t.proc == proc {
+			t.t.Stop()
+			delete(c.timers, id)
+		}
+	}
+	for seqID, call := range c.pending {
+		if call.proc == proc {
+			delete(c.pending, seqID)
+		}
+	}
+	c.mu.Unlock()
+	close(c.crashCh[proc])
+	if c.metrics != nil {
+		c.metrics.Crashes.Inc()
+	}
+}
+
+// Crashed reports whether a process has been crashed.
+func (c *Cluster) Crashed(proc sim.ProcID) bool { return c.crashed[proc].Load() }
 
 // Pending returns the number of invocations that have not yet responded.
 func (c *Cluster) Pending() int {
@@ -424,6 +509,13 @@ func (c *Cluster) now() simtime.Time {
 func (c *Cluster) Invoke(proc sim.ProcID, op string, arg any) (<-chan Response, error) {
 	done := make(chan Response, 1)
 	c.mu.Lock()
+	// Checked under mu so a concurrent Crash either sees this entry in
+	// its pending sweep or this invoke sees the flag — never a pending
+	// entry that outlives the crash and wedges Drain.
+	if c.crashed[proc].Load() {
+		c.mu.Unlock()
+		return nil, ErrCrashed
+	}
 	seqID := c.seq
 	c.seq++
 	c.pending[seqID] = &pendingCall{proc: proc, op: op, arg: arg, invoke: c.now(), done: done}
@@ -451,6 +543,14 @@ func (c *Cluster) Call(proc sim.ProcID, op string, arg any) (Response, error) {
 	select {
 	case resp := <-ch:
 		return resp, nil
+	case <-c.crashCh[proc]:
+		// The response may have raced with the crash.
+		select {
+		case resp := <-ch:
+			return resp, nil
+		default:
+		}
+		return Response{}, ErrCrashed
 	case <-c.stopped:
 		// The response may have raced with the stop.
 		select {
@@ -568,14 +668,23 @@ func (x *rtCtx) SetTimer(after simtime.Duration, tag any) sim.TimerID {
 	x.c.mu.Lock()
 	x.c.timerID++
 	id := x.c.timerID
-	x.c.timers[id] = time.AfterFunc(time.Duration(after)*x.c.tick, func() {
+	// A handler can race with Crash: it was already running when the
+	// crash landed, and registering its timer now would leak an entry no
+	// fire or sweep will ever delete. Hand back a fresh id that was never
+	// armed — canceling it is a no-op, exactly like a timer that already
+	// fired.
+	if x.c.crashed[proc].Load() {
+		x.c.mu.Unlock()
+		return id
+	}
+	x.c.timers[id] = procTimer{proc: proc, t: time.AfterFunc(time.Duration(after)*x.c.tick, func() {
 		ev := getEvent()
 		ev.kind = 2
 		ev.timerID = id
 		ev.tag = tag
 		ev.span = span
 		x.c.post(proc, ev)
-	})
+	})}
 	x.c.mu.Unlock()
 	return id
 }
@@ -591,7 +700,7 @@ func (x *rtCtx) SetTimerAtLocal(localTime simtime.Time, tag any) sim.TimerID {
 func (x *rtCtx) CancelTimer(id sim.TimerID) {
 	x.c.mu.Lock()
 	if t, ok := x.c.timers[id]; ok {
-		t.Stop()
+		t.t.Stop()
 		delete(x.c.timers, id)
 	}
 	x.c.mu.Unlock()

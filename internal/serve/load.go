@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -58,6 +59,11 @@ type LoadConfig struct {
 	// ShardFor(key, len(ShardParams)) and adds per-shard class reports
 	// (each against its own shard's X) to the summary.
 	ShardParams []simtime.Params
+	// Formula, when non-nil, overrides the per-class latency bound the
+	// summary judges against — the quorum backend passes its
+	// class-independent 4d here. Nil keeps Algorithm 1's FormulaTicks.
+	// Ignored in sharded runs (those judge against the worst shard).
+	Formula func(classify.Class) simtime.Duration
 }
 
 // FormulaTicks returns Algorithm 1's worst-case latency for an operation
@@ -72,6 +78,15 @@ func FormulaTicks(p simtime.Params, class classify.Class) simtime.Duration {
 	default:
 		return p.D + p.Epsilon
 	}
+}
+
+// QuorumFormulaTicks returns the ABD quorum register's worst-case
+// latency: every operation — read or write — runs a query phase and a
+// propagate phase, and each phase is one majority round trip bounded by
+// 2d, so the bound is 4d regardless of operation class. (The protocol
+// reads no clocks, so ε and X never appear.)
+func QuorumFormulaTicks(p simtime.Params) simtime.Duration {
+	return 4 * p.D
 }
 
 // JitterBudget converts the scheduling-jitter allowance (a wall-clock
@@ -140,6 +155,12 @@ type ShardReport struct {
 type Summary struct {
 	Config   SummaryConfig               `json:"config"`
 	TotalOps int                         `json:"total_ops"`
+	// Unavailable counts call attempts that failed with ErrCrashed — a
+	// request routed to a replica in the instant before its crash was
+	// observed. The client retried on a live replica; this is the
+	// availability cost of the crash. Omitted on healthy runs so their
+	// summaries (and goldens) are unchanged.
+	Unavailable int `json:"unavailable,omitempty"`
 	// ElapsedMS is the measured window: from after the workers were set
 	// up (connections warm, mix expanded) to the last response. The
 	// configured duration is a floor on this, never the reported value —
@@ -204,6 +225,7 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 
 	logs := make([][]sim.OpRecord, cfg.Clients)
 	errs := make([]error, cfg.Clients)
+	unavail := make([]int, cfg.Clients)
 	// The measurement window opens here — after mix expansion,
 	// classification and target warm-up — not at entry. Computing the
 	// deadline from a timestamp taken before setup silently shortened
@@ -256,6 +278,15 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 					r, err = target.Call(op, arg)
 				}
 				if err != nil {
+					// A call that raced a crash — submitted to a replica's
+					// queue just before the crash was observed — fails with
+					// ErrCrashed. That is the crash's availability cost, not a
+					// run failure: count it and retry on a live replica (the
+					// router skips dead replicas for all later calls).
+					if errors.Is(err, rtnet.ErrCrashed) {
+						unavail[i]++
+						continue
+					}
 					errs[i] = fmt.Errorf("serve: client %d op %d (%s): %w", i, n, op, err)
 					return
 				}
@@ -300,8 +331,13 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 			return worst
 		}, tick, classes, ops, echo)
 		sum.PerShard = ShardSummaries(cfg.ShardParams, tick, classes, ops)
+	} else if cfg.Formula != nil {
+		sum = summarize(cfg.Formula, tick, classes, ops, echo)
 	} else {
 		sum = Summarize(p, tick, classes, ops, echo)
+	}
+	for _, u := range unavail {
+		sum.Unavailable += u
 	}
 	if tick > 0 {
 		sum.ElapsedMS = elapsed.Milliseconds()
@@ -358,6 +394,13 @@ func Summarize(p simtime.Params, tick time.Duration, classes map[string]classify
 	return summarize(func(class classify.Class) simtime.Duration {
 		return FormulaTicks(p, class)
 	}, tick, classes, ops, echo)
+}
+
+// SummarizeWith is Summarize with an explicit class→formula mapping —
+// the quorum backend judges every class against its flat 4d bound.
+func SummarizeWith(formula func(classify.Class) simtime.Duration, tick time.Duration,
+	classes map[string]classify.Class, ops []sim.OpRecord, echo SummaryConfig) *Summary {
+	return summarize(formula, tick, classes, ops, echo)
 }
 
 // summarize is Summarize with the class→formula mapping abstracted, so

@@ -32,6 +32,7 @@ import (
 	"lintime/internal/harness"
 	"lintime/internal/histio"
 	"lintime/internal/obs"
+	"lintime/internal/quorum"
 	"lintime/internal/rtnet"
 	"lintime/internal/sim"
 	"lintime/internal/simtime"
@@ -41,9 +42,18 @@ import (
 // ErrDraining is returned by Call once a drain has begun.
 var ErrDraining = errors.New("serve: server is draining")
 
+// ErrAllCrashed is returned by Call when every replica has been crashed.
+var ErrAllCrashed = errors.New("serve: all replicas crashed")
+
 // Config describes one served cluster.
 type Config struct {
 	Params   simtime.Params
+	// Backend selects the replicated protocol: harness.AlgCore (or empty)
+	// serves Algorithm 1; harness.AlgQuorum serves the ABD crash-tolerant
+	// majority-quorum register (TypeName then defaults to register, the
+	// only type the quorum protocol implements, and Crash becomes
+	// survivable for any minority).
+	Backend  string
 	TypeName string        // data type to serve (default queue)
 	Tick     time.Duration // wall-clock duration of one virtual tick (default 1ms)
 	Offsets  string        // harness offset assignment name (default zero)
@@ -84,8 +94,10 @@ type Server struct {
 	classes map[string]classify.Class
 	offsets []simtime.Duration
 	cluster *rtnet.Cluster
+	formula func(classify.Class) simtime.Duration
 
 	queues  []chan call
+	dead    []atomic.Bool // replicas removed from routing by Crash
 	next    atomic.Int64
 	workers sync.WaitGroup
 
@@ -109,6 +121,9 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.TypeName == "" {
 		cfg.TypeName = "queue"
+		if cfg.Backend == harness.AlgQuorum {
+			cfg.TypeName = "register"
+		}
 	}
 	if cfg.Tick <= 0 {
 		cfg.Tick = time.Millisecond
@@ -140,7 +155,21 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	nodes := core.NewReplicas(cfg.Params.N, dt, classes, core.DefaultTimers(cfg.Params))
+	var nodes []sim.Node
+	formula := func(class classify.Class) simtime.Duration { return FormulaTicks(cfg.Params, class) }
+	switch cfg.Backend {
+	case "", harness.AlgCore:
+		nodes = core.NewReplicas(cfg.Params.N, dt, classes, core.DefaultTimers(cfg.Params))
+	case harness.AlgQuorum:
+		nodes, err = harness.QuorumNodes(cfg.Params, dt, quorum.DefaultConfig(cfg.Params))
+		if err != nil {
+			return nil, err
+		}
+		formula = func(classify.Class) simtime.Duration { return QuorumFormulaTicks(cfg.Params) }
+	default:
+		return nil, fmt.Errorf("serve: unsupported backend %q (have %s, %s)",
+			cfg.Backend, harness.AlgCore, harness.AlgQuorum)
+	}
 	cluster, err := rtnet.NewCluster(rtnet.Params{Params: cfg.Params, InboxDepth: cfg.InboxDepth},
 		cfg.Tick, offsets, nodes, harness.DeriveSeed(cfg.Seed, "serve/net"))
 	if err != nil {
@@ -153,7 +182,9 @@ func New(cfg Config) (*Server, error) {
 		classes: classes,
 		offsets: offsets,
 		cluster: cluster,
+		formula: formula,
 		queues:  make([]chan call, cfg.Params.N),
+		dead:    make([]atomic.Bool, cfg.Params.N),
 		rec:     newRecorder(),
 	}
 	for i := range s.queues {
@@ -231,12 +262,53 @@ func (s *Server) Call(op string, arg any) (rtnet.Response, error) {
 	s.obsm.inflight.Add(1)
 	defer s.obsm.inflight.Add(-1)
 	defer s.inflight.Done()
-	proc := int(s.next.Add(1)-1) % len(s.queues)
+	// Round-robin over live replicas: the counter advances once per call
+	// and the scan walks forward from it, so crashed replicas drop out of
+	// rotation without perturbing the spread over the survivors.
+	at := int(s.next.Add(1) - 1)
+	proc := -1
+	for k := 0; k < len(s.queues); k++ {
+		if i := (at + k) % len(s.queues); !s.dead[i].Load() {
+			proc = i
+			break
+		}
+	}
+	if proc < 0 {
+		s.obsm.errors.Inc()
+		return rtnet.Response{}, ErrAllCrashed
+	}
 	out := make(chan result, 1)
 	s.queues[proc] <- call{op: op, arg: arg, out: out}
 	r := <-out
 	return r.resp, r.err
 }
+
+// Crash fails replica i: it is removed from routing (later Calls skip
+// it) and its process is crashed on the substrate — timers canceled,
+// pending operations failed with rtnet.ErrCrashed, subsequent deliveries
+// dropped. With the quorum backend any minority of replicas can be
+// crashed and the survivors keep serving; under Algorithm 1 a crash
+// wedges mutators cluster-wide (every process must apply every update),
+// which is exactly the availability gap the head-to-head measures.
+func (s *Server) Crash(i int) {
+	if i < 0 || i >= len(s.dead) {
+		return
+	}
+	if s.dead[i].Swap(true) {
+		return
+	}
+	s.cluster.Crash(sim.ProcID(i))
+}
+
+// Crashed reports whether replica i has been crashed.
+func (s *Server) Crashed(i int) bool {
+	return i >= 0 && i < len(s.dead) && s.dead[i].Load()
+}
+
+// Formula returns the worst-case latency bound the server judges the
+// class against: Algorithm 1's per-class formulas, or the quorum
+// backend's class-independent 4d.
+func (s *Server) Formula(class classify.Class) simtime.Duration { return s.formula(class) }
 
 // Drain gracefully shuts the server down: close listeners, refuse new
 // calls, wait for every in-flight operation to respond, stop the routing

@@ -200,6 +200,8 @@ type Engine struct {
 	canceled map[TimerID]bool
 	pending  map[ProcID]int64 // pending op SeqID per process
 	opIndex  map[int64]int    // SeqID → index into trace.Ops
+	crashes  []simtime.Time   // per-proc crash times (empty = no faults)
+	drops    map[int64]bool   // send ordinals lost in transit
 	trace    *Trace
 	started  bool
 	level    TraceLevel
@@ -275,6 +277,8 @@ func (e *Engine) Reset(params simtime.Params, offsets []simtime.Duration, net Ne
 	clear(e.canceled)
 	clear(e.pending)
 	clear(e.opIndex)
+	e.crashes = e.crashes[:0]
+	clear(e.drops)
 	// Preallocate the fresh trace to the previous run's high-water sizes:
 	// steady-state reuse pays one exact-size allocation per slice instead
 	// of a geometric regrowth chain.
@@ -391,8 +395,27 @@ func (e *Engine) setTimer(p ProcID, at simtime.Time, tag any) TimerID {
 
 func (e *Engine) cancelTimer(id TimerID) { e.canceled[id] = true }
 
-// send schedules message delivery per the network's delay.
+// send schedules message delivery per the network's delay. A send whose
+// ordinal is in the fault plan's drop set is recorded (Dropped, never
+// received) but no delivery is scheduled and the network is never asked
+// for a delay — dropped ordinals consume their slot in the global
+// message count, so explicit delay vectors stay index-aligned.
 func (e *Engine) send(from, to ProcID, payload any) {
+	if len(e.drops) > 0 && e.drops[e.msgCount] {
+		e.msgCount++
+		if e.level <= TraceOps {
+			e.trace.Msgs = append(e.trace.Msgs, MsgRecord{
+				ID:       e.msgCount,
+				From:     from,
+				To:       to,
+				SendTime: e.now,
+				RecvTime: simtime.Infinity,
+				Payload:  payload,
+				Dropped:  true,
+			})
+		}
+		return
+	}
 	delay := e.net.Delay(from, to, e.now, e.msgCount)
 	if delay < e.params.MinDelay() || delay > e.params.D {
 		panic(fmt.Sprintf("sim: network produced delay %v outside [%v, %v]",
@@ -456,6 +479,18 @@ func (e *Engine) RunUntil(limit simtime.Time) *Trace {
 		ev := e.queue.pop()
 		if ev.kind == evTimer && e.canceled[ev.timerID] {
 			delete(e.canceled, ev.timerID)
+			continue
+		}
+		if e.crashedAt(ev.proc, ev.time) {
+			// Crash-stop: the process takes no step. A suppressed
+			// delivery is marked Dropped (its scheduled RecvTime is kept
+			// as the drop instant); suppressed timers and invocations
+			// vanish — in particular a suppressed invocation leaves NO
+			// OpRecord, because an operation the process never started
+			// must not be linearizable as pending.
+			if ev.kind == evDeliver && ev.msgIndex >= 0 {
+				e.trace.Msgs[ev.msgIndex].Dropped = true
+			}
 			continue
 		}
 		if ev.time < e.now {

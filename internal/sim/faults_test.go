@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"lintime/internal/simtime"
+)
+
+// neverCrash builds a crash vector with every process alive.
+func neverCrash(n int) []simtime.Time {
+	out := make([]simtime.Time, n)
+	for i := range out {
+		out[i] = simtime.Infinity
+	}
+	return out
+}
+
+func TestFaultPlanNumCrashed(t *testing.T) {
+	if got := (FaultPlan{}).NumCrashed(); got != 0 {
+		t.Errorf("empty plan NumCrashed = %d, want 0", got)
+	}
+	plan := FaultPlan{Crashes: []simtime.Time{simtime.Infinity, 5, 0}}
+	if got := plan.NumCrashed(); got != 2 {
+		t.Errorf("NumCrashed = %d, want 2", got)
+	}
+}
+
+func TestSetFaultsValidation(t *testing.T) {
+	p := testParams(2)
+	eng := newEngine(t, p, ZeroOffsets(2), UniformNetwork{D: 100}, []Node{echoNode{}, echoNode{}})
+	if err := eng.SetFaults(FaultPlan{Crashes: []simtime.Time{0}}); err == nil {
+		t.Error("crash vector of wrong length should error")
+	}
+	if err := eng.SetFaults(FaultPlan{Crashes: []simtime.Time{-1, simtime.Infinity}}); err == nil {
+		t.Error("negative crash time should error")
+	}
+	if err := eng.SetFaults(FaultPlan{Drops: []int64{-1}}); err == nil {
+		t.Error("negative drop ordinal should error")
+	}
+	eng.InvokeAt(0, 0, "op", 1)
+	eng.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("SetFaults after the run started should panic")
+		}
+	}()
+	eng.SetFaults(FaultPlan{})
+}
+
+// TestCrashStopSuppressesEvents drives the crash-stop semantics end to
+// end: a delivery scheduled at a crashed process is marked Dropped in
+// the trace, a timer at the crashed process vanishes (leaving its
+// operation legitimately pending), and an invocation scheduled after the
+// crash leaves no OpRecord at all.
+func TestCrashStopSuppressesEvents(t *testing.T) {
+	p := testParams(2)
+	nodes := []Node{&pingNode{peer: 1}, &timerNode{delay: 100}}
+	eng := newEngine(t, p, ZeroOffsets(2), UniformNetwork{D: 100}, nodes)
+	crashes := neverCrash(2)
+	crashes[1] = 50
+	if err := eng.SetFaults(FaultPlan{Crashes: crashes}); err != nil {
+		t.Fatal(err)
+	}
+	// p1's op invokes at 0 and sets a timer for t=100; the crash at 50
+	// suppresses the timer, so the op stays pending at a crashed process.
+	eng.InvokeAt(1, 0, "wait", nil)
+	// p0's ping sends at 10, delivery at 110 lands on crashed p1 and is
+	// dropped; p0 never gets its pong and stays pending while alive.
+	eng.InvokeAt(0, 10, "rtt", nil)
+	// Invocations at a crashed process leave no record.
+	eng.InvokeAt(1, 200, "ghost", nil)
+	tr := eng.Run()
+
+	if got := tr.CrashTimeOf(1); got != 50 {
+		t.Errorf("CrashTimeOf(1) = %v, want 50", got)
+	}
+	if got := tr.CrashTimeOf(5); got != simtime.Infinity {
+		t.Errorf("CrashTimeOf(out of range) = %v, want Infinity", got)
+	}
+	if len(tr.Msgs) != 1 || !tr.Msgs[0].Dropped {
+		t.Fatalf("expected one dropped message, got %+v", tr.Msgs)
+	}
+	if len(tr.Ops) != 2 {
+		t.Fatalf("expected 2 op records (the post-crash invocation must vanish), got %d", len(tr.Ops))
+	}
+	if err := tr.CheckAdmissible(); err != nil {
+		t.Errorf("crash-side drop should be admissible: %v", err)
+	}
+	// Completeness: the pending op at crashed p1 is fine, but p0 is alive
+	// and pending — the crash-aware check must still flag it.
+	if err := tr.CheckCompleteExceptCrashed(); err == nil {
+		t.Error("pending op at live p0 should fail crash-aware completeness")
+	} else if !strings.Contains(err.Error(), "p0") {
+		t.Errorf("completeness error blames the wrong process: %v", err)
+	}
+	if len(tr.CompletedOps()) != 0 {
+		t.Errorf("no op completed, got %v", tr.CompletedOps())
+	}
+}
+
+// TestCrashedInvokerIsLegitimatelyPending pins the passing side of the
+// crash-aware completeness check: when the only pending operation sits
+// at a crashed process, the trace is complete.
+func TestCrashedInvokerIsLegitimatelyPending(t *testing.T) {
+	p := testParams(2)
+	nodes := []Node{echoNode{}, &timerNode{delay: 100}}
+	eng := newEngine(t, p, ZeroOffsets(2), UniformNetwork{D: 100}, nodes)
+	crashes := neverCrash(2)
+	crashes[1] = 50
+	if err := eng.SetFaults(FaultPlan{Crashes: crashes}); err != nil {
+		t.Fatal(err)
+	}
+	eng.InvokeAt(0, 0, "op", 7)
+	eng.InvokeAt(1, 0, "wait", nil)
+	tr := eng.Run()
+	if err := tr.CheckCompleteExceptCrashed(); err != nil {
+		t.Errorf("pending op at crashed p1 should be legitimate: %v", err)
+	}
+	if err := tr.CheckComplete(); err == nil {
+		t.Error("the crash-blind completeness check should still flag the pending op")
+	}
+}
+
+// TestTransitDropLosesMessage covers the loss axis: the dropped ordinal's
+// send is recorded (Dropped, never received) but no delivery happens, and
+// admissibility accepts the loss exactly because the plan names it.
+func TestTransitDropLosesMessage(t *testing.T) {
+	p := testParams(2)
+	nodes := []Node{&pingNode{peer: 1}, &pingNode{peer: 0}}
+	eng := newEngine(t, p, ZeroOffsets(2), UniformNetwork{D: 100}, nodes)
+	if err := eng.SetFaults(FaultPlan{Drops: []int64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.InvokeAt(0, 0, "rtt", nil)
+	tr := eng.Run()
+	if len(tr.Msgs) != 1 {
+		t.Fatalf("expected only the dropped send in the trace, got %d messages", len(tr.Msgs))
+	}
+	m := tr.Msgs[0]
+	if !m.Dropped || m.Received() {
+		t.Errorf("dropped message record = %+v", m)
+	}
+	if err := tr.CheckAdmissible(); err != nil {
+		t.Errorf("planned transit drop should be admissible: %v", err)
+	}
+	// The same loss with the plan erased is inadmissible: nothing
+	// accounts for the message.
+	tr2 := tr.Clone()
+	tr2.Drops = nil
+	if err := tr2.CheckAdmissible(); err == nil {
+		t.Error("transit drop outside the plan should be inadmissible")
+	}
+}
+
+// TestCheckAdmissibleCrashFaultCases covers the crash-extension error
+// branches of CheckAdmissible directly on hand-built traces.
+func TestCheckAdmissibleCrashFaultCases(t *testing.T) {
+	p := testParams(2)
+	base := &Trace{Params: p, Offsets: ZeroOffsets(2)}
+	bad := base.Clone()
+	bad.Crashes = []simtime.Time{0}
+	if err := bad.CheckAdmissible(); err == nil {
+		t.Error("crash vector of wrong length should be inadmissible")
+	}
+	// A crash-side drop whose recipient was still alive at the delivery
+	// instant is unaccounted for.
+	early := base.Clone()
+	early.Crashes = []simtime.Time{simtime.Infinity, 500}
+	early.Msgs = []MsgRecord{{ID: 1, From: 0, To: 1, SendTime: 0, RecvTime: 90, Dropped: true}}
+	if err := early.CheckAdmissible(); err == nil {
+		t.Error("drop at a not-yet-crashed recipient should be inadmissible")
+	}
+	// The same drop after the crash time is fine (and its delay is still
+	// range-checked).
+	late := base.Clone()
+	late.Crashes = []simtime.Time{simtime.Infinity, 50}
+	late.Msgs = []MsgRecord{{ID: 1, From: 0, To: 1, SendTime: 0, RecvTime: 90, Dropped: true}}
+	if err := late.CheckAdmissible(); err != nil {
+		t.Errorf("crash-side drop after the crash should be admissible: %v", err)
+	}
+}
+
+// respondWrongNode responds to a sequence id that is not pending.
+type respondWrongNode struct{}
+
+func (respondWrongNode) Init(Context) {}
+func (respondWrongNode) OnInvoke(ctx Context, inv Invocation) {
+	ctx.Respond(inv.SeqID+999, nil)
+}
+func (respondWrongNode) OnMessage(Context, ProcID, any) {}
+func (respondWrongNode) OnTimer(Context, any)           {}
+
+func TestEngineAccessorsAndPanics(t *testing.T) {
+	p := testParams(2)
+	net := NewPairwiseNetwork(2, 80)
+	if got := net.Delay(0, 1, 3, 0); got != 80 {
+		t.Errorf("pairwise Delay = %v, want 80", got)
+	}
+	eng := newEngine(t, p, ZeroOffsets(2), net, []Node{echoNode{}, echoNode{}})
+	if got := eng.Params(); got != p {
+		t.Errorf("Params() = %+v, want %+v", got, p)
+	}
+	eng.InvokeAt(0, 10, "op", 1)
+	eng.Run()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("InvokeAt in the past should panic")
+			}
+		}()
+		eng.InvokeAt(0, 0, "late", nil)
+	}()
+}
+
+func TestRespondNotPendingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("responding to a non-pending op should panic")
+		}
+	}()
+	p := testParams(1)
+	eng := newEngine(t, p, ZeroOffsets(1), UniformNetwork{D: 100}, []Node{respondWrongNode{}})
+	eng.InvokeAt(0, 0, "op", nil)
+	eng.Run()
+}

@@ -62,13 +62,17 @@ func (o OpRecord) Latency() simtime.Duration {
 
 // MsgRecord is a message send matched with its receipt. Unreceived
 // messages (possible only in chopped run fragments) have
-// RecvTime == simtime.Infinity.
+// RecvTime == simtime.Infinity. Dropped messages were lost to a fault:
+// either in transit (RecvTime == simtime.Infinity, ordinal in
+// Trace.Drops) or at a crashed recipient (RecvTime keeps the scheduled
+// delivery instant, which the recipient's crash precedes).
 type MsgRecord struct {
 	ID       int64
 	From, To ProcID
 	SendTime simtime.Time
 	RecvTime simtime.Time
 	Payload  any
+	Dropped  bool
 }
 
 // Received reports whether the message was delivered within the run.
@@ -93,6 +97,11 @@ type Trace struct {
 	Steps   []StepRecord
 	Msgs    []MsgRecord
 	Ops     []OpRecord
+
+	// Crashes and Drops record the fault plan the run executed under
+	// (see FaultPlan). Both nil on fault-free runs.
+	Crashes []simtime.Time
+	Drops   []int64
 }
 
 // Clone returns a deep copy of the trace (payload values are shared).
@@ -102,7 +111,18 @@ func (t *Trace) Clone() *Trace {
 	out.Steps = append([]StepRecord(nil), t.Steps...)
 	out.Msgs = append([]MsgRecord(nil), t.Msgs...)
 	out.Ops = append([]OpRecord(nil), t.Ops...)
+	out.Crashes = append([]simtime.Time(nil), t.Crashes...)
+	out.Drops = append([]int64(nil), t.Drops...)
 	return out
+}
+
+// CrashTimeOf returns the crash time of process p (simtime.Infinity if
+// p never crashes or the run had no fault plan).
+func (t *Trace) CrashTimeOf(p ProcID) simtime.Time {
+	if int(p) >= len(t.Crashes) {
+		return simtime.Infinity
+	}
+	return t.Crashes[p]
 }
 
 // LastTime returns the latest real time of any step in the trace
@@ -179,12 +199,38 @@ func (t *Trace) MaxLatency(op string) (simtime.Duration, bool) {
 // CheckAdmissible verifies the admissibility conditions of Section 2.3
 // against the recorded parameters: pairwise clock skew at most ε, all
 // received delays within [d-u, d], and every unreceived message's
-// recipient stopping before sendTime + d.
+// recipient stopping before sendTime + d. In the crash-prone extension a
+// Dropped message is admissible exactly when the fault plan accounts for
+// it: a transit loss must name its send ordinal in Drops, and a
+// crash-side loss must land at a recipient already crashed at its
+// scheduled delivery instant.
 func (t *Trace) CheckAdmissible() error {
 	if err := ValidateOffsets(t.Offsets, t.Params.Epsilon); err != nil {
 		return err
 	}
+	if len(t.Crashes) != 0 && len(t.Crashes) != t.Params.N {
+		return fmt.Errorf("sim: %d crash times for N=%d", len(t.Crashes), t.Params.N)
+	}
+	dropSet := make(map[int64]bool, len(t.Drops))
+	for _, ix := range t.Drops {
+		dropSet[ix] = true
+	}
 	for _, m := range t.Msgs {
+		if m.Dropped {
+			if !m.Received() {
+				if !dropSet[m.ID-1] {
+					return fmt.Errorf("sim: message %d (p%d→p%d) lost in transit but ordinal %d not in the drop plan",
+						m.ID, m.From, m.To, m.ID-1)
+				}
+				continue
+			}
+			if crash := t.CrashTimeOf(m.To); crash > m.RecvTime {
+				return fmt.Errorf("sim: message %d (p%d→p%d) dropped at delivery %v but p%d not crashed until %v",
+					m.ID, m.From, m.To, m.RecvTime, m.To, crash)
+			}
+			// Fall through: a crash-side drop still carries a real
+			// network delay, checked below.
+		}
 		if m.Received() {
 			d := m.Delay()
 			if d < t.Params.MinDelay() || d > t.Params.D {
@@ -208,6 +254,21 @@ func (t *Trace) CheckComplete() error {
 	for _, op := range t.Ops {
 		if op.Pending() {
 			return fmt.Errorf("sim: operation %s (seq %d) at p%d invoked at %v never responded",
+				op.Op, op.SeqID, op.Proc, op.InvokeTime)
+		}
+	}
+	return nil
+}
+
+// CheckCompleteExceptCrashed is the crash-prone completeness condition:
+// every invocation at a process that never crashes has a response. An
+// operation pending at a crashed process is legitimate — the
+// linearizability checker already treats pending operations as
+// may-or-may-not have taken effect.
+func (t *Trace) CheckCompleteExceptCrashed() error {
+	for _, op := range t.Ops {
+		if op.Pending() && t.CrashTimeOf(op.Proc) == simtime.Infinity {
+			return fmt.Errorf("sim: operation %s (seq %d) at p%d invoked at %v never responded (process never crashed)",
 				op.Op, op.SeqID, op.Proc, op.InvokeTime)
 		}
 	}
