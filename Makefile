@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-engine bench-compare bench-guard stat-smoke fuzz-smoke fuzz-native soak soak-smoke load-bench load-shard-smoke verify-smoke crash-smoke
+.PHONY: check vet build test race bench bench-engine bench-compare bench-guard stat-smoke fuzz-smoke fuzz-native soak soak-smoke load-bench load-shard-smoke verify-smoke crash-smoke wire-bench wire-smoke
 
 # check is the tier-1 gate: vet, build, full tests, and a short
 # race-detector pass over the concurrency-bearing packages.
@@ -89,21 +89,24 @@ soak:
 	$(GO) test -race -count=1 -run TestSoakClosedLoop ./internal/serve/ -soak 30s -v -timeout 300s
 
 # load-bench drives the closed-loop load generator against an in-process
-# sharded deployment (4 shards, 32 named objects, zipfian hot-key skew)
-# and records per-class and per-shard latency quantiles next to the
-# paper's formulas; -require-slo fails if any class's p99 — on any shard
-# — exceeds its formula plus the scheduling-jitter budget, and
-# -check-objects verifies routing and per-object linearizability. The
-# benchjson serve guard then re-validates the written ledger. The mix is
-# dequeue-balanced on purpose: an enqueue-heavy mix grows the zipf hot
-# key's queue without bound, which leaves concurrent enqueues
-# order-ambiguous for the whole history and sends the per-object
-# linearizability check into exponential backtracking.
+# sharded deployment (4 shards, 32 named objects, 8 clients each keeping
+# 8 ops in flight) and records per-class and per-shard latency quantiles
+# next to the paper's formulas; -require-slo fails if any class's p99 —
+# on any shard — exceeds its formula plus the scheduling-jitter budget,
+# and -check-objects verifies routing and per-object linearizability.
+# The benchjson serve guard then re-validates the written ledger,
+# including the throughput floor (5× the pre-pipelining 173 ops/sec
+# baseline; the pipelined run lands around 1400-1500). Keys are uniform
+# on purpose: pipelining multiplies the per-key concurrency, and a
+# zipf hot key would both concentrate that on one shard and leave long
+# runs of concurrent enqueues order-ambiguous, sending the per-object
+# linearizability check into exponential backtracking. The mix is
+# dequeue-balanced for the same reason (bounded queues).
 load-bench:
-	$(GO) run ./cmd/lintime load -n 5 -clients 8 -duration 10s \
-		-shards 4 -keys 32 -zipf 1.3 -check-objects \
+	$(GO) run ./cmd/lintime load -n 5 -clients 8 -duration 10s -tick 250us \
+		-pipeline 8 -shards 4 -keys 32 -check-objects \
 		-mix "enqueue=2,dequeue=2,peek=1" -seed 1 -require-slo -o BENCH_serve.json
-	$(GO) run ./cmd/benchjson -serve BENCH_serve.json
+	$(GO) run ./cmd/benchjson -serve BENCH_serve.json -min-ops 870
 
 # load-shard-smoke is CI's sharded serving gate: a short zipfian keyed
 # run across 4 in-process shard clusters with heterogeneous per-shard X,
@@ -127,6 +130,27 @@ fuzz-native:
 	$(GO) test -fuzz FuzzCheckStrong -fuzztime 15s ./internal/strongcheck/
 	$(GO) test -fuzz FuzzTimeArith -fuzztime 10s ./internal/simtime/
 	$(GO) test -fuzz FuzzQuorum -fuzztime 20s ./internal/adversary/
+	$(GO) test -fuzz FuzzFrame -fuzztime 20s ./internal/serve/
+
+# wire-bench measures the two codecs' encode+decode round-trips side by
+# side (request and response, JSON vs binary) and folds the numbers into
+# the after side of BENCH_engine.json.
+wire-bench:
+	$(GO) test -run xxx -bench 'BenchmarkWire' -benchmem ./internal/serve/ | \
+		$(GO) run ./cmd/benchjson -set after -o BENCH_engine.json
+
+# wire-smoke is CI's wire-protocol gate: the mixed-protocol soak (one
+# JSON and one binary client pipelining keyed ops against one sharded
+# router under the race detector, with per-object linearizability
+# checks), the codec round-trip and oversize/negotiation regressions,
+# the FuzzFrame seed-corpus replay against the JSON reference oracle,
+# and the benchjson serve guard over the checked-in load ledger with
+# the pipelined throughput floor.
+wire-smoke:
+	$(GO) test -race -count=1 -run 'TestMixedProtocolShardedLoad|TestBinaryClientRoundTrip|TestLegacyJSONRawFrames|TestBinaryVersionRejected|TestOversized' ./internal/serve/ -v
+	$(GO) test -count=1 -run 'FuzzFrame|TestWire' ./internal/serve/
+	$(GO) run ./cmd/benchjson -serve BENCH_serve.json -min-ops 870
+	@echo "wire-smoke: mixed-protocol soak, codec regressions, fuzz corpus, and throughput floor OK"
 
 # crash-smoke is CI's crash-tolerance gate: the rtnet crash regressions
 # and serve crash tests under the race detector, the FuzzQuorum seed

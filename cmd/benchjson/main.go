@@ -30,12 +30,18 @@
 // -obs-out`) into the ledger: counters and gauges as single-value
 // metrics, histograms as their summary fields.
 //
-//	benchjson -serve BENCH_serve.json
+//	benchjson -serve BENCH_serve.json -min-ops 870
 //
 // validates a load summary instead: every class report — aggregate and,
 // for sharded runs, every shard's own table — must have its p99 within
-// formula + jitter budget, and a sharded summary must carry one report
-// per declared shard. The CI gate over `lintime load -o BENCH_serve.json`.
+// formula + jitter budget, a sharded summary must carry one report per
+// declared shard, and (with -min-ops) the measured throughput must be at
+// least the given ops/sec floor. The CI gate over `lintime load -o
+// BENCH_serve.json`. Passing a comma-separated list of summaries
+// validates each and prints a side-by-side comparison table — the
+// intended way to diff codec or batch-window variants:
+//
+//	benchjson -serve BENCH_json.json,BENCH_binary.json
 package main
 
 import (
@@ -43,11 +49,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 
 	"lintime/internal/obs"
 	"lintime/internal/serve"
@@ -192,8 +200,9 @@ func guardStdin(led *Ledger, pct float64, exact map[string]bool) int {
 // guardServe validates a load summary (BENCH_serve.json): every class
 // report — the aggregate table and, in sharded runs, every shard's own
 // table — must be within its latency budget (p99 ≤ formula + jitter
-// budget). Returns the number of violations.
-func guardServe(led *serve.Summary) int {
+// budget), and with minOps > 0 the measured throughput must clear the
+// floor. Returns the number of violations.
+func guardServe(led *serve.Summary, minOps float64) int {
 	violations := 0
 	check := func(scope, class string, rep serve.ClassReport) {
 		if rep.WithinBudget {
@@ -218,7 +227,84 @@ func guardServe(led *serve.Summary) int {
 			led.Config.Shards, len(led.PerShard))
 		violations++
 	}
+	if minOps > 0 {
+		switch {
+		case led.OpsPerSec >= minOps:
+			fmt.Fprintf(os.Stderr, "benchjson: serve ok   throughput: %.2f ops/sec >= %.2f floor\n",
+				led.OpsPerSec, minOps)
+		case led.OpsPerSec == 0:
+			fmt.Fprintf(os.Stderr, "benchjson: serve FAIL throughput: summary carries no ops_per_sec (virtual-time run?) but a %.2f floor was set\n",
+				minOps)
+			violations++
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: serve FAIL throughput: %.2f ops/sec < %.2f floor\n",
+				led.OpsPerSec, minOps)
+			violations++
+		}
+	}
 	return violations
+}
+
+// serveDiff prints a side-by-side comparison of load summaries — one
+// column per summary — so codec or batch-window variants read as a
+// table instead of two JSON files. Columns are labeled by codec when the
+// summaries disagree on it, by file name otherwise.
+func serveDiff(w io.Writer, paths []string, sums []*serve.Summary) {
+	labels := make([]string, len(sums))
+	codecs := map[string]bool{}
+	for i, s := range sums {
+		labels[i] = s.Config.Codec
+		if labels[i] == "" {
+			labels[i] = "inproc"
+		}
+		codecs[labels[i]] = true
+	}
+	if len(codecs) != len(sums) {
+		copy(labels, paths)
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	row := func(name string, cell func(*serve.Summary) string) {
+		fmt.Fprint(tw, name)
+		for _, s := range sums {
+			fmt.Fprintf(tw, "\t%s", cell(s))
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "")
+	for _, label := range labels {
+		fmt.Fprintf(tw, "\t%s", label)
+	}
+	fmt.Fprintln(tw)
+	row("ops/sec", func(s *serve.Summary) string {
+		if s.OpsPerSec == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", s.OpsPerSec)
+	})
+	row("total ops", func(s *serve.Summary) string { return fmt.Sprint(s.TotalOps) })
+	row("batch window", func(s *serve.Summary) string { return fmt.Sprint(s.Config.BatchTicks) })
+	row("pipeline", func(s *serve.Summary) string {
+		if s.Config.Pipeline == 0 {
+			return "1"
+		}
+		return fmt.Sprint(s.Config.Pipeline)
+	})
+	classes := map[string]bool{}
+	for _, s := range sums {
+		for class := range s.PerClass {
+			classes[class] = true
+		}
+	}
+	for _, class := range sortedKeys(classes) {
+		row(class+" p99 (slo)", func(s *serve.Summary) string {
+			rep, ok := s.PerClass[class]
+			if !ok {
+				return "-"
+			}
+			return fmt.Sprintf("%d (%d)", rep.Latency.P99, rep.FormulaTicks+rep.BudgetTicks)
+		})
+	}
+	tw.Flush()
 }
 
 func sortedKeys[V any](m map[string]V) []string {
@@ -259,29 +345,42 @@ func main() {
 	pct := flag.Float64("pct", 5, "allowed ns/op regression percentage under -guard")
 	exactFlag := flag.String("exact", "allocs/op", "comma-separated metrics that must not increase at all under -guard")
 	snapshots := flag.String("snapshots", "", "fold the final snapshot of this obs JSONL file into the ledger instead of reading stdin")
-	serveFile := flag.String("serve", "", "validate this load summary (BENCH_serve.json): fail unless every class report, aggregate and per-shard, is within its latency budget")
+	serveFile := flag.String("serve", "", "validate these load summaries (comma-separated BENCH_serve.json files): fail unless every class report, aggregate and per-shard, is within its latency budget; multiple files also print a side-by-side diff")
+	minOps := flag.Float64("min-ops", 0, "ops_per_sec floor each -serve summary must clear (0 = no floor)")
 	flag.Parse()
 	if *set != "before" && *set != "after" {
 		fmt.Fprintf(os.Stderr, "benchjson: -set must be before or after, got %q\n", *set)
 		os.Exit(2)
 	}
 	if *serveFile != "" {
-		data, err := os.ReadFile(*serveFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		paths := strings.Split(*serveFile, ",")
+		sums := make([]*serve.Summary, 0, len(paths))
+		violations := 0
+		for i, path := range paths {
+			paths[i] = strings.TrimSpace(path)
+			data, err := os.ReadFile(paths[i])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			var sum serve.Summary
+			if err := json.Unmarshal(data, &sum); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s is not a load summary: %v\n", paths[i], err)
+				os.Exit(1)
+			}
+			if len(sum.PerClass) == 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: %s has no class reports\n", paths[i])
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: serve guard: %s\n", paths[i])
+			violations += guardServe(&sum, *minOps)
+			sums = append(sums, &sum)
 		}
-		var sum serve.Summary
-		if err := json.Unmarshal(data, &sum); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s is not a load summary: %v\n", *serveFile, err)
-			os.Exit(1)
+		if len(sums) > 1 {
+			serveDiff(os.Stderr, paths, sums)
 		}
-		if len(sum.PerClass) == 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %s has no class reports\n", *serveFile)
-			os.Exit(1)
-		}
-		if v := guardServe(&sum); v > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: serve guard: %d violation(s) in %s\n", v, *serveFile)
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: serve guard: %d violation(s) in %s\n", violations, *serveFile)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: serve guard passed for %s\n", *serveFile)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"lintime/internal/serve"
@@ -80,19 +81,19 @@ func serveSummary(shards int, breakShard int) *serve.Summary {
 }
 
 func TestGuardServe(t *testing.T) {
-	if v := guardServe(serveSummary(0, -1)); v != 0 {
+	if v := guardServe(serveSummary(0, -1), 0); v != 0 {
 		t.Errorf("healthy single-object summary: %d violations", v)
 	}
-	if v := guardServe(serveSummary(4, -1)); v != 0 {
+	if v := guardServe(serveSummary(4, -1), 0); v != 0 {
 		t.Errorf("healthy sharded summary: %d violations", v)
 	}
-	if v := guardServe(serveSummary(4, 2)); v != 1 {
+	if v := guardServe(serveSummary(4, 2), 0); v != 1 {
 		t.Errorf("one shard over budget: %d violations, want 1", v)
 	}
 	// Declared shard count must match the per-shard reports.
 	sum := serveSummary(3, -1)
 	sum.PerShard = sum.PerShard[:2]
-	if v := guardServe(sum); v != 1 {
+	if v := guardServe(sum, 0); v != 1 {
 		t.Errorf("missing shard report: %d violations, want 1", v)
 	}
 	// Aggregate violations count too.
@@ -100,7 +101,63 @@ func TestGuardServe(t *testing.T) {
 	bad := sum.PerClass["AOP"]
 	bad.WithinBudget = false
 	sum.PerClass["AOP"] = bad
-	if v := guardServe(sum); v != 1 {
+	if v := guardServe(sum, 0); v != 1 {
 		t.Errorf("aggregate violation: %d violations, want 1", v)
+	}
+}
+
+func TestGuardServeMinOps(t *testing.T) {
+	sum := serveSummary(0, -1)
+	sum.OpsPerSec = 900
+	if v := guardServe(sum, 870); v != 0 {
+		t.Errorf("throughput above floor: %d violations", v)
+	}
+	if v := guardServe(sum, 901); v != 1 {
+		t.Errorf("throughput below floor: %d violations, want 1", v)
+	}
+	// A virtual-time summary omits ops_per_sec; a floor must not silently
+	// pass against it.
+	sum.OpsPerSec = 0
+	if v := guardServe(sum, 870); v != 1 {
+		t.Errorf("missing ops_per_sec with floor: %d violations, want 1", v)
+	}
+	if v := guardServe(sum, 0); v != 0 {
+		t.Errorf("missing ops_per_sec without floor: %d violations", v)
+	}
+}
+
+func TestServeDiff(t *testing.T) {
+	a := serveSummary(0, -1)
+	a.Config.Codec = "json"
+	a.OpsPerSec = 400.5
+	a.TotalOps = 4000
+	b := serveSummary(0, -1)
+	b.Config.Codec = "binary"
+	b.Config.Pipeline = 8
+	b.Config.BatchTicks = 1
+	b.OpsPerSec = 1900.25
+	b.TotalOps = 19000
+
+	var sb strings.Builder
+	serveDiff(&sb, []string{"a.json", "b.json"}, []*serve.Summary{a, b})
+	out := sb.String()
+	for _, want := range []string{
+		"json", "binary", // codec column labels
+		"400.50", "1900.25",
+		"total ops", "4000", "19000",
+		"pipeline", "batch window",
+		"AOP p99 (slo)", "50 (68)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff missing %q:\n%s", want, out)
+		}
+	}
+
+	// Same codec on both sides → columns fall back to file names.
+	b.Config.Codec = "json"
+	sb.Reset()
+	serveDiff(&sb, []string{"a.json", "b.json"}, []*serve.Summary{a, b})
+	if !strings.Contains(sb.String(), "a.json") || !strings.Contains(sb.String(), "b.json") {
+		t.Fatalf("duplicate codecs did not fall back to file labels:\n%s", sb.String())
 	}
 }

@@ -131,6 +131,7 @@ func cmdServe(args []string) error {
 	seed := fs.Int64("seed", 1, "master seed (delay draws, offset assignment)")
 	queueDepth := fs.Int("queue-depth", 64, "per-replica request queue bound (backpressure)")
 	inboxDepth := fs.Int("inbox-depth", rtnet.DefaultInboxDepth, "per-process rtnet inbox bound (overflow is a typed cluster failure)")
+	batchWindow := fs.Int("batch-window", 0, "broadcast coalescing window in ticks (0 = one tick when u ≥ 2, -1 = off; must be ≤ u/2)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight operations")
 	shards := fs.Int("shards", 1, "shard count: >1 serves named objects hash-routed across independent clusters")
 	shardX := fs.String("shard-x", "", "per-shard X overrides, comma-separated ticks (requires -shards entries)")
@@ -160,6 +161,7 @@ func cmdServe(args []string) error {
 	baseCfg := serve.Config{
 		Params: p, Backend: *backend, TypeName: *typeName, Tick: *tick,
 		Offsets: *offsets, Seed: *seed, QueueDepth: *queueDepth, InboxDepth: *inboxDepth,
+		BatchWindow: *batchWindow,
 	}
 
 	// The M=1 case stays on the single-object server: same wire behavior,
@@ -382,6 +384,9 @@ func cmdLoad(args []string) error {
 	mixFlag := fs.String("mix", "", "op mix, e.g. enqueue=2,dequeue=1,peek=1 (default uniform)")
 	seed := fs.Int64("seed", 1, "master seed; per-client streams are derived")
 	addr := fs.String("addr", "", "drive a remote `lintime serve` at this address (model flags must match the server)")
+	codec := fs.String("codec", serve.CodecJSON, "wire codec for -addr runs: json (legacy) or binary (negotiated fast path)")
+	pipeline := fs.Int("pipeline", 1, "operations each client keeps in flight (k > 1 fills the replicas' slots; multiset of issued ops stays deterministic)")
+	batchWindow := fs.Int("batch-window", 0, "in-process cluster broadcast coalescing window in ticks (0 = one tick when u ≥ 2, -1 = off; must be ≤ u/2)")
 	tick := fs.Duration("tick", time.Millisecond, "tick duration of the driven cluster")
 	offsets := fs.String("offsets", harness.OffZero, "clock offsets for the in-process cluster")
 	simMode := fs.Bool("sim", false, "run the workload on the virtual-time engine instead (deterministic, tick-exact; clients = n, requires -ops)")
@@ -442,6 +447,15 @@ func cmdLoad(args []string) error {
 	}
 	if *keyCount > 0 && *simMode {
 		return fmt.Errorf("load: -sim has no keyed mode (shard the virtual-time engine with separate runs)")
+	}
+	if *pipeline < 1 {
+		return fmt.Errorf("load: -pipeline must be ≥ 1, got %d", *pipeline)
+	}
+	if *simMode && *pipeline > 1 {
+		return fmt.Errorf("load: -sim has no pipelined mode (the virtual-time engine keeps one op pending per process)")
+	}
+	if *addr == "" && *codec != serve.CodecJSON && *codec != "" {
+		return fmt.Errorf("load: -codec applies to -addr runs (in-process runs skip the wire entirely)")
 	}
 	keys := loadKeys(*keyCount)
 	// Client-side shard attribution for the summary: the in-process path
@@ -508,7 +522,7 @@ func cmdLoad(args []string) error {
 			sum = serve.Summarize(p, 0, harness.ClassesFor(dt), res.Trace.Ops, echo)
 		}
 	case *addr != "":
-		c, err := serve.Dial(*addr)
+		c, err := serve.DialCodec(*addr, *codec)
 		if err != nil {
 			return err
 		}
@@ -524,15 +538,18 @@ func cmdLoad(args []string) error {
 		sum, err = serve.RunLoad(c, dt, p, *tick, serve.LoadConfig{
 			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
 			Stop: stopCh, Keys: keys, Zipf: *zipf, ShardParams: shardParams, Formula: formula,
+			Pipeline: *pipeline,
 		})
 		if err != nil {
 			return err
 		}
 		sum.Config.Mode = "tcp"
+		sum.Config.Codec = c.Codec()
 	case *shards > 1:
 		ss, err := serve.NewShardSet(serve.ShardSetConfig{
 			Config: serve.Config{
 				Params: p, TypeName: *typeName, Tick: *tick, Offsets: *offsets, Seed: *seed,
+				BatchWindow: *batchWindow,
 			},
 			Shards: *shards, ShardX: sx,
 		})
@@ -552,6 +569,7 @@ func cmdLoad(args []string) error {
 		sum, err = serve.RunLoad(ss, dt, p, *tick, serve.LoadConfig{
 			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
 			Stop: stopCh, Keys: keys, Zipf: *zipf, ShardParams: ss.ShardParams(),
+			Pipeline: *pipeline,
 		})
 		if drainErr := ss.Drain(*drainTimeout); drainErr != nil && err == nil {
 			err = drainErr
@@ -560,6 +578,7 @@ func cmdLoad(args []string) error {
 			return err
 		}
 		sum.Config.Mode = "inproc"
+		sum.Config.BatchTicks = ss.Config().ResolvedBatchWindow()
 		if *checkObjects {
 			rep := ss.CheckPerObject(0)
 			fmt.Fprintf(os.Stderr, "lintime load: per-object check: %d objects, %d ops, %d routing violations, %d non-linearizable\n",
@@ -572,6 +591,7 @@ func cmdLoad(args []string) error {
 	default:
 		s, err := serve.New(serve.Config{
 			Params: p, Backend: *backend, TypeName: *typeName, Tick: *tick, Offsets: *offsets, Seed: *seed,
+			BatchWindow: *batchWindow,
 		})
 		if err != nil {
 			return err
@@ -601,6 +621,7 @@ func cmdLoad(args []string) error {
 		sum, err = serve.RunLoad(s, dt, p, *tick, serve.LoadConfig{
 			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
 			Stop: stopCh, Keys: keys, Zipf: *zipf, Formula: formula,
+			Pipeline: *pipeline,
 		})
 		for _, t := range timers {
 			t.Stop()
@@ -612,6 +633,7 @@ func cmdLoad(args []string) error {
 			return err
 		}
 		sum.Config.Mode = "inproc"
+		sum.Config.BatchTicks = s.Config().ResolvedBatchWindow()
 	}
 
 	b, err := json.MarshalIndent(sum, "", "  ")

@@ -1,0 +1,187 @@
+package rtnet
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lintime/internal/adt"
+	"lintime/internal/classify"
+	"lintime/internal/core"
+	"lintime/internal/lincheck"
+	"lintime/internal/obs"
+	"lintime/internal/sim"
+	"lintime/internal/simtime"
+	"lintime/internal/spec"
+)
+
+// TestBatchWindowValidation pins the admissibility precondition: a batch
+// window above u/2 cannot keep coalesced deliveries inside [d-u, d] (the
+// flush draw range [d-u, d-u/2-w] would be empty), so NewCluster must
+// refuse it rather than silently violate the model.
+func TestBatchWindowValidation(t *testing.T) {
+	p := rtParams(2) // u = 20
+	nodes := []sim.Node{blockNode{}, blockNode{}}
+	cases := []struct {
+		window simtime.Duration
+		ok     bool
+	}{
+		{window: 0, ok: true},
+		{window: 1, ok: true},
+		{window: 10, ok: true}, // exactly u/2
+		{window: 11, ok: false},
+		{window: -1, ok: false},
+	}
+	for _, tc := range cases {
+		c, err := NewCluster(Params{Params: p, BatchWindow: tc.window}, tick, sim.ZeroOffsets(2), nodes, 7)
+		if tc.ok && err != nil {
+			t.Errorf("window %d: unexpected error %v", tc.window, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("window %d: accepted, want error", tc.window)
+		}
+		if !tc.ok && err != nil && tc.window > 0 && !strings.Contains(err.Error(), "batch window") {
+			t.Errorf("window %d: error %q does not mention the batch window", tc.window, err)
+		}
+		_ = c
+	}
+}
+
+// fanNode broadcasts a fixed burst of messages on every invocation and
+// responds immediately; receivers record each delivery's virtual time.
+type fanNode struct {
+	burst int
+
+	mu       sync.Mutex
+	arrivals []simtime.Time
+}
+
+func (f *fanNode) Init(sim.Context) {}
+func (f *fanNode) OnInvoke(ctx sim.Context, inv sim.Invocation) {
+	for i := 0; i < f.burst; i++ {
+		ctx.Broadcast(i)
+	}
+	ctx.Respond(inv.SeqID, nil)
+}
+func (f *fanNode) OnMessage(ctx sim.Context, _ sim.ProcID, _ any) {
+	f.mu.Lock()
+	f.arrivals = append(f.arrivals, ctx.Now())
+	f.mu.Unlock()
+}
+func (f *fanNode) OnTimer(sim.Context, any) {}
+
+// TestBatchCoalescesBurst drives a burst of broadcasts through a batched
+// cluster and checks the three observable contracts at once: every
+// message is still delivered exactly once, the burst shares delivery
+// events (batch sizes > 1 land in the serve_batch_size histogram), and
+// each message's measured delay stays inside the admissible [d-u, d]
+// envelope despite the added window wait.
+func TestBatchCoalescesBurst(t *testing.T) {
+	p := rtParams(2)
+	const burst = 8
+	sender := &fanNode{burst: burst}
+	receiver := &fanNode{burst: burst}
+	c, err := NewCluster(Params{Params: p, BatchWindow: p.U / 2}, tick,
+		sim.ZeroOffsets(2), []sim.Node{sender, receiver}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg, c.Params())
+	c.SetMetrics(m)
+	c.Start()
+	defer c.Stop()
+
+	mustCall(t, c, 0, "fan", nil)
+	// The burst is in one open batch; it must be delivered once the
+	// window (u/2) plus the largest admissible flush delay (d-u) passes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		receiver.mu.Lock()
+		got := len(receiver.arrivals)
+		receiver.mu.Unlock()
+		if got == burst {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("receiver got %d of %d messages", got, burst)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if got := m.Delivered.Value(); got != burst {
+		t.Errorf("delivered = %d, want %d", got, burst)
+	}
+	if got := m.BatchSize.Count(); got >= burst {
+		t.Errorf("flushed %d batches for %d messages, want coalescing (< %d)", got, burst, burst)
+	}
+	if got := m.BatchSize.Max(); got < 2 {
+		t.Errorf("max batch size = %d, want >= 2", got)
+	}
+	if got := m.BatchSize.Sum(); got != burst {
+		t.Errorf("batched message total = %d, want %d", got, burst)
+	}
+	// Per-message delays are measured from each message's own send time:
+	// the batch wait must not push any delivery outside the envelope.
+	// Scheduling jitter only adds latency, so allow slack above d but
+	// none below d-u.
+	lo, hi := int64(p.MinDelay()), int64(p.D)
+	if got := int64(m.MsgLatency.Min()); got < lo {
+		t.Errorf("min message delay %d ticks below admissible floor %d", got, lo)
+	}
+	// 8 ticks of slack mirrors serve.JitterBudget's floor at this tick.
+	if got := int64(m.MsgLatency.Max()); got > hi+8 {
+		t.Errorf("max message delay %d ticks above admissible ceiling %d (+jitter)", got, hi)
+	}
+}
+
+// TestBatchedQueueStillLinearizable runs the real Algorithm 1 queue on a
+// batched substrate and holds it to the exact same contracts as the
+// unbatched cluster: results linearize and per-class latencies stay at
+// their formula values (coalescing moves messages, not the local timers
+// that drive responses).
+func TestBatchedQueueStillLinearizable(t *testing.T) {
+	const n = 3
+	p := rtParams(n)
+	dt, _ := adt.Lookup("queue")
+	classes := classify.Classify(dt, classify.DefaultConfig()).Classes()
+	nodes := make([]sim.Node, n)
+	for i := range nodes {
+		nodes[i] = core.NewReplica(dt, classes, core.DefaultTimers(p))
+	}
+	c, err := NewCluster(Params{Params: p, BatchWindow: 1}, tick,
+		sim.SpreadOffsets(n, p.Epsilon), nodes, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetClasses(classes)
+	c.Start()
+	defer c.Stop()
+
+	var recorded []lincheck.Op
+	record := func(r Response) {
+		recorded = append(recorded, lincheck.Op{
+			ID: int(r.Seq), Name: r.Op, Arg: r.Arg, Ret: r.Ret,
+			Invoke: r.Invoke, Respond: r.Respond,
+		})
+	}
+	record(mustCall(t, c, 0, adt.OpEnqueue, 1))
+	record(mustCall(t, c, 1, adt.OpEnqueue, 2))
+	if r := mustCall(t, c, 2, adt.OpDequeue, nil); !spec.ValuesEqual(r.Ret, 1) {
+		t.Errorf("dequeue returned %v, want 1", r.Ret)
+	} else {
+		record(r)
+	}
+	if r := mustCall(t, c, 0, adt.OpPeek, nil); !spec.ValuesEqual(r.Ret, 2) {
+		t.Errorf("peek returned %v, want 2", r.Ret)
+	} else {
+		record(r)
+	}
+	if err := c.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !lincheck.Check(dt, recorded).Linearizable {
+		t.Errorf("batched history not linearizable: %+v", recorded)
+	}
+}

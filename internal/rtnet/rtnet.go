@@ -44,6 +44,27 @@ type Params struct {
 	// posting side runs on timer goroutines whose blocking would distort
 	// every in-flight delay measurement.
 	InboxDepth int
+
+	// BatchWindow coalesces all messages a process sends to one
+	// destination within this many virtual ticks into a single delivery
+	// event (one wall-clock timer and one inbox post per batch instead of
+	// per message). Zero disables coalescing.
+	//
+	// Coalescing stays inside the admissible delay envelope: a batch
+	// opened at t flushes at t+w and draws its flush delay δ from
+	// [d-u, d-u/2-w], so a message that joined the batch a ticks after it
+	// opened is delivered with total delay (w-a)+δ ∈ [d-u, d-u/2] — the
+	// same lower half of [d-u, d] the unbatched path samples (real
+	// scheduling jitter only adds latency). That containment needs
+	// w ≤ u/2, which NewCluster enforces. Per-operation invoke/respond
+	// timestamps are unaffected: Algorithm 1 responses are driven by
+	// local timers, not message arrival counts, so the per-class latency
+	// formulas apply unchanged (EXPERIMENTS.md measures the trade).
+	//
+	// Coalescing is ignored when UseNetwork installs a deterministic
+	// delay schedule: replayed networks assign per-message delays by
+	// global send order and must see every message as its own delivery.
+	BatchWindow simtime.Duration
 }
 
 // ErrStopped is returned by Invoke/Call after the cluster has stopped
@@ -88,7 +109,7 @@ func (r Response) Latency() simtime.Duration { return r.Respond.Sub(r.Invoke) }
 // each one after handling, so steady-state traffic allocates no inbox
 // items.
 type event struct {
-	kind    int // 0 invoke, 1 message, 2 timer, 3 inspect
+	kind    int // 0 invoke, 1 message, 2 timer, 3 inspect, 4 batch
 	inv     sim.Invocation
 	from    sim.ProcID
 	payload any
@@ -98,6 +119,14 @@ type event struct {
 	done    chan struct{}
 	span    int64        // owning operation's span, stamped at send/registration
 	sent    simtime.Time // message send time (kind 1), for latency accounting
+
+	// kind 4 carries a whole coalesced batch from one sender; the loop
+	// delivers the payloads in order, each with its own span/sent
+	// accounting, exactly as if they had arrived as consecutive kind-1
+	// events.
+	batch      []any
+	batchSpans []int64
+	batchSents []simtime.Time
 }
 
 var eventPool = sync.Pool{New: func() any { return new(event) }}
@@ -127,6 +156,13 @@ type Cluster struct {
 	metrics *Metrics
 	tracer  obs.Tracer
 	tracing bool
+
+	// batchers[from][to] coalesces from→to messages when batchWindow > 0;
+	// nil slots on the diagonal (no self-sends). Each batcher carries its
+	// own mutex and delay-draw rng: flushes run on timer goroutines, so
+	// they cannot share the goroutine-confined sendRngs.
+	batchWindow simtime.Duration
+	batchers    [][]*batcher
 
 	// sendRngs holds one delay-draw stream per process, seeded from the
 	// cluster seed and the process id via harness.DeriveSeed. A process
@@ -176,6 +212,7 @@ type Metrics struct {
 	InboxMax   *obs.Max     // high-water mark of any inbox depth, observed at post time
 	Crashes    *obs.Counter // processes crashed with Crash
 	CrashDrops *obs.Counter // deliveries discarded because the receiver had crashed
+	BatchSize  *obs.Hist    // messages per coalesced broadcast batch (Params.BatchWindow > 0)
 }
 
 // NewMetrics builds the substrate's instrument set on a registry. The
@@ -203,6 +240,10 @@ func NewMetrics(reg *obs.Registry, p simtime.Params, labels ...string) *Metrics 
 		InboxMax:   reg.Max(name("rtnet_inbox_depth_max")),
 		Crashes:    reg.Counter(name("crashes_injected")),
 		CrashDrops: reg.Counter(name("rtnet_post_crash_drops_total")),
+		// Named for the serving layer, which surfaces it on /metrics and
+		// in `lintime stat`: the batch size distribution is the
+		// observable half of the batch-window vs |MOP| trade.
+		BatchSize: reg.Hist(name("serve_batch_size"), 256),
 	}
 }
 
@@ -247,9 +288,17 @@ func NewCluster(p Params, tick time.Duration, offsets []simtime.Duration, nodes 
 	if depth < 0 {
 		return nil, fmt.Errorf("rtnet: inbox depth must be positive, got %d", depth)
 	}
+	if p.BatchWindow < 0 {
+		return nil, fmt.Errorf("rtnet: batch window must be non-negative, got %d", p.BatchWindow)
+	}
+	if p.BatchWindow > p.U/2 {
+		return nil, fmt.Errorf("rtnet: batch window %d exceeds u/2 = %d; coalesced deliveries would leave the admissible [d-u, d] envelope",
+			p.BatchWindow, p.U/2)
+	}
 	c := &Cluster{
 		params:       p.Params,
 		inboxDepth:   depth,
+		batchWindow:  p.BatchWindow,
 		overflowProc: -1,
 		tick:         tick,
 		offsets:      append([]simtime.Duration(nil), offsets...),
@@ -268,7 +317,78 @@ func NewCluster(p Params, tick time.Duration, offsets []simtime.Duration, nodes 
 			harness.DeriveSeed(seed, fmt.Sprintf("rtnet/send/p%d", i))))
 		c.crashCh[i] = make(chan struct{})
 	}
+	if c.batchWindow > 0 {
+		c.batchers = make([][]*batcher, p.N)
+		for from := 0; from < p.N; from++ {
+			c.batchers[from] = make([]*batcher, p.N)
+			for to := 0; to < p.N; to++ {
+				if to == from {
+					continue
+				}
+				c.batchers[from][to] = &batcher{rng: rand.New(rand.NewSource(
+					harness.DeriveSeed(seed, fmt.Sprintf("rtnet/batch/p%d/p%d", from, to))))}
+			}
+		}
+	}
 	return c, nil
+}
+
+// batcher accumulates the messages one process sends to one destination
+// during an open tick window. The first message arms the flush timer; the
+// flush hands the whole accumulated slice to a single delivery timer.
+type batcher struct {
+	mu       sync.Mutex
+	rng      *rand.Rand // flush-delay draws; owned by this batcher, used under mu
+	open     bool
+	payloads []any
+	spans    []int64
+	sents    []simtime.Time
+}
+
+// batchAdd queues a message on the from→to batcher, arming the window
+// flush if this message opened the batch.
+func (c *Cluster) batchAdd(from, to sim.ProcID, payload any, span int64, sent simtime.Time) {
+	b := c.batchers[from][to]
+	b.mu.Lock()
+	b.payloads = append(b.payloads, payload)
+	b.spans = append(b.spans, span)
+	b.sents = append(b.sents, sent)
+	if !b.open {
+		b.open = true
+		time.AfterFunc(time.Duration(c.batchWindow)*c.tick, func() {
+			c.flushBatch(from, to, b)
+		})
+	}
+	b.mu.Unlock()
+}
+
+// flushBatch closes the window, draws one admissible delay for the whole
+// batch from [d-u, d-u/2-w] (see Params.BatchWindow for why that keeps
+// every member inside [d-u, d-u/2]), and schedules the single delivery.
+func (c *Cluster) flushBatch(from, to sim.ProcID, b *batcher) {
+	b.mu.Lock()
+	payloads, spans, sents := b.payloads, b.spans, b.sents
+	b.payloads, b.spans, b.sents = nil, nil, nil
+	b.open = false
+	lo := c.params.MinDelay()
+	hi := lo + c.params.U/2 - c.batchWindow
+	delay := lo
+	if hi > lo {
+		delay = lo + simtime.Duration(b.rng.Int63n(int64(hi-lo)+1))
+	}
+	b.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.BatchSize.Add(int64(len(payloads)))
+	}
+	time.AfterFunc(time.Duration(delay)*c.tick, func() {
+		ev := getEvent()
+		ev.kind = 4
+		ev.from = from
+		ev.batch = payloads
+		ev.batchSpans = spans
+		ev.batchSents = sents
+		c.post(to, ev)
+	})
 }
 
 // SetClasses installs the operation classification used to tag responses
@@ -338,6 +458,16 @@ func (c *Cluster) loop(proc sim.ProcID) {
 						c.tracer.Event(ev.span, obs.StageDropped, int32(proc), int64(c.now()))
 					}
 				}
+				if ev.kind == 4 {
+					if c.metrics != nil {
+						c.metrics.CrashDrops.Add(int64(len(ev.batch)))
+					}
+					if c.tracing {
+						for _, span := range ev.batchSpans {
+							c.tracer.Event(span, obs.StageDropped, int32(proc), int64(c.now()))
+						}
+					}
+				}
 				putEvent(ev)
 				continue
 			}
@@ -373,6 +503,18 @@ func (c *Cluster) loop(proc sim.ProcID) {
 			case 3:
 				ev.inspect()
 				close(ev.done)
+			case 4:
+				now := c.now()
+				for i, payload := range ev.batch {
+					if c.metrics != nil {
+						c.metrics.Delivered.Inc()
+						c.metrics.MsgLatency.Add(int64(now.Sub(ev.batchSents[i])))
+					}
+					if c.tracing {
+						c.tracer.Event(ev.batchSpans[i], obs.StageDeliver, int32(proc), int64(now))
+					}
+					c.nodes[proc].OnMessage(ctx, ev.from, payload)
+				}
 			}
 			putEvent(ev)
 		}
@@ -713,6 +855,21 @@ func (x *rtCtx) Send(to sim.ProcID, payload any) {
 	// Draw a delay from the *lower half* of [d-u, d]: real scheduling
 	// jitter only adds latency, so sampling low keeps actual deliveries
 	// within the admissible window.
+	// With coalescing on (and no deterministic replay network installed),
+	// the message joins the open from→to batch instead of getting its own
+	// delay draw and timer; the batcher's flush draw keeps it inside the
+	// same admissible envelope.
+	if x.c.batchWindow > 0 && x.c.delays == nil {
+		from := x.proc
+		sent := x.c.now()
+		span := int64(-1)
+		if x.c.tracing {
+			span = x.c.tracer.CurrentSpan(int32(from))
+			x.c.tracer.Event(span, obs.StageBroadcast, int32(from), int64(sent))
+		}
+		x.c.batchAdd(from, to, payload, span, sent)
+		return
+	}
 	lo := x.c.params.MinDelay()
 	hi := lo + x.c.params.U/2
 	var delay simtime.Duration

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"testing"
+	"unicode/utf8"
+
+	"lintime/internal/adt"
+	"lintime/internal/histio"
+	"lintime/internal/spec"
+)
+
+// fuzzOpNames is the negotiated op table the fuzzer parses requests
+// against (a realistic queue-shaped table).
+var fuzzOpNames = []string{"enqueue", "dequeue", "peek", "size"}
+
+// jsonFaithful reports whether the JSON reference encoding represents
+// the value exactly. Two binary-codec capabilities exceed JSON's: JSON
+// numbers travel through float64 (integers beyond 2^53 round), and JSON
+// strings must be UTF-8 (invalid bytes become U+FFFD). Outside that
+// faithful domain the codecs legitimately differ and the cross-check is
+// skipped; the binary self round-trip still must hold.
+func jsonFaithful(v spec.Value) bool {
+	const exact = 1 << 53
+	okInt := func(n int) bool { return n > -exact && n < exact }
+	switch x := v.(type) {
+	case int:
+		return okInt(x)
+	case string:
+		return utf8.ValidString(x)
+	case adt.Edge:
+		return okInt(x.P) && okInt(x.C)
+	case adt.KV:
+		return okInt(x.V) && utf8.ValidString(x.K)
+	default:
+		return true
+	}
+}
+
+// FuzzFrame holds the binary frame codec to two oracles at once. First,
+// self-consistency: any frame body a parser accepts must re-encode and
+// re-parse to the same decoded form, and no input — accepted or not —
+// may panic a parser. Second, the JSON reference: every value the binary
+// codec decodes must be accepted by histio's JSON interchange encoding
+// and round-trip through it to the same value (modulo JSON's float64
+// integer window, which the binary codec exceeds by design).
+func FuzzFrame(f *testing.F) {
+	for _, v := range wireValues {
+		if b, err := appendWireValue(nil, v); err == nil {
+			f.Add(b)
+		}
+	}
+	if b, err := appendRequest(make([]byte, 4), 1, 0, "user:42", 7); err == nil {
+		f.Add(b[4:])
+	}
+	if b, err := appendResponse(make([]byte, 4), response{id: 1, ret: "x", invoke: 812, respond: 844}); err == nil {
+		f.Add(b[4:])
+	}
+	f.Add(appendHello(make([]byte, 4), fuzzOpNames)[4:])
+	f.Add(appendErrorFrame(make([]byte, 4), errProtoID, "oops")[4:])
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		// Parsers must never panic, whatever the bytes.
+		if req, err := parseRequest(body, fuzzOpNames); err == nil {
+			opcode := uint64(0)
+			for i, name := range fuzzOpNames {
+				if name == req.op {
+					opcode = uint64(i)
+				}
+			}
+			b, err := appendRequest(make([]byte, 4), req.id, opcode, req.key, req.arg)
+			if err != nil {
+				t.Fatalf("re-encode accepted request %+v: %v", req, err)
+			}
+			req2, err := parseRequest(b[4:], fuzzOpNames)
+			if err != nil {
+				t.Fatalf("re-parse request %+v: %v", req, err)
+			}
+			if req2.id != req.id || req2.op != req.op || req2.key != req.key ||
+				!spec.ValuesEqual(req2.arg, req.arg) {
+				t.Fatalf("request round-trip drifted: %+v vs %+v", req, req2)
+			}
+			checkJSONReference(t, req.arg)
+		}
+		if resp, err := parseResponse(body); err == nil {
+			b, err := appendResponse(make([]byte, 4), resp)
+			if err != nil {
+				t.Fatalf("re-encode accepted response %+v: %v", resp, err)
+			}
+			resp2, err := parseResponse(b[4:])
+			if err != nil {
+				t.Fatalf("re-parse response %+v: %v", resp, err)
+			}
+			if resp2.id != resp.id || resp2.err != resp.err ||
+				resp2.invoke != resp.invoke || resp2.respond != resp.respond ||
+				!spec.ValuesEqual(resp2.ret, resp.ret) {
+				t.Fatalf("response round-trip drifted: %+v vs %+v", resp, resp2)
+			}
+			checkJSONReference(t, resp.ret)
+		}
+		if names, err := parseHello(body); err == nil {
+			b := appendHello(make([]byte, 4), names)
+			names2, err := parseHello(b[4:])
+			if err != nil || len(names2) != len(names) {
+				t.Fatalf("hello round-trip drifted: %v vs %v (%v)", names, names2, err)
+			}
+		}
+		// The raw value decoder, fed directly.
+		r := &wireReader{b: body}
+		if v := r.value(); r.err == nil {
+			b, err := appendWireValue(nil, v)
+			if err != nil {
+				t.Fatalf("re-encode accepted value %v (%T): %v", v, v, err)
+			}
+			r2 := &wireReader{b: b}
+			v2 := r2.value()
+			if r2.err != nil || len(r2.b) != 0 || !spec.ValuesEqual(v, v2) {
+				t.Fatalf("value round-trip drifted: %v vs %v (%v)", v, v2, r2.err)
+			}
+			checkJSONReference(t, v)
+		}
+	})
+}
+
+// checkJSONReference cross-checks one decoded value against the JSON
+// interchange encoding it mirrors.
+func checkJSONReference(t *testing.T, v spec.Value) {
+	t.Helper()
+	raw, err := histio.EncodeValue(v)
+	if err != nil {
+		t.Fatalf("binary codec decoded %v (%T), JSON reference rejects it: %v", v, v, err)
+	}
+	jv, err := histio.DecodeValue(raw)
+	if err != nil {
+		if jsonFaithful(v) {
+			t.Fatalf("JSON reference cannot decode its own %s (from %v): %v", raw, v, err)
+		}
+		return
+	}
+	if jsonFaithful(v) && !spec.ValuesEqual(v, jv) {
+		t.Fatalf("codecs disagree: binary %v (%T), JSON %v (%T)", v, v, jv, jv)
+	}
+}

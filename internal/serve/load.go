@@ -47,6 +47,13 @@ type LoadConfig struct {
 	// shortened-run path `lintime load` takes on SIGINT/SIGTERM.
 	Stop <-chan struct{}
 
+	// Pipeline is how many operations each client keeps in flight
+	// (default 1 — the classic closed loop). With k > 1 a client runs k
+	// workers sharing one op budget and one rng, so up to Clients×k
+	// operations are in flight at once while the issued operation multiset
+	// stays a deterministic function of (Seed, client index).
+	Pipeline int
+
 	// Keys, when non-empty, switches the run to keyed (multi-object)
 	// mode: each operation draws an object key and goes through the
 	// target's CallKey. The target must implement KeyedCaller.
@@ -121,6 +128,15 @@ type SummaryConfig struct {
 	Epsilon      int64  `json:"eps"`
 	X            int64  `json:"x"`
 	TickNS       int64  `json:"tick_ns,omitempty"`
+	// Pipeline echoes LoadConfig.Pipeline when above the default 1, so
+	// single-op-in-flight summaries (and their goldens) are unchanged.
+	Pipeline int `json:"pipeline,omitempty"`
+	// BatchTicks echoes the target's resolved broadcast coalescing window
+	// (Config.ResolvedBatchWindow); 0 — coalescing off — is omitted.
+	BatchTicks int `json:"batch_ticks,omitempty"`
+	// Codec names the wire codec of a TCP run ("json" or "binary");
+	// in-process and simulated runs omit it.
+	Codec string `json:"codec,omitempty"`
 	// Sharded-mode echo (absent in single-object runs).
 	Shards   int     `json:"shards,omitempty"`
 	KeyCount int     `json:"keys,omitempty"`
@@ -153,8 +169,8 @@ type ShardReport struct {
 
 // Summary is the JSON document a load run emits (BENCH_serve.json).
 type Summary struct {
-	Config   SummaryConfig               `json:"config"`
-	TotalOps int                         `json:"total_ops"`
+	Config   SummaryConfig `json:"config"`
+	TotalOps int           `json:"total_ops"`
 	// Unavailable counts call attempts that failed with ErrCrashed — a
 	// request routed to a replica in the instant before its crash was
 	// observed. The client retried on a live replica; this is the
@@ -234,68 +250,95 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 	// reports the window actually measured, not the one requested.
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
+	pipeline := cfg.Pipeline
+	if pipeline <= 0 {
+		pipeline = 1
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Clients; i++ {
 		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(
-				harness.DeriveSeed(cfg.Seed, fmt.Sprintf("load/client/%d", i))))
-			var zipf *rand.Zipf
-			if len(cfg.Keys) > 1 && cfg.Zipf > 1 {
-				zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(len(cfg.Keys)-1))
-			}
-			for n := 0; ; n++ {
-				if cfg.Stop != nil {
-					select {
-					case <-cfg.Stop:
-						return
-					default:
+		// The client's rng, budget, and log are shared by its pipeline
+		// workers under one lock. Draws are serialized: the j-th draw of a
+		// client's run is the j-th rng value no matter which worker takes
+		// it, so the issued operation multiset stays deterministic while k
+		// operations run concurrently.
+		rng := rand.New(rand.NewSource(
+			harness.DeriveSeed(cfg.Seed, fmt.Sprintf("load/client/%d", i))))
+		var zipf *rand.Zipf
+		if len(cfg.Keys) > 1 && cfg.Zipf > 1 {
+			zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(len(cfg.Keys)-1))
+		}
+		var cmu sync.Mutex
+		issued := 0
+		for w := 0; w < pipeline; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if cfg.Stop != nil {
+						select {
+						case <-cfg.Stop:
+							return
+						default:
+						}
 					}
-				}
-				if cfg.OpsPerClient > 0 {
-					if n >= cfg.OpsPerClient {
+					if cfg.OpsPerClient <= 0 && !time.Now().Before(deadline) {
 						return
 					}
-				} else if !time.Now().Before(deadline) {
-					return
-				}
-				op := picks[rng.Intn(len(picks))]
-				info, _ := spec.FindOp(dt, op)
-				arg := info.Args[rng.Intn(len(info.Args))]
-				var r rtnet.Response
-				var err error
-				if keyed != nil {
-					var ki int
-					if zipf != nil {
-						ki = int(zipf.Uint64())
+					cmu.Lock()
+					if errs[i] != nil || (cfg.OpsPerClient > 0 && issued >= cfg.OpsPerClient) {
+						cmu.Unlock()
+						return
+					}
+					n := issued
+					issued++
+					op := picks[rng.Intn(len(picks))]
+					info, _ := spec.FindOp(dt, op)
+					arg := info.Args[rng.Intn(len(info.Args))]
+					key := ""
+					if keyed != nil {
+						if zipf != nil {
+							key = cfg.Keys[int(zipf.Uint64())]
+						} else {
+							key = cfg.Keys[rng.Intn(len(cfg.Keys))]
+						}
+					}
+					cmu.Unlock()
+					var r rtnet.Response
+					var err error
+					if keyed != nil {
+						r, err = keyed.CallKey(key, op, arg)
 					} else {
-						ki = rng.Intn(len(cfg.Keys))
+						r, err = target.Call(op, arg)
 					}
-					r, err = keyed.CallKey(cfg.Keys[ki], op, arg)
-				} else {
-					r, err = target.Call(op, arg)
-				}
-				if err != nil {
-					// A call that raced a crash — submitted to a replica's
-					// queue just before the crash was observed — fails with
-					// ErrCrashed. That is the crash's availability cost, not a
-					// run failure: count it and retry on a live replica (the
-					// router skips dead replicas for all later calls).
-					if errors.Is(err, rtnet.ErrCrashed) {
-						unavail[i]++
-						continue
+					if err != nil {
+						// A call that raced a crash — submitted to a replica's
+						// queue just before the crash was observed — fails with
+						// ErrCrashed. That is the crash's availability cost, not a
+						// run failure: count it and retry on a live replica (the
+						// router skips dead replicas for all later calls).
+						if errors.Is(err, rtnet.ErrCrashed) {
+							cmu.Lock()
+							unavail[i]++
+							cmu.Unlock()
+							continue
+						}
+						cmu.Lock()
+						if errs[i] == nil {
+							errs[i] = fmt.Errorf("serve: client %d op %d (%s): %w", i, n, op, err)
+						}
+						cmu.Unlock()
+						return
 					}
-					errs[i] = fmt.Errorf("serve: client %d op %d (%s): %w", i, n, op, err)
-					return
+					cmu.Lock()
+					logs[i] = append(logs[i], sim.OpRecord{
+						Proc: r.Proc, SeqID: r.Seq, Op: r.Op, Arg: r.Arg, Ret: r.Ret,
+						InvokeTime: r.Invoke, RespondTime: r.Respond,
+					})
+					cmu.Unlock()
 				}
-				logs[i] = append(logs[i], sim.OpRecord{
-					Proc: r.Proc, SeqID: r.Seq, Op: r.Op, Arg: r.Arg, Ret: r.Ret,
-					InvokeTime: r.Invoke, RespondTime: r.Respond,
-				})
-			}
-		}()
+			}()
+		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -314,6 +357,9 @@ func RunLoad(target Caller, dt spec.DataType, p simtime.Params, tick time.Durati
 		N: p.N, D: int64(p.D), U: int64(p.U), Epsilon: int64(p.Epsilon), X: int64(p.X),
 		TickNS: tick.Nanoseconds(),
 		Shards: len(cfg.ShardParams), KeyCount: len(cfg.Keys), Zipf: cfg.Zipf,
+	}
+	if pipeline > 1 {
+		echo.Pipeline = pipeline
 	}
 	var sum *Summary
 	if len(cfg.ShardParams) > 0 {

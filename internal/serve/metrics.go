@@ -71,6 +71,11 @@ func (s *Server) wireMetrics() {
 	}
 	s.obsm = m
 
+	// Per-codec connection accounting: every TCP connection is negotiated
+	// onto exactly one codec at accept time.
+	s.fe.connsJSON = reg.Counter(name(`serve_connections_total{codec="json"}`))
+	s.fe.connsBinary = reg.Counter(name(`serve_connections_total{codec="binary"}`))
+
 	var rtLabels []string
 	if s.cfg.ShardLabel != "" {
 		rtLabels = []string{"shard", s.cfg.ShardLabel}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"lintime/internal/adt"
+)
+
+// TestMixedProtocolShardedLoad runs one JSON client and one binary
+// client, both pipelining keyed operations, against the same sharded
+// router concurrently — the deployment shape codec negotiation must keep
+// sound. After the drain, the per-object composition check (the same
+// verification `lintime load -check-objects` runs) must hold over the
+// interleaved history, and the router must have counted one connection
+// per codec. The soak variant of this shape runs under -race in CI's
+// wire-smoke job.
+func TestMixedProtocolShardedLoad(t *testing.T) {
+	cfg := ShardSetConfig{Config: testConfig(3), Shards: 2}
+	cfg.Seed = 11
+	ss, err := NewShardSet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ss.Serve(ln)
+	t.Cleanup(func() { ss.Drain(30 * time.Second) })
+
+	dt, err := adt.Lookup("queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	ops := 30
+	if testing.Short() {
+		ops = 10
+	}
+	load := func(codec string, seed int64) (*Summary, error) {
+		c, err := DialCodec(ln.Addr().String(), codec)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		return RunLoad(c, dt, cfg.Params, cfg.Tick, LoadConfig{
+			Clients: 2, OpsPerClient: ops, Pipeline: 4,
+			Keys: keys, Seed: seed,
+		})
+	}
+	type out struct {
+		codec string
+		sum   *Summary
+		err   error
+	}
+	results := make(chan out, 2)
+	go func() {
+		sum, err := load(CodecJSON, 101)
+		results <- out{CodecJSON, sum, err}
+	}()
+	go func() {
+		sum, err := load(CodecBinary, 202)
+		results <- out{CodecBinary, sum, err}
+	}()
+	total := 0
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("%s load: %v", r.codec, r.err)
+		}
+		if r.sum.TotalOps != 2*ops {
+			t.Errorf("%s load completed %d ops, want %d", r.codec, r.sum.TotalOps, 2*ops)
+		}
+		total += r.sum.TotalOps
+	}
+
+	if err := ss.Drain(30 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	rep := ss.CheckPerObject(0)
+	if !rep.OK() {
+		t.Errorf("per-object check failed: %+v", rep)
+	}
+	if rep.Ops != total {
+		t.Errorf("checker saw %d ops, clients completed %d", rep.Ops, total)
+	}
+	if got := ss.fe.connsJSON.Value(); got != 1 {
+		t.Errorf("json connections = %d, want 1", got)
+	}
+	if got := ss.fe.connsBinary.Value(); got != 1 {
+		t.Errorf("binary connections = %d, want 1", got)
+	}
+}

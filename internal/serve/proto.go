@@ -1,14 +1,24 @@
-// Length-prefixed JSON protocol over TCP.
+// TCP front end: codec negotiation plus the two wire protocols.
 //
-// Every frame is a 4-byte big-endian length followed by one JSON object.
-// Requests carry a client-chosen id echoed in the response, so a client
-// may pipeline any number of requests over one connection; the server
-// answers each as its operation completes, not necessarily in order.
+// Every connection speaks frames of a 4-byte big-endian body length
+// followed by one body, with bodies capped at maxFrame. Two codecs share
+// that framing:
 //
-//	request:  {"id": 7, "op": "enqueue", "arg": 3}
-//	keyed:    {"id": 9, "key": "user:42", "op": "enqueue", "arg": 3}
-//	response: {"id": 7, "class": "MOP", "invoke": 812, "respond": 844}
-//	error:    {"id": 8, "error": "serve: type queue has no operation \"pop\""}
+//   - Legacy JSON (the default): each body is one JSON object. Requests
+//     carry a client-chosen id echoed in the response, so a client may
+//     pipeline any number of requests over one connection; the server
+//     answers each as its operation completes, not necessarily in order.
+//
+//     request:  {"id": 7, "op": "enqueue", "arg": 3}
+//     keyed:    {"id": 9, "key": "user:42", "op": "enqueue", "arg": 3}
+//     response: {"id": 7, "class": "MOP", "invoke": 812, "respond": 844}
+//     error:    {"id": 8, "error": "serve: type queue has no operation \"pop\""}
+//
+//   - Binary (negotiated): a connection that opens with the wire magic
+//     gets the compact frame codec of wire.go — a negotiated op table,
+//     varint headers, and tagged values. The server tells the codecs
+//     apart from the first byte alone: maxFrame keeps a JSON length
+//     header's first byte at 0x00, the magic starts with 'L'.
 //
 // The key field names the served object on a sharded deployment (see
 // shard.go): the router hashes it onto a shard cluster. Single-object
@@ -17,15 +27,24 @@
 // responses echo the shard index that served them (omitted when zero —
 // and always, therefore, on single-object servers).
 //
+// A frame body that would exceed maxFrame — in either direction — is
+// answered with a typed protocol error rather than silently dropped: an
+// oversized response turns into an error response carrying the request's
+// id (the connection stays usable), while an oversized request poisons
+// the byte stream and is answered with a protocol-fatal error frame
+// (id −1) before the connection closes.
+//
 // Arguments and return values use the history interchange encoding of
 // internal/histio (integers, strings, booleans, null, {p,c} edges and
-// {k,v} pairs).
+// {k,v} pairs); the binary codec's value encoding mirrors it one-to-one.
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -34,12 +53,53 @@ import (
 
 	"lintime/internal/classify"
 	"lintime/internal/histio"
+	"lintime/internal/obs"
 	"lintime/internal/rtnet"
 	"lintime/internal/simtime"
+	"lintime/internal/spec"
 )
 
 // maxFrame bounds a frame body; larger announcements are protocol errors.
 const maxFrame = 1 << 20
+
+// Codec names, as negotiated on connect and reported in metrics
+// (serve_connections_total{codec="..."}).
+const (
+	CodecJSON   = "json"
+	CodecBinary = "binary"
+)
+
+// frameSizeError is the typed protocol violation for a frame body beyond
+// maxFrame, in either direction; its text is what the peer receives in
+// the error frame.
+type frameSizeError struct{ n int }
+
+func (e *frameSizeError) Error() string {
+	return fmt.Sprintf("serve: protocol: frame of %d bytes exceeds the %d-byte limit", e.n, maxFrame)
+}
+
+// request is one decoded protocol request, independent of the codec that
+// carried it.
+type request struct {
+	id  int64
+	key string // served object (sharded mode); empty on single-object servers
+	op  string
+	arg spec.Value
+}
+
+// response is one decoded protocol response. A non-empty err carries a
+// failure (the other result fields are unset); id is always echoed.
+type response struct {
+	id      int64
+	ret     spec.Value
+	class   classify.Class
+	shard   int
+	invoke  int64
+	respond int64
+	err     string
+}
+
+func errResponse(id int64, msg string) response { return response{id: id, err: msg} }
 
 type wireRequest struct {
 	ID  int64           `json:"id"`
@@ -58,11 +118,11 @@ type wireResponse struct {
 	Err     string          `json:"error,omitempty"`
 }
 
-// frameBuf is a pooled response-encoding buffer: the length header and
-// JSON body are assembled in one reused []byte, so the steady-state write
-// path performs a single conn.Write with no per-frame allocation. Only
-// the write path pools: decoded requests hold json.RawMessage views into
-// the read buffer, which must therefore stay owned by the request.
+// frameBuf is a pooled JSON-encoding buffer: the length header and JSON
+// body are assembled in one reused []byte, so the steady-state write path
+// performs a single conn.Write with no per-frame allocation. Only the
+// write path pools: decoded requests hold json.RawMessage views into the
+// read buffer, which must therefore stay owned by the request.
 type frameBuf struct {
 	buf bytes.Buffer
 	enc *json.Encoder
@@ -90,7 +150,7 @@ func writeFrame(w io.Writer, v any) error {
 		frame = frame[:len(frame)-1]
 	}
 	if len(body) > maxFrame {
-		return fmt.Errorf("serve: frame of %d bytes exceeds limit", len(body))
+		return &frameSizeError{n: len(body)}
 	}
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
 	_, err := w.Write(frame)
@@ -104,7 +164,7 @@ func readFrame(r io.Reader, v any) error {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return fmt.Errorf("serve: frame of %d bytes exceeds limit", n)
+		return &frameSizeError{n: int(n)}
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
@@ -115,9 +175,9 @@ func readFrame(r io.Reader, v any) error {
 
 // frontend is the shared TCP front half of a Server (single object) and
 // a ShardSet router (many objects): listener bookkeeping, per-connection
-// reader goroutines, per-request handler fan-out, and the graceful
-// teardown that flushes every accepted request's response before its
-// connection closes.
+// reader goroutines, codec negotiation, per-request handler fan-out, and
+// the graceful teardown that flushes every accepted request's response
+// before its connection closes.
 //
 // Teardown protocol: each connection handler owns a private request
 // WaitGroup, so every Add happens in the reader goroutine before the
@@ -126,8 +186,13 @@ func readFrame(r io.Reader, v any) error {
 // shuts reads down (CloseRead where the transport supports it), lets the
 // readers run dry, and waits on connWG; nothing in flight is dropped.
 type frontend struct {
-	dispatch func(wireRequest) wireResponse
+	dispatch func(request) response
 	draining func() bool
+	opNames  []string // negotiated op table; opcode = index
+
+	// Per-codec connection counters; nil until the owner wires metrics.
+	connsJSON   *obs.Counter
+	connsBinary *obs.Counter
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -135,9 +200,10 @@ type frontend struct {
 	connWG    sync.WaitGroup
 }
 
-func (f *frontend) init(dispatch func(wireRequest) wireResponse, draining func() bool) {
+func (f *frontend) init(dispatch func(request) response, draining func() bool, opNames []string) {
 	f.dispatch = dispatch
 	f.draining = draining
+	f.opNames = opNames
 	f.conns = map[net.Conn]struct{}{}
 }
 
@@ -165,23 +231,26 @@ func (f *frontend) serve(ln net.Listener) error {
 
 func (f *frontend) handleConn(conn net.Conn) {
 	defer f.connWG.Done()
+	// Codec negotiation by peeking the first four bytes: the wire magic
+	// opens a binary connection, anything else (including a JSON frame's
+	// length header, whose first byte maxFrame keeps at 0x00) stays on
+	// the legacy JSON codec.
+	br := bufio.NewReaderSize(conn, 16<<10)
+	peek, perr := br.Peek(len(wireMagic))
+	binaryConn := perr == nil && string(peek) == wireMagic
+	if binaryConn {
+		if f.connsBinary != nil {
+			f.connsBinary.Inc()
+		}
+	} else if f.connsJSON != nil {
+		f.connsJSON.Inc()
+	}
 	var reqs sync.WaitGroup
 	var wmu sync.Mutex // serializes response frames from concurrent requests
-	for {
-		var req wireRequest
-		if err := readFrame(conn, &req); err != nil {
-			break
-		}
-		reqs.Add(1)
-		go func(req wireRequest) {
-			defer reqs.Done()
-			resp := f.dispatch(req)
-			wmu.Lock()
-			defer wmu.Unlock()
-			// A write failure means the client went away; the operation
-			// itself already completed and is recorded server-side.
-			_ = writeFrame(conn, resp)
-		}(req)
+	if binaryConn {
+		f.serveBinaryConn(conn, br, &reqs, &wmu)
+	} else {
+		f.serveJSONConn(conn, br, &reqs, &wmu)
 	}
 	// Flush every accepted request's response before the connection dies:
 	// requests that raced a drain get ErrDraining responses and finish
@@ -191,6 +260,152 @@ func (f *frontend) handleConn(conn net.Conn) {
 	f.mu.Lock()
 	delete(f.conns, conn)
 	f.mu.Unlock()
+}
+
+// serveJSONConn is the legacy JSON read loop. An oversized request frame
+// is answered with a protocol-fatal error frame (id −1) before the
+// connection closes; other read errors just end the connection.
+func (f *frontend) serveJSONConn(conn net.Conn, br *bufio.Reader, reqs *sync.WaitGroup, wmu *sync.Mutex) {
+	for {
+		var wreq wireRequest
+		if err := readFrame(br, &wreq); err != nil {
+			var fse *frameSizeError
+			if errors.As(err, &fse) {
+				wmu.Lock()
+				_ = writeFrame(conn, wireResponse{ID: errProtoID, Err: fse.Error()})
+				wmu.Unlock()
+			}
+			return
+		}
+		reqs.Add(1)
+		go func(wreq wireRequest) {
+			defer reqs.Done()
+			var resp response
+			if arg, err := histio.DecodeValue(wreq.Arg); err != nil {
+				resp = errResponse(wreq.ID, err.Error())
+			} else {
+				resp = f.dispatch(request{id: wreq.ID, key: wreq.Key, op: wreq.Op, arg: arg})
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			// A write failure means the client went away; the operation
+			// itself already completed and is recorded server-side.
+			_ = writeJSONResponse(conn, resp)
+		}(wreq)
+	}
+}
+
+// writeJSONResponse encodes and writes one response frame. A response
+// body beyond maxFrame degrades to a typed error response carrying the
+// same id, so the client learns why its call failed instead of watching
+// the frame silently vanish.
+func writeJSONResponse(w io.Writer, resp response) error {
+	wr := wireResponse{ID: resp.id, Err: resp.err}
+	if resp.err == "" {
+		ret, err := histio.EncodeValue(resp.ret)
+		if err != nil {
+			wr = wireResponse{ID: resp.id, Err: err.Error()}
+		} else {
+			wr = wireResponse{ID: resp.id, Ret: ret, Class: resp.class.String(),
+				Shard: resp.shard, Invoke: resp.invoke, Respond: resp.respond}
+		}
+	}
+	err := writeFrame(w, wr)
+	var fse *frameSizeError
+	if errors.As(err, &fse) {
+		return writeFrame(w, wireResponse{ID: resp.id, Err: fse.Error()})
+	}
+	return err
+}
+
+// serveBinaryConn negotiates and runs the binary codec: consume the
+// client hello, answer with the op table, then dispatch request frames.
+// A malformed request body is answered per-request (length framing keeps
+// the stream in sync), but an oversized announcement is protocol-fatal:
+// error frame with id −1, then close.
+func (f *frontend) serveBinaryConn(conn net.Conn, br *bufio.Reader, reqs *sync.WaitGroup, wmu *sync.Mutex) {
+	var hello [len(wireMagic) + 1]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return
+	}
+	if v := hello[len(wireMagic)]; v != wireVersion {
+		wmu.Lock()
+		_ = writeBinaryError(conn, errProtoID,
+			fmt.Sprintf("serve: binary protocol version %d not supported (have %d)", v, wireVersion))
+		wmu.Unlock()
+		return
+	}
+	bp := frameOut()
+	*bp = appendHello(*bp, f.opNames)
+	wmu.Lock()
+	err := finishFrame(conn, *bp)
+	wmu.Unlock()
+	frameIn(bp)
+	if err != nil {
+		return
+	}
+	var hdr [4]byte
+	var body []byte // reused: parseRequest copies what outlives the frame
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxFrame {
+			wmu.Lock()
+			_ = writeBinaryError(conn, errProtoID, (&frameSizeError{n: int(n)}).Error())
+			wmu.Unlock()
+			return
+		}
+		if uint32(cap(body)) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		req, err := parseRequest(body, f.opNames)
+		if err != nil {
+			wmu.Lock()
+			werr := writeBinaryError(conn, req.id, err.Error())
+			wmu.Unlock()
+			if werr != nil {
+				return
+			}
+			continue
+		}
+		reqs.Add(1)
+		go func(req request) {
+			defer reqs.Done()
+			resp := f.dispatch(req)
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = writeBinaryResponse(conn, resp)
+		}(req)
+	}
+}
+
+// writeBinaryResponse encodes and writes one binary response frame from a
+// pooled buffer. Encoding failures and oversized bodies degrade to typed
+// error frames carrying the same id.
+func writeBinaryResponse(w io.Writer, resp response) error {
+	bp := frameOut()
+	defer frameIn(bp)
+	b, err := appendResponse(*bp, resp)
+	if err != nil {
+		b = appendErrorFrame((*bp)[:4], resp.id, err.Error())
+	} else if len(b)-4 > maxFrame {
+		b = appendErrorFrame((*bp)[:4], resp.id, (&frameSizeError{n: len(b) - 4}).Error())
+	}
+	*bp = b
+	return finishFrame(w, b)
+}
+
+func writeBinaryError(w io.Writer, id int64, msg string) error {
+	bp := frameOut()
+	defer frameIn(bp)
+	*bp = appendErrorFrame(*bp, id, msg)
+	return finishFrame(w, *bp)
 }
 
 func (f *frontend) closeListeners() {
@@ -229,73 +444,191 @@ func (s *Server) Serve(ln net.Listener) error {
 	return s.fe.serve(ln)
 }
 
-func (s *Server) handleRequest(req wireRequest) wireResponse {
-	if req.Key != "" {
-		return wireResponse{ID: req.ID,
-			Err: "serve: single-object server: request has an object key (connect to a shard router, or drop the key)"}
+func (s *Server) handleRequest(req request) response {
+	if req.key != "" {
+		return errResponse(req.id,
+			"serve: single-object server: request has an object key (connect to a shard router, or drop the key)")
 	}
-	arg, err := histio.DecodeValue(req.Arg)
+	r, err := s.Call(req.op, req.arg)
 	if err != nil {
-		return wireResponse{ID: req.ID, Err: err.Error()}
+		return errResponse(req.id, err.Error())
 	}
-	r, err := s.Call(req.Op, arg)
-	if err != nil {
-		return wireResponse{ID: req.ID, Err: err.Error()}
-	}
-	ret, err := histio.EncodeValue(r.Ret)
-	if err != nil {
-		return wireResponse{ID: req.ID, Err: err.Error()}
-	}
-	return wireResponse{ID: req.ID, Ret: ret, Class: r.Class.String(),
-		Invoke: int64(r.Invoke), Respond: int64(r.Respond)}
+	return response{id: req.id, ret: r.Ret, class: r.Class,
+		invoke: int64(r.Invoke), respond: int64(r.Respond)}
+}
+
+// clientResp pairs a decoded response with any local decode failure, so
+// call() can distinguish a server-reported error from a client-side one.
+type clientResp struct {
+	resp      response
+	decodeErr error
 }
 
 // Client is a TCP client for the serving protocol. Safe for concurrent
 // use: calls are pipelined over the single connection and matched to
-// responses by id.
+// responses by id, on either codec.
 type Client struct {
-	conn   net.Conn
-	wmu    sync.Mutex
-	nextID atomic.Int64
+	conn    net.Conn
+	br      *bufio.Reader
+	codec   string
+	opCodes map[string]uint64 // binary codec: negotiated op table
+	wmu     sync.Mutex
+	nextID  atomic.Int64
 
 	mu      sync.Mutex
-	pending map[int64]chan wireResponse
+	pending map[int64]chan clientResp
 	readErr error
 	closed  chan struct{}
 }
 
-// Dial connects to a serving-layer address.
-func Dial(addr string) (*Client, error) {
+// Dial connects to a serving-layer address on the legacy JSON codec.
+func Dial(addr string) (*Client, error) { return DialCodec(addr, CodecJSON) }
+
+// DialCodec connects on the chosen codec: CodecJSON (the default wire
+// format, also what an empty string selects) or CodecBinary (negotiates
+// the compact frame codec of wire.go on connect).
+func DialCodec(addr, codec string) (*Client, error) {
+	switch codec {
+	case "", CodecJSON:
+		codec = CodecJSON
+	case CodecBinary:
+	default:
+		return nil, fmt.Errorf("serve: unknown codec %q (have %s, %s)", codec, CodecJSON, CodecBinary)
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
 		conn:    conn,
-		pending: map[int64]chan wireResponse{},
+		br:      bufio.NewReader(conn),
+		codec:   codec,
+		pending: map[int64]chan clientResp{},
 		closed:  make(chan struct{}),
 	}
-	go c.readLoop()
+	if codec == CodecBinary {
+		if err := c.helloBinary(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		go c.readLoopBinary()
+	} else {
+		go c.readLoopJSON()
+	}
 	return c, nil
 }
 
-func (c *Client) readLoop() {
+// Codec reports the negotiated codec name.
+func (c *Client) Codec() string { return c.codec }
+
+// helloBinary sends the magic + version and consumes the server's hello
+// frame carrying the negotiated op table.
+func (c *Client) helloBinary() error {
+	if _, err := c.conn.Write(append([]byte(wireMagic), wireVersion)); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return fmt.Errorf("serve: binary hello: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return &frameSizeError{n: int(n)}
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return fmt.Errorf("serve: binary hello: %w", err)
+	}
+	if len(body) > 0 && body[0] == frameError {
+		// The server refused the handshake (e.g. a version mismatch).
+		resp, err := parseResponse(body)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("serve: remote: %s", resp.err)
+	}
+	names, err := parseHello(body)
+	if err != nil {
+		return err
+	}
+	c.opCodes = make(map[string]uint64, len(names))
+	for i, name := range names {
+		c.opCodes[name] = uint64(i)
+	}
+	return nil
+}
+
+// fail records the terminal read error and unblocks every pending call.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	c.readErr = err
+	c.mu.Unlock()
+	close(c.closed)
+}
+
+func (c *Client) deliver(id int64, cr clientResp) {
+	c.mu.Lock()
+	ch := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- cr
+	}
+}
+
+func (c *Client) readLoopJSON() {
 	for {
-		var resp wireResponse
-		if err := readFrame(c.conn, &resp); err != nil {
-			c.mu.Lock()
-			c.readErr = err
-			c.mu.Unlock()
-			close(c.closed)
+		var wr wireResponse
+		if err := readFrame(c.br, &wr); err != nil {
+			c.fail(err)
 			return
 		}
-		c.mu.Lock()
-		ch := c.pending[resp.ID]
-		delete(c.pending, resp.ID)
-		c.mu.Unlock()
-		if ch != nil {
-			ch <- resp
+		if wr.ID == errProtoID && wr.Err != "" {
+			// Protocol-fatal error frame: the server is closing the
+			// connection; surface its reason through every pending call.
+			c.fail(fmt.Errorf("serve: remote: %s", wr.Err))
+			return
 		}
+		cr := clientResp{resp: response{id: wr.ID, class: classFromString(wr.Class),
+			shard: wr.Shard, invoke: wr.Invoke, respond: wr.Respond, err: wr.Err}}
+		if wr.Err == "" {
+			cr.resp.ret, cr.decodeErr = histio.DecodeValue(wr.Ret)
+		}
+		c.deliver(wr.ID, cr)
+	}
+}
+
+func (c *Client) readLoopBinary() {
+	var body []byte // reused: parseResponse copies what outlives the frame
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+			c.fail(err)
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxFrame {
+			c.fail(&frameSizeError{n: int(n)})
+			return
+		}
+		if uint32(cap(body)) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(c.br, body); err != nil {
+			c.fail(err)
+			return
+		}
+		resp, err := parseResponse(body)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if resp.id == errProtoID && resp.err != "" {
+			c.fail(fmt.Errorf("serve: remote: %s", resp.err))
+			return
+		}
+		c.deliver(resp.id, clientResp{resp: resp})
 	}
 }
 
@@ -318,31 +651,35 @@ func (c *Client) CallKey(key, op string, arg any) (rtnet.Response, error) {
 }
 
 func (c *Client) call(key, op string, arg any) (rtnet.Response, error) {
-	raw, err := histio.EncodeValue(arg)
-	if err != nil {
-		return rtnet.Response{}, err
-	}
 	id := c.nextID.Add(1)
-	ch := make(chan wireResponse, 1)
+	ch := make(chan clientResp, 1)
 	c.mu.Lock()
 	c.pending[id] = ch
 	c.mu.Unlock()
-	c.wmu.Lock()
-	err = writeFrame(c.conn, wireRequest{ID: id, Key: key, Op: op, Arg: raw})
-	c.wmu.Unlock()
+	var err error
+	if c.codec == CodecBinary {
+		err = c.writeBinaryRequest(id, key, op, arg)
+	} else {
+		var raw json.RawMessage
+		if raw, err = histio.EncodeValue(arg); err == nil {
+			c.wmu.Lock()
+			err = writeFrame(c.conn, wireRequest{ID: id, Key: key, Op: op, Arg: raw})
+			c.wmu.Unlock()
+		}
+	}
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
 		return rtnet.Response{}, err
 	}
-	var resp wireResponse
+	var cr clientResp
 	select {
-	case resp = <-ch:
+	case cr = <-ch:
 	case <-c.closed:
 		// The reader may have dispatched our response just before dying.
 		select {
-		case resp = <-ch:
+		case cr = <-ch:
 		default:
 			c.mu.Lock()
 			readErr := c.readErr
@@ -351,12 +688,11 @@ func (c *Client) call(key, op string, arg any) (rtnet.Response, error) {
 			return rtnet.Response{}, fmt.Errorf("serve: connection lost: %w", readErr)
 		}
 	}
-	if resp.Err != "" {
-		return rtnet.Response{}, fmt.Errorf("serve: remote: %s", resp.Err)
+	if cr.decodeErr != nil {
+		return rtnet.Response{}, cr.decodeErr
 	}
-	ret, err := histio.DecodeValue(resp.Ret)
-	if err != nil {
-		return rtnet.Response{}, err
+	if cr.resp.err != "" {
+		return rtnet.Response{}, fmt.Errorf("serve: remote: %s", cr.resp.err)
 	}
 	recArg := any(arg)
 	if key != "" {
@@ -365,11 +701,34 @@ func (c *Client) call(key, op string, arg any) (rtnet.Response, error) {
 		}
 	}
 	return rtnet.Response{
-		Op: op, Arg: recArg, Ret: ret,
-		Class:   classFromString(resp.Class),
-		Invoke:  simtime.Time(resp.Invoke),
-		Respond: simtime.Time(resp.Respond),
+		Op: op, Arg: recArg, Ret: cr.resp.ret,
+		Class:   cr.resp.class,
+		Invoke:  simtime.Time(cr.resp.invoke),
+		Respond: simtime.Time(cr.resp.respond),
 	}, nil
+}
+
+// writeBinaryRequest encodes and writes one request frame from a pooled
+// buffer. Unknown operations fail locally: the negotiated table is the
+// server's own op list, so a miss cannot succeed remotely either.
+func (c *Client) writeBinaryRequest(id int64, key, op string, arg any) error {
+	opcode, ok := c.opCodes[op]
+	if !ok {
+		return fmt.Errorf("serve: remote type has no operation %q in the negotiated table", op)
+	}
+	bp := frameOut()
+	defer frameIn(bp)
+	b, err := appendRequest(*bp, id, opcode, key, arg)
+	if err != nil {
+		return err
+	}
+	*bp = b
+	if len(b)-4 > maxFrame {
+		return &frameSizeError{n: len(b) - 4}
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return finishFrame(c.conn, b)
 }
 
 // Close tears the connection down; in-flight Calls fail.

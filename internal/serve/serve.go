@@ -47,7 +47,7 @@ var ErrAllCrashed = errors.New("serve: all replicas crashed")
 
 // Config describes one served cluster.
 type Config struct {
-	Params   simtime.Params
+	Params simtime.Params
 	// Backend selects the replicated protocol: harness.AlgCore (or empty)
 	// serves Algorithm 1; harness.AlgQuorum serves the ABD crash-tolerant
 	// majority-quorum register (TypeName then defaults to register, the
@@ -65,6 +65,14 @@ type Config struct {
 	// rtnet.DefaultInboxDepth). An overflow is a cluster failure surfaced
 	// through Call/Drain errors, never a silent stall.
 	InboxDepth int
+	// BatchWindow is the broadcast coalescing window in ticks: messages a
+	// replica sends to the same peer within the window share one delivery
+	// event while keeping every per-message delay inside the admissible
+	// [d-u, d] envelope (see rtnet.Params.BatchWindow). 0 selects the
+	// default — one tick, when the model's uncertainty allows it (u >= 2)
+	// — and -1 disables coalescing. Explicit windows must satisfy
+	// w <= u/2 or New fails.
+	BatchWindow int
 	// DataType, when non-nil, overrides TypeName with an explicit data
 	// type instance. The shard-set uses it to serve a keyed family
 	// (adt.Keyed) that has no registry name.
@@ -170,7 +178,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: unsupported backend %q (have %s, %s)",
 			cfg.Backend, harness.AlgCore, harness.AlgQuorum)
 	}
-	cluster, err := rtnet.NewCluster(rtnet.Params{Params: cfg.Params, InboxDepth: cfg.InboxDepth},
+	cluster, err := rtnet.NewCluster(
+		rtnet.Params{Params: cfg.Params, InboxDepth: cfg.InboxDepth,
+			BatchWindow: simtime.Duration(cfg.ResolvedBatchWindow())},
 		cfg.Tick, offsets, nodes, harness.DeriveSeed(cfg.Seed, "serve/net"))
 	if err != nil {
 		return nil, err
@@ -190,9 +200,23 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.queues {
 		s.queues[i] = make(chan call, cfg.QueueDepth)
 	}
-	s.fe.init(s.handleRequest, s.isDraining)
+	s.fe.init(s.handleRequest, s.isDraining, spec.OpNames(basis))
 	s.wireMetrics()
 	return s, nil
+}
+
+// ResolvedBatchWindow reports the broadcast coalescing window (in ticks)
+// the configuration selects: the explicit window, the one-tick default
+// when BatchWindow is 0 and u >= 2, or 0 (coalescing off).
+func (cfg Config) ResolvedBatchWindow() int {
+	switch {
+	case cfg.BatchWindow > 0:
+		return cfg.BatchWindow
+	case cfg.BatchWindow == 0 && cfg.Params.U >= 2:
+		return 1
+	default:
+		return 0
+	}
 }
 
 func (s *Server) isDraining() bool {

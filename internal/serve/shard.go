@@ -130,7 +130,9 @@ func NewShardSet(cfg ShardSetConfig) (*ShardSet, error) {
 		ss.routed = append(ss.routed,
 			ss.reg.Counter(obs.WithLabel("router_requests_total", "shard", strconv.Itoa(i))))
 	}
-	ss.fe.init(ss.handleRequest, ss.isDraining)
+	ss.fe.init(ss.handleRequest, ss.isDraining, spec.OpNames(inner))
+	ss.fe.connsJSON = ss.reg.Counter(`serve_connections_total{codec="json"}`)
+	ss.fe.connsBinary = ss.reg.Counter(`serve_connections_total{codec="binary"}`)
 	return ss, nil
 }
 
@@ -237,27 +239,20 @@ func keyedArg(key string, arg any) (any, error) {
 	return adt.KeyArg(key, arg)
 }
 
-// handleRequest is the router's wire dispatcher.
-func (ss *ShardSet) handleRequest(req wireRequest) wireResponse {
-	if req.Key == "" {
-		return wireResponse{ID: req.ID,
-			Err: fmt.Sprintf("serve: shard router (%d shards): request needs an object key", len(ss.shards))}
+// handleRequest is the router's wire dispatcher (codec-independent: the
+// front end hands it decoded requests from either protocol).
+func (ss *ShardSet) handleRequest(req request) response {
+	if req.key == "" {
+		return errResponse(req.id,
+			fmt.Sprintf("serve: shard router (%d shards): request needs an object key", len(ss.shards)))
 	}
-	arg, err := histio.DecodeValue(req.Arg)
+	r, err := ss.CallKey(req.key, req.op, req.arg)
 	if err != nil {
-		return wireResponse{ID: req.ID, Err: err.Error()}
+		return errResponse(req.id, err.Error())
 	}
-	r, err := ss.CallKey(req.Key, req.Op, arg)
-	if err != nil {
-		return wireResponse{ID: req.ID, Err: err.Error()}
-	}
-	ret, err := histio.EncodeValue(r.Ret)
-	if err != nil {
-		return wireResponse{ID: req.ID, Err: err.Error()}
-	}
-	return wireResponse{ID: req.ID, Ret: ret, Class: r.Class.String(),
-		Shard:  ss.ShardFor(req.Key),
-		Invoke: int64(r.Invoke), Respond: int64(r.Respond)}
+	return response{id: req.id, ret: r.Ret, class: r.Class,
+		shard:  ss.ShardFor(req.key),
+		invoke: int64(r.Invoke), respond: int64(r.Respond)}
 }
 
 // Serve accepts router connections on ln until the listener closes.

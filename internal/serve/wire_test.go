@@ -1,0 +1,531 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lintime/internal/adt"
+	"lintime/internal/classify"
+	"lintime/internal/histio"
+	"lintime/internal/spec"
+)
+
+// wireValues spans the histio interchange space: every kind the JSON
+// reference encoding accepts, including the boundary shapes (empty
+// string, zero, negatives, multi-byte varints).
+var wireValues = []spec.Value{
+	nil,
+	0, 1, -1, 42, -4096, 1 << 40, -(1 << 40),
+	"", "hi", "key:with spaces\nand\tcontrol", strings.Repeat("x", 300),
+	true, false,
+	adt.Edge{P: 0, C: 0}, adt.Edge{P: 3, C: -7}, adt.Edge{P: 1 << 20, C: 2},
+	adt.KV{K: "", V: 0}, adt.KV{K: "user:42", V: -99},
+}
+
+// TestWireValueRoundTrip holds the binary value codec to the JSON
+// reference: every interchange value must round-trip binary → binary
+// exactly, and agree with what the JSON encoding round-trips to.
+func TestWireValueRoundTrip(t *testing.T) {
+	for _, v := range wireValues {
+		b, err := appendWireValue(nil, v)
+		if err != nil {
+			t.Errorf("encode %v (%T): %v", v, v, err)
+			continue
+		}
+		r := &wireReader{b: b}
+		got := r.value()
+		if r.err != nil {
+			t.Errorf("decode %v: %v", v, r.err)
+			continue
+		}
+		if len(r.b) != 0 {
+			t.Errorf("decode %v left %d trailing bytes", v, len(r.b))
+		}
+		if !spec.ValuesEqual(got, v) {
+			t.Errorf("binary round-trip %v (%T) = %v (%T)", v, v, got, got)
+		}
+		// JSON reference agreement.
+		raw, err := histio.EncodeValue(v)
+		if err != nil {
+			t.Errorf("JSON reference rejects %v (%T): %v", v, v, err)
+			continue
+		}
+		jv, err := histio.DecodeValue(raw)
+		if err != nil {
+			t.Errorf("JSON reference cannot decode its own %s: %v", raw, err)
+			continue
+		}
+		if !spec.ValuesEqual(got, jv) {
+			t.Errorf("codecs disagree on %v: binary %v, JSON %v", v, got, jv)
+		}
+	}
+}
+
+func TestWireValueRejectsUnsupported(t *testing.T) {
+	if _, err := appendWireValue(nil, struct{ X int }{1}); err == nil {
+		t.Error("struct value should be rejected")
+	}
+	r := &wireReader{b: []byte{0x7f}}
+	if r.value(); r.err == nil {
+		t.Error("unknown tag should error")
+	}
+}
+
+func TestWireRequestRoundTrip(t *testing.T) {
+	opNames := []string{"enqueue", "dequeue", "peek"}
+	for _, v := range wireValues {
+		b, err := appendRequest(make([]byte, 4), 77, 1, "user:9", v)
+		if err != nil {
+			t.Fatalf("appendRequest(%v): %v", v, err)
+		}
+		req, err := parseRequest(b[4:], opNames)
+		if err != nil {
+			t.Fatalf("parseRequest(%v): %v", v, err)
+		}
+		if req.id != 77 || req.op != "dequeue" || req.key != "user:9" || !spec.ValuesEqual(req.arg, v) {
+			t.Errorf("request round-trip = %+v, want id 77 dequeue user:9 %v", req, v)
+		}
+	}
+	// An opcode outside the table is rejected with the request's id intact
+	// (so the error response can be matched to the call).
+	b, _ := appendRequest(make([]byte, 4), 5, 9, "", nil)
+	req, err := parseRequest(b[4:], opNames)
+	if err == nil || !strings.Contains(err.Error(), "negotiated table") {
+		t.Errorf("out-of-table opcode: err = %v", err)
+	}
+	if req.id != 5 {
+		t.Errorf("out-of-table opcode: id = %d, want 5", req.id)
+	}
+}
+
+func TestWireResponseRoundTrip(t *testing.T) {
+	in := response{id: -3, ret: adt.KV{K: "k", V: 7}, class: classify.Mixed,
+		shard: 2, invoke: 812, respond: 844}
+	b, err := appendResponse(make([]byte, 4), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := parseResponse(b[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.id != in.id || out.class != in.class || out.shard != in.shard ||
+		out.invoke != in.invoke || out.respond != in.respond || !spec.ValuesEqual(out.ret, in.ret) {
+		t.Errorf("response round-trip = %+v, want %+v", out, in)
+	}
+
+	// Error responses ride the error frame and come back as err strings.
+	eb, err := appendResponse(make([]byte, 4), errResponse(9, "boom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eout, err := parseResponse(eb[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eout.id != 9 || eout.err != "boom" {
+		t.Errorf("error round-trip = %+v", eout)
+	}
+}
+
+func TestWireHelloRoundTrip(t *testing.T) {
+	names := []string{"enqueue", "dequeue", "peek", "size"}
+	b := appendHello(make([]byte, 4), names)
+	got, err := parseHello(b[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(names) {
+		t.Fatalf("hello round-trip = %v", got)
+	}
+	for i := range names {
+		if got[i] != names[i] {
+			t.Errorf("op %d = %q, want %q", i, got[i], names[i])
+		}
+	}
+	// A count announcing more ops than the body could hold is malformed.
+	bad := appendUvarint([]byte{frameHello, wireVersion}, 1<<40)
+	if _, err := parseHello(bad); err == nil {
+		t.Error("huge op count should be rejected")
+	}
+}
+
+// TestWireTruncatedInputs drives every parser over all prefixes of valid
+// bodies: none may panic, all must fail cleanly.
+func TestWireTruncatedInputs(t *testing.T) {
+	opNames := []string{"enqueue"}
+	reqB, _ := appendRequest(make([]byte, 4), 123456, 0, "some-key", adt.Edge{P: 9, C: -9})
+	respB, _ := appendResponse(make([]byte, 4), response{id: 1, ret: "payload", invoke: 5, respond: 9})
+	helloB := appendHello(make([]byte, 4), opNames)
+	for _, body := range [][]byte{reqB[4:], respB[4:], helloB[4:]} {
+		for cut := 0; cut < len(body); cut++ {
+			prefix := body[:cut]
+			parseRequest(prefix, opNames)
+			parseResponse(prefix)
+			parseHello(prefix)
+		}
+	}
+}
+
+// startTCP serves s on a loopback listener and returns the address.
+func startTCP(t *testing.T, s *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	return ln.Addr().String()
+}
+
+// TestBinaryClientRoundTrip runs the negotiated binary codec end to end:
+// hello/op-table handshake, pipelined calls, value fidelity, remote and
+// local error paths, and the per-codec connection counter.
+func TestBinaryClientRoundTrip(t *testing.T) {
+	s := startServer(t, 3)
+	addr := startTCP(t, s)
+	c, err := DialCodec(addr, CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Codec(); got != CodecBinary {
+		t.Errorf("Codec() = %q", got)
+	}
+	if r, err := c.Call(adt.OpEnqueue, 42); err != nil || r.Ret != nil {
+		t.Fatalf("binary enqueue = (%v, %v)", r.Ret, err)
+	} else {
+		if r.Class != classify.PureMutator {
+			t.Errorf("binary class = %v, want MOP", r.Class)
+		}
+		if r.Latency() <= 0 {
+			t.Errorf("binary latency = %v, want > 0", r.Latency())
+		}
+	}
+	time.Sleep(5 * 40 * time.Millisecond)
+	if r, err := c.Call(adt.OpDequeue, nil); err != nil || !spec.ValuesEqual(r.Ret, 42) {
+		t.Errorf("binary dequeue = (%v, %v), want 42", r.Ret, err)
+	}
+	// Unknown ops fail locally: the negotiated table is the server's own
+	// op list, so a miss cannot succeed remotely either.
+	if _, err := c.Call("pop", nil); err == nil || !strings.Contains(err.Error(), "negotiated table") {
+		t.Errorf("binary unknown op: err = %v", err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Call(adt.OpEnqueue, i); err != nil {
+				t.Errorf("pipelined binary call %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.fe.connsBinary.Value(); got != 1 {
+		t.Errorf("binary connection counter = %d, want 1", got)
+	}
+	if got := s.fe.connsJSON.Value(); got != 0 {
+		t.Errorf("json connection counter = %d, want 0", got)
+	}
+}
+
+func TestDialCodecUnknown(t *testing.T) {
+	if _, err := DialCodec("127.0.0.1:1", "protobuf"); err == nil || !strings.Contains(err.Error(), "unknown codec") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestLegacyJSONRawFrames pins the JSON protocol at the byte level: a
+// hand-built legacy frame — no Client involved — must be accepted
+// unchanged by the negotiating server, and the response must be the
+// documented JSON shape.
+func TestLegacyJSONRawFrames(t *testing.T) {
+	s := startServer(t, 3)
+	addr := startTCP(t, s)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body := []byte(`{"id":1,"op":"enqueue","arg":5}`)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := conn.Write(append(hdr[:], body...)); err != nil {
+		t.Fatal(err)
+	}
+	var resp wireResponse
+	if err := readFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 1 || resp.Err != "" || resp.Class != "MOP" || resp.Respond <= resp.Invoke {
+		t.Errorf("legacy response = %+v", resp)
+	}
+	if got := s.fe.connsJSON.Value(); got != 1 {
+		t.Errorf("json connection counter = %d, want 1", got)
+	}
+}
+
+// TestBinaryVersionRejected pins the handshake failure path: an unknown
+// version gets a protocol-fatal error frame (id −1), surfaced as a dial
+// error, before the server closes the connection.
+func TestBinaryVersionRejected(t *testing.T) {
+	s := startServer(t, 2)
+	addr := startTCP(t, s)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(append([]byte(wireMagic), 99)); err != nil {
+		t.Fatal(err)
+	}
+	resp := readBinaryFrame(t, conn)
+	if resp.id != errProtoID || !strings.Contains(resp.err, "version 99") {
+		t.Errorf("version reject = %+v", resp)
+	}
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("connection after version reject: read err = %v, want EOF", err)
+	}
+}
+
+// readBinaryFrame reads one length-prefixed frame and parses it as a
+// response/error frame.
+func readBinaryFrame(t *testing.T, r io.Reader) response {
+	t.Helper()
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		t.Fatalf("read frame header: %v", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		t.Fatalf("frame announces %d bytes", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		t.Fatalf("read frame body: %v", err)
+	}
+	resp, err := parseResponse(body)
+	if err != nil {
+		t.Fatalf("parse frame: %v", err)
+	}
+	return resp
+}
+
+// TestOversizedRequestJSON sends a legacy frame header announcing a body
+// beyond maxFrame: the server must answer with a typed protocol error
+// frame (id −1) and close, not silently drop the connection.
+func TestOversizedRequestJSON(t *testing.T) {
+	s := startServer(t, 2)
+	addr := startTCP(t, s)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	var resp wireResponse
+	if err := readFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != errProtoID || !strings.Contains(resp.Err, "exceeds") {
+		t.Errorf("oversized request answer = %+v", resp)
+	}
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("connection after oversized request: read err = %v, want EOF", err)
+	}
+}
+
+// TestOversizedRequestBinary is the same regression on the binary codec,
+// after a successful hello exchange.
+func TestOversizedRequestBinary(t *testing.T) {
+	s := startServer(t, 2)
+	addr := startTCP(t, s)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(append([]byte(wireMagic), wireVersion)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	hello := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(br, hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseHello(hello); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	resp := readBinaryFrame(t, br)
+	if resp.id != errProtoID || !strings.Contains(resp.err, "exceeds") {
+		t.Errorf("oversized request answer = %+v", resp)
+	}
+	if _, err := br.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("connection after oversized request: read err = %v, want EOF", err)
+	}
+}
+
+// TestOversizedResponse drives the response writers of both codecs with
+// a result too large to frame: the client must receive a typed error
+// response carrying the same request id, and the connection stays alive
+// (only requests can poison the byte stream).
+func TestOversizedResponse(t *testing.T) {
+	huge := strings.Repeat("x", maxFrame+16)
+	t.Run("json", func(t *testing.T) {
+		client, server := net.Pipe()
+		defer client.Close()
+		defer server.Close()
+		go writeJSONResponse(server, response{id: 31, ret: huge, invoke: 1, respond: 2})
+		var resp wireResponse
+		if err := readFrame(client, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != 31 || !strings.Contains(resp.Err, "exceeds") {
+			t.Errorf("oversized response = %+v", resp)
+		}
+	})
+	t.Run("binary", func(t *testing.T) {
+		client, server := net.Pipe()
+		defer client.Close()
+		defer server.Close()
+		go writeBinaryResponse(server, response{id: 31, ret: huge, invoke: 1, respond: 2})
+		resp := readBinaryFrame(t, client)
+		if resp.id != 31 || !strings.Contains(resp.err, "exceeds") {
+			t.Errorf("oversized response = %+v", resp)
+		}
+	})
+}
+
+// TestOversizedClientRequest pins the client side of the size contract:
+// an argument too large to frame fails locally without poisoning the
+// connection, which stays usable for the next call.
+func TestOversizedClientRequest(t *testing.T) {
+	s := startServer(t, 2)
+	addr := startTCP(t, s)
+	huge := strings.Repeat("x", maxFrame+16)
+	for _, codec := range []string{CodecJSON, CodecBinary} {
+		codec := codec
+		t.Run(codec, func(t *testing.T) {
+			c, err := DialCodec(addr, codec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Call(adt.OpEnqueue, huge); err == nil || !strings.Contains(err.Error(), "exceeds") {
+				t.Fatalf("oversized client arg: err = %v", err)
+			}
+			if _, err := c.Call(adt.OpEnqueue, 1); err != nil {
+				t.Errorf("call after oversized failure: %v", err)
+			}
+		})
+	}
+}
+
+var benchSink any
+
+// Codec micro-benchmarks for `make wire-bench`: one request and one
+// response frame through each codec's full encode+decode path.
+func BenchmarkWireBinaryRequest(b *testing.B) {
+	opNames := []string{"enqueue", "dequeue", "peek"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bp := frameOut()
+		buf, err := appendRequest(*bp, int64(i), 0, "user:42", 12345)
+		if err != nil {
+			b.Fatal(err)
+		}
+		*bp = buf
+		req, err := parseRequest(buf[4:], opNames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = req.arg
+		frameIn(bp)
+	}
+}
+
+func BenchmarkWireJSONRequest(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		raw, err := histio.EncodeValue(12345)
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := json.Marshal(wireRequest{ID: int64(i), Key: "user:42", Op: "enqueue", Arg: raw})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var req wireRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			b.Fatal(err)
+		}
+		arg, err := histio.DecodeValue(req.Arg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = arg
+	}
+}
+
+func BenchmarkWireBinaryResponse(b *testing.B) {
+	in := response{id: 7, ret: "user:42", class: classify.Mixed, shard: 3, invoke: 812, respond: 844}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bp := frameOut()
+		buf, err := appendResponse(*bp, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		*bp = buf
+		out, err := parseResponse(buf[4:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = out.ret
+		frameIn(bp)
+	}
+}
+
+func BenchmarkWireJSONResponse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		raw, err := histio.EncodeValue("user:42")
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := json.Marshal(wireResponse{ID: 7, Ret: raw, Class: "OOP", Shard: 3, Invoke: 812, Respond: 844})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var resp wireResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			b.Fatal(err)
+		}
+		ret, err := histio.DecodeValue(resp.Ret)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = ret
+	}
+}
