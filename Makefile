@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-engine bench-compare bench-guard stat-smoke fuzz-smoke fuzz-native soak soak-smoke load-bench load-shard-smoke verify-smoke crash-smoke wire-bench wire-smoke
+.PHONY: check vet build test race bench bench-engine bench-compare bench-guard stat-smoke fuzz-smoke fuzz-native soak soak-smoke load-bench load-shard-smoke verify-smoke crash-smoke wire-bench wire-smoke trace-smoke
 
 # check is the tier-1 gate: vet, build, full tests, and a short
 # race-detector pass over the concurrency-bearing packages.
@@ -48,10 +48,16 @@ bench-compare:
 
 # bench-guard asserts the instrumented-but-disabled engine stays on the
 # zero-overhead budget recorded in BENCH_engine.json: ns/op within 5% of
-# the ledger's after side, and allocs/op not increasing at all.
+# the ledger's after side, and allocs/op not increasing at all. The wire
+# round-trip line pins the tracing-off codec floor the same way — an
+# untraced binary request must stay byte-identical and allocation-flat
+# (2 allocs/op) no matter how much the tracing subsystem grows; the
+# looser -pct absorbs sub-200ns wall jitter on shared CI runners.
 bench-guard:
 	$(GO) test -run xxx -bench BenchmarkEngineEvents -benchmem -benchtime 2s ./internal/sim/ | \
 		$(GO) run ./cmd/benchjson -guard -pct 5 -o BENCH_engine.json
+	$(GO) test -run xxx -bench 'BenchmarkWireBinary' -benchmem -benchtime 2s ./internal/serve/ | \
+		$(GO) run ./cmd/benchjson -guard -pct 25 -o BENCH_engine.json
 
 # stat-smoke boots a live load run with the observability endpoint on,
 # reads it back with `lintime stat -once -require-slo` (nonzero exit on
@@ -69,6 +75,20 @@ stat-smoke:
 	wait $$LOAD_PID
 	$(GO) run ./cmd/benchjson -snapshots /tmp/stat-smoke.jsonl -set after -o /tmp/stat-smoke-ledger.json
 	@echo "stat-smoke: live endpoint, stat verdict, and snapshot fold OK"
+
+# trace-smoke is CI's causal-tracing gate: the deterministic `lintime
+# trace` goldens (the command itself fails unless every tree's terms sum
+# exactly to its measured latency), the attribution-identity property
+# tests and the serve/rtnet tracing integrations under the race
+# detector, then a live traced load run — flight recorder on — and a
+# quorum trace export to prove the Chrome JSON path end to end.
+trace-smoke:
+	$(GO) test -count=1 -run 'TestGoldenTrace|TestCmdTraceErrors' ./cmd/lintime/
+	$(GO) test -race -count=1 -run 'TestAttributionIdentityAllBackends|TestTracingDoesNotPerturbExecution' ./internal/harness/
+	$(GO) test -race -count=1 -run 'TestServerTracing|TestBatchResidencyTraced|TestCollector|TestRingWrapOrder|TestRingPartiallyEvictedSpan' ./internal/serve/ ./internal/rtnet/ ./internal/obs/
+	$(GO) run ./cmd/lintime load -n 3 -clients 4 -duration 3s -trace 64 -seed 1 -require-slo
+	$(GO) run ./cmd/lintime trace -backend quorum -ops 3 -o /tmp/trace-smoke.json
+	@echo "trace-smoke: goldens, race-hardened tracing tests, and live traced load OK"
 
 # fuzz-smoke runs a deterministic adversarial-schedule campaign: the full
 # mutant kill matrix (every seeded bug must die, the control must stay

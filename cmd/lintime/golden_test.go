@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"io"
 	"os"
@@ -320,4 +321,49 @@ func hasLineWithPrefix(s, prefix string) bool {
 		}
 	}
 	return false
+}
+
+// TestGoldenTrace pins `lintime trace` end to end on the virtual-time
+// engine: the per-term attribution table (whose terms must sum exactly
+// to each operation's measured latency — cmdTrace errors otherwise) and
+// the Chrome trace-event JSON export, both byte-stable functions of the
+// flags. The JSON must also be structurally valid trace-event format.
+func TestGoldenTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.json")
+	got := captureStdout(t, func() error {
+		return cmdTrace([]string{"-n", "3", "-ops", "4", "-seed", "3", "-o", out})
+	})
+	checkGolden(t, "trace-core", got)
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace JSON has no events")
+	}
+	checkGolden(t, "trace-core-json", string(raw))
+
+	// The quorum backend attributes too: its phase waits are pure
+	// net_delay (flat 4d, no deliberate stabilization wait).
+	got = captureStdout(t, func() error {
+		return cmdTrace([]string{"-backend", "quorum", "-n", "3", "-ops", "3", "-seed", "5"})
+	})
+	checkGolden(t, "trace-quorum", got)
+}
+
+func TestCmdTraceErrors(t *testing.T) {
+	if err := cmdTrace([]string{"-type", "nope"}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := cmdTrace([]string{"-backend", "nope"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
 }

@@ -16,6 +16,7 @@
 //	lintime fuzz -strong        hunt delay forks that break strong linearizability
 //	lintime verify              exhaustive bounded model check of a tiny config
 //	lintime verify -mutant all  the exhaustive mutant kill matrix
+//	lintime trace               causal-trace a run with per-term latency attribution
 //
 // Common flags: -n (processes), -d, -u (delay bound and uncertainty),
 // -eps (clock skew; default optimal (1-1/n)u), -x (tradeoff parameter;
@@ -80,6 +81,8 @@ func main() {
 		err = cmdLoad(os.Args[2:])
 	case "stat":
 		err = cmdStat(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -132,6 +135,11 @@ commands:
               against the paper's formulas
   stat        poll a cluster's observability endpoint (serve/load
               -metrics-addr) and render a live per-class latency/SLO table
+  trace       run a deterministic virtual-time workload with causal
+              tracing on and report where every tick of latency went: a
+              per-class, per-term attribution table (terms provably sum
+              to each operation's measured latency) plus -o Chrome
+              trace-event JSON loadable in Perfetto
 
 run 'lintime <command> -h' for command flags`)
 }

@@ -136,9 +136,14 @@ func cmdServe(args []string) error {
 	shards := fs.Int("shards", 1, "shard count: >1 serves named objects hash-routed across independent clusters")
 	shardX := fs.String("shard-x", "", "per-shard X overrides, comma-separated ticks (requires -shards entries)")
 	dryRun := fs.Bool("dry-run", false, "print the resolved serving configuration as JSON and exit")
+	traceN := fs.Int("trace", 0, "causal flight recorder: retain the last N complete operation trees per cluster and export trace_term_ticks attribution histograms on /metrics")
 	startMetrics := metricsAddrFlag(fs)
+	startObsOut := obsOutFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceN < 0 {
+		return fmt.Errorf("serve: -trace must be ≥ 0, got %d", *traceN)
 	}
 	p, err := getParams()
 	if err != nil {
@@ -174,12 +179,20 @@ func cmdServe(args []string) error {
 		if *dryRun {
 			return writeJSON(buildServeEcho(s, *addr, *tick))
 		}
+		if *traceN > 0 {
+			s.SetTracer(obs.NewCollector(*traceN))
+		}
+		flushObs, err := startObsOut(s.Registry(), obs.Default)
+		if err != nil {
+			return err
+		}
 		return runServer(serverRun{
 			serve: s.Serve, drain: s.Drain, start: s.Start,
 			stats: func() any { return s.Stats() }, obs: s.ObsHandler(),
 			banner: fmt.Sprintf("lintime serve: %s cluster (n=%d d=%v u=%v ε=%v X=%v)",
 				*typeName, p.N, p.D, p.U, p.Epsilon, p.X),
 			addr: *addr, tick: *tick, drainTimeout: *drainTimeout, startMetrics: startMetrics,
+			flushObs: flushObs,
 		})
 	}
 
@@ -190,12 +203,20 @@ func cmdServe(args []string) error {
 	if *dryRun {
 		return writeJSON(buildShardSetEcho(ss, *addr, *tick))
 	}
+	if *traceN > 0 {
+		ss.SetTracers(func(int) obs.Tracer { return obs.NewCollector(*traceN) })
+	}
+	flushObs, err := startObsOut(append(ss.Registries(), obs.Default)...)
+	if err != nil {
+		return err
+	}
 	return runServer(serverRun{
 		serve: ss.Serve, drain: ss.Drain, start: ss.Start,
 		stats: func() any { return ss.Stats() }, obs: ss.ObsHandler(),
 		banner: fmt.Sprintf("lintime serve: %d×%s shards (n=%d d=%v u=%v ε=%v base X=%v)",
 			*shards, *typeName, p.N, p.D, p.U, p.Epsilon, p.X),
 		addr: *addr, tick: *tick, drainTimeout: *drainTimeout, startMetrics: startMetrics,
+		flushObs: flushObs,
 	})
 }
 
@@ -212,6 +233,9 @@ type serverRun struct {
 	tick         time.Duration
 	drainTimeout time.Duration
 	startMetrics func(http.Handler) (func(), error)
+	// flushObs writes the final -obs-out snapshot; runs after the drain
+	// on both the SIGINT and the SIGTERM shutdown paths (nil = off).
+	flushObs func() error
 }
 
 func runServer(r serverRun) error {
@@ -249,6 +273,11 @@ func runServer(r serverRun) error {
 	}
 	if err := writeJSON(r.stats()); err != nil && serveErr == nil {
 		serveErr = err
+	}
+	if r.flushObs != nil {
+		if err := r.flushObs(); err != nil && serveErr == nil {
+			serveErr = err
+		}
 	}
 	return serveErr
 }
@@ -398,6 +427,8 @@ func cmdLoad(args []string) error {
 	keyCount := fs.Int("keys", 0, "object count for keyed (multi-object) load: objects obj-0..obj-{n-1} (required when -shards > 1)")
 	zipf := fs.Float64("zipf", 0, "Zipfian key-popularity exponent s > 1 (0 or ≤1 = uniform); skews load onto the hot key's home shard")
 	checkObjects := fs.Bool("check-objects", false, "after an in-process sharded run, verify routing and per-object linearizability; exit nonzero on violation")
+	traceN := fs.Int("trace", 0, "causal flight recorder: retain the last N complete operation trees per cluster and export trace_term_ticks attribution histograms; on SLO violation the trees dump as Chrome trace JSON (-trace-out)")
+	traceOut := fs.String("trace-out", "lintime-trace-dump.json", "flight-recorder dump path for -trace (written on SLO violation)")
 	startMetrics := metricsAddrFlag(fs)
 	startObsOut := obsOutFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -448,6 +479,12 @@ func cmdLoad(args []string) error {
 	if *keyCount > 0 && *simMode {
 		return fmt.Errorf("load: -sim has no keyed mode (shard the virtual-time engine with separate runs)")
 	}
+	if *traceN < 0 {
+		return fmt.Errorf("load: -trace must be ≥ 0, got %d", *traceN)
+	}
+	if *traceN > 0 && *addr != "" {
+		return fmt.Errorf("load: -trace records on the in-process cluster (the collector lives server-side; use `lintime serve -trace` for remote runs)")
+	}
 	if *pipeline < 1 {
 		return fmt.Errorf("load: -pipeline must be ≥ 1, got %d", *pipeline)
 	}
@@ -489,6 +526,14 @@ func cmdLoad(args []string) error {
 	}()
 
 	flushObs := func() error { return nil }
+	// The causal flight recorder: one collector per in-process cluster
+	// (shard clusters number spans independently), merged at dump time.
+	var traceColls []*obs.Collector
+	newTraceColl := func() *obs.Collector {
+		c := obs.NewCollector(*traceN)
+		traceColls = append(traceColls, c)
+		return c
+	}
 	var sum *serve.Summary
 	switch {
 	case *simMode:
@@ -503,10 +548,13 @@ func cmdLoad(args []string) error {
 		if flushObs, err = startObsOut(obs.Default); err != nil {
 			return err
 		}
-		res, err := harness.Run(
-			harness.Config{Params: p, TypeName: *typeName, Algorithm: *backend,
-				Network: harness.NetRandom, Offsets: *offsets, Seed: *seed,
-				Trace: sim.TraceOps},
+		hcfg := harness.Config{Params: p, TypeName: *typeName, Algorithm: *backend,
+			Network: harness.NetRandom, Offsets: *offsets, Seed: *seed,
+			Trace: sim.TraceOps}
+		if *traceN > 0 {
+			hcfg.Tracer = newTraceColl()
+		}
+		res, err := harness.Run(hcfg,
 			harness.Workload{OpsPerProc: *ops, MaxGap: p.D / 2, Seed: *seed, Mix: mix})
 		if err != nil {
 			return err
@@ -565,6 +613,9 @@ func cmdLoad(args []string) error {
 		if flushObs, err = startObsOut(regs...); err != nil {
 			return err
 		}
+		if *traceN > 0 {
+			ss.SetTracers(func(int) obs.Tracer { return newTraceColl() })
+		}
 		ss.Start()
 		sum, err = serve.RunLoad(ss, dt, p, *tick, serve.LoadConfig{
 			Clients: *clients, Duration: *duration, OpsPerClient: *ops, Mix: mix, Seed: *seed,
@@ -603,6 +654,9 @@ func cmdLoad(args []string) error {
 		defer stopMetrics()
 		if flushObs, err = startObsOut(s.Registry(), obs.Default); err != nil {
 			return err
+		}
+		if *traceN > 0 {
+			s.SetTracer(newTraceColl())
 		}
 		s.Start()
 		// Scheduled fault injection: each entry crashes its process
@@ -651,6 +705,28 @@ func cmdLoad(args []string) error {
 	// Final snapshot flush (also the path a signal-shortened run takes).
 	if err := flushObs(); err != nil {
 		return err
+	}
+	// Flight-recorder dump: on an SLO violation the last N complete
+	// causal trees — the operations whose latency the violation is made
+	// of — land as a Chrome trace for post-mortem attribution.
+	if len(traceColls) > 0 && !sum.SLOMet() {
+		var trees []*obs.Tree
+		for _, c := range traceColls {
+			trees = append(trees, c.Trees()...)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, trees); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lintime load: SLO violated — flight recorder dumped %d causal trees to %s\n",
+			len(trees), *traceOut)
 	}
 	if *requireSLO && !sum.SLOMet() {
 		return fmt.Errorf("load: latency SLO violated (a class's p99 exceeds its formula + jitter budget)")

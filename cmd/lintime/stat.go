@@ -247,6 +247,55 @@ func renderStat(w io.Writer, prev, cur obs.Snapshot, elapsed time.Duration) {
 		}
 	}
 	tw.Flush()
+	renderTermTable(w, cur, shards, sharded)
+}
+
+// renderTermTable appends the per-term latency-attribution table when
+// the endpoint exports trace_term_ticks — i.e. the server runs with
+// causal tracing on. One row per (shard, class, term) with traffic,
+// terms in attribution order so the rows read as the decomposition of
+// the class's latency.
+func renderTermTable(w io.Writer, cur obs.Snapshot, shards []string, sharded bool) {
+	type attrKey struct{ shard, class string }
+	attr := map[attrKey]map[string]obs.HistSummary{}
+	for name, h := range cur.Hists {
+		if b, _ := obs.SplitName(name); b != "trace_term_ticks" {
+			continue
+		}
+		k := attrKey{obs.Label(name, "shard"), obs.Label(name, "class")}
+		if attr[k] == nil {
+			attr[k] = map[string]obs.HistSummary{}
+		}
+		attr[k][obs.Label(name, "term")] = h
+	}
+	if len(attr) == 0 {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	if sharded {
+		fmt.Fprintln(tw, "\nshard\tclass\tterm\tcount\tp50\tp99\tmax")
+	} else {
+		fmt.Fprintln(tw, "\nclass\tterm\tcount\tp50\tp99\tmax")
+	}
+	for _, shard := range shards {
+		for _, class := range statClasses {
+			terms := attr[attrKey{shard, class}]
+			for term := obs.Term(0); term < obs.NumTerms; term++ {
+				h, ok := terms[term.String()]
+				if !ok || h.Count == 0 {
+					continue
+				}
+				if sharded {
+					fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\n",
+						shard, class, term, h.Count, h.P50, h.P99, h.Max)
+				} else {
+					fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\n",
+						class, term, h.Count, h.P50, h.P99, h.Max)
+				}
+			}
+		}
+	}
+	tw.Flush()
 }
 
 func classVerdict(h obs.HistSummary, slo int64) string {

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"lintime/internal/adt"
+	"lintime/internal/harness"
+	"lintime/internal/obs"
+)
+
+// cmdTrace runs a deterministic virtual-time workload with the causal
+// collector installed and renders the result two ways: a per-term
+// latency-attribution table (where did each tick of every operation's
+// latency go?) on stdout, and — with -o — the complete causal trees as
+// Chrome trace-event JSON, loadable in chrome://tracing or Perfetto.
+//
+// The attribution identity is checked on every tree: the six terms
+// (x_wait, net_delay, batch_residency, queue, exec, skew_adjust) must
+// sum exactly to the operation's measured latency, or the command
+// fails. On the virtual-time engine the whole output is a byte-stable
+// function of the flags, which the trace-smoke golden test pins.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	getParams := paramFlags(fs)
+	typeName := fs.String("type", "queue", "data type ("+strings.Join(adt.Names(), ", ")+"; -backend quorum defaults to register)")
+	backend := fs.String("backend", harness.AlgCore, "algorithm ("+strings.Join(harness.Algorithms(), ", ")+")")
+	network := fs.String("net", harness.NetUniform, "network (uniform, uniform-min, random, adversarial)")
+	offsets := fs.String("offsets", harness.OffZero, "clock offsets (zero, spread, alternating, random)")
+	ops := fs.Int("ops", 5, "operations per process")
+	seed := fs.Int64("seed", 1, "workload seed")
+	keep := fs.Int("keep", 256, "complete causal trees retained (flight-recorder capacity)")
+	outFile := fs.String("o", "", "write the causal trees as Chrome trace-event JSON to this file (Perfetto/chrome://tracing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	applyBackendDefaults(fs, *backend, typeName, nil)
+	p, err := getParams()
+	if err != nil {
+		return err
+	}
+	dt, err := adt.Lookup(*typeName)
+	if err != nil {
+		return err
+	}
+	coll := obs.NewCollector(*keep)
+	if _, err := harness.Run(
+		harness.Config{Params: p, TypeName: *typeName, Algorithm: *backend,
+			Network: *network, Offsets: *offsets, Seed: *seed, Tracer: coll},
+		harness.Workload{OpsPerProc: *ops, MaxGap: p.D / 2, Seed: *seed}); err != nil {
+		return err
+	}
+	trees := coll.Trees()
+	classes := harness.ClassesFor(dt)
+	ap := obs.AttrParams{D: int64(p.D), U: int64(p.U), Epsilon: int64(p.Epsilon), X: int64(p.X)}
+
+	// Per-(class, term) samples. In virtual time an operation's invoke
+	// instant is its root span's start: the engine opens the span at
+	// invoke dispatch.
+	type seriesKey struct {
+		class string
+		term  obs.Term
+	}
+	samples := map[seriesKey][]int64{}
+	attributed, exact := 0, 0
+	for _, t := range trees {
+		class := classes[t.Op].String()
+		a, ok := coll.Attribute(t.Span, class, t.Start, ap)
+		if !ok {
+			continue
+		}
+		attributed++
+		if a.Sum() == t.End-t.Start {
+			exact++
+		}
+		for term := obs.Term(0); term < obs.NumTerms; term++ {
+			k := seriesKey{class, term}
+			samples[k] = append(samples[k], a[term])
+		}
+	}
+
+	fmt.Printf("lintime trace: %s on %s (n=%d d=%v u=%v eps=%v X=%v, seed %d)\n",
+		dt.Name(), *backend, p.N, p.D, p.U, p.Epsilon, p.X, *seed)
+	fmt.Printf("%d causal trees retained, %d events dropped\n\n", len(trees), coll.Dropped())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "class\tterm\tcount\tp50\tp99\tmin\tmax\ttotal")
+	for _, class := range statClasses {
+		for term := obs.Term(0); term < obs.NumTerms; term++ {
+			vs := samples[seriesKey{class, term}]
+			if len(vs) == 0 {
+				continue
+			}
+			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+			var total int64
+			for _, v := range vs {
+				total += v
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				class, term.String(), len(vs), pctile(vs, 50), pctile(vs, 99),
+				vs[0], vs[len(vs)-1], total)
+		}
+	}
+	tw.Flush()
+	fmt.Printf("\nattribution identity: terms sum to end-to-end latency on %d/%d trees\n",
+		exact, attributed)
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, trees); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lintime trace: chrome trace (%d trees) written to %s\n", len(trees), *outFile)
+	}
+	if exact != attributed {
+		return fmt.Errorf("trace: %d of %d trees violate the attribution identity", attributed-exact, attributed)
+	}
+	return nil
+}
+
+// pctile returns the p-th percentile of a sorted sample by the
+// nearest-rank method (the convention histio uses).
+func pctile(sorted []int64, p int) int64 {
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	return sorted[idx-1]
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"lintime/internal/adt"
+	"lintime/internal/obs"
+)
+
+// TestAttributionIdentityAllBackends is the attribution-identity
+// property test: on every backend × network × offset assignment, every
+// completed operation's attribution terms sum EXACTLY to its measured
+// respond−invoke latency. The identity is structural (telescoping owner
+// intervals), so a single violation means a lost or double-counted
+// interval — a bug, not noise.
+func TestAttributionIdentityAllBackends(t *testing.T) {
+	p := hp()
+	networks := []string{NetUniform, NetRandom, NetAdversary}
+	offsets := []string{OffZero, OffSpread, OffAlternating}
+	for _, alg := range Algorithms() {
+		for i, network := range networks {
+			alg, network, off := alg, network, offsets[i]
+			t.Run(alg+"/"+network, func(t *testing.T) {
+				typeName := "queue"
+				if alg == AlgQuorum {
+					typeName = "register"
+				}
+				coll := obs.NewCollector(64)
+				res, err := Run(Config{Params: p, TypeName: typeName, Algorithm: alg,
+					Network: network, Offsets: off, Seed: 7, Tracer: coll},
+					Workload{OpsPerProc: 4, MaxGap: p.D / 2, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dt, err := adt.Lookup(typeName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				classes := ClassesFor(dt)
+				ap := obs.AttrParams{D: int64(p.D), U: int64(p.U),
+					Epsilon: int64(p.Epsilon), X: int64(p.X)}
+				trees := coll.Trees()
+				want := 0
+				for _, st := range res.Stats {
+					want += st.Count
+				}
+				if len(trees) != want {
+					t.Fatalf("retained %d trees, want %d (one per completed op)",
+						len(trees), want)
+				}
+				for _, tr := range trees {
+					a, ok := coll.Attribute(tr.Span, classes[tr.Op].String(), tr.Start, ap)
+					if !ok {
+						t.Fatalf("span %d: Attribute refused a completed root", tr.Span)
+					}
+					if got, lat := a.Sum(), tr.End-tr.Start; got != lat {
+						t.Errorf("span %d (%s): terms sum to %d, measured latency %d: %v",
+							tr.Span, tr.Op, got, lat, a)
+					}
+				}
+				if alg == AlgQuorum {
+					// The quorum backend opens a child span per protocol phase;
+					// write operations run two (read_quorum + write_back).
+					phased := 0
+					for _, tr := range trees {
+						phased += len(tr.Children)
+					}
+					if phased == 0 {
+						t.Error("quorum run produced no phase child spans")
+					}
+				}
+			})
+		}
+	}
+}
+
+// Tracing must observe, never perturb: the same seed with and without
+// the collector yields identical latency statistics and replica states.
+func TestTracingDoesNotPerturbExecution(t *testing.T) {
+	p := hp()
+	run := func(tracer obs.Tracer) *Result {
+		res, err := Run(Config{Params: p, TypeName: "queue", Algorithm: AlgCore,
+			Network: NetRandom, Offsets: OffRandom, Seed: 11, Tracer: tracer},
+			Workload{OpsPerProc: 6, MaxGap: 40, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	traced := run(obs.NewCollector(128))
+	if !reflect.DeepEqual(plain.Stats, traced.Stats) {
+		t.Errorf("latency stats diverge under tracing:\nplain:  %+v\ntraced: %+v",
+			plain.Stats, traced.Stats)
+	}
+	if !reflect.DeepEqual(plain.Fingerprints, traced.Fingerprints) {
+		t.Errorf("replica fingerprints diverge under tracing")
+	}
+}

@@ -24,6 +24,12 @@ const (
 	StageDropped
 )
 
+// MarshalJSON renders the stage as its canonical name, so flight-recorder
+// dumps and trace exports stay readable without the enum table.
+func (s Stage) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
 // String implements fmt.Stringer.
 func (s Stage) String() string {
 	switch s {
@@ -48,12 +54,20 @@ func (s Stage) String() string {
 // (cluster- or engine-unique), or -1 for events no pending operation
 // could be blamed for (e.g. a background timer on an idle process).
 // Time is in virtual ticks on whichever substrate recorded the event.
+//
+// Sent and Residency are causal-delivery annotations, populated only for
+// StageDeliver events recorded through a CausalTracer's Deliver hook:
+// Sent is the tick the message left its sender, and Residency is the
+// portion of the delivery delay spent waiting in a coalescing batch
+// window rather than in flight.
 type SpanEvent struct {
-	Span  int64
-	Stage Stage
-	Proc  int32
-	Time  int64
-	Op    string // set on StageInvoke only
+	Span      int64  `json:"span"`
+	Stage     Stage  `json:"stage"`
+	Proc      int32  `json:"proc"`
+	Time      int64  `json:"time"`
+	Op        string `json:"op,omitempty"` // set on StageInvoke only
+	Sent      int64  `json:"sent,omitempty"`
+	Residency int64  `json:"residency,omitempty"`
 }
 
 // Tracer observes operation lifecycles. Implementations must be safe for
@@ -99,6 +113,28 @@ func IsNop(t Tracer) bool {
 	}
 	_, off := t.(nopTracer)
 	return off
+}
+
+// CausalTracer extends Tracer with the causal metadata the cross-process
+// tracing subsystem records: parent edges between spans, child spans for
+// protocol phases, and per-delivery latency accounting. The substrates
+// detect the extension with a type assertion at SetTracer time and fall
+// back to the flat Tracer hooks when it is absent, so existing Tracer
+// implementations keep working unchanged.
+type CausalTracer interface {
+	Tracer
+	// OpStartCtx is OpStart carrying a causal parent: the span of the
+	// client-side operation that caused this one (propagated through the
+	// wire protocols), or -1 for a local root.
+	OpStartCtx(proc int32, span, parent int64, op string, now int64)
+	// Child opens a named child span (e.g. a quorum phase) under parent.
+	Child(proc int32, span, parent int64, name string, now int64)
+	// ChildEnd closes a child span.
+	ChildEnd(proc int32, span int64, now int64)
+	// Deliver is Event(span, StageDeliver, proc, now) plus delivery
+	// accounting: the send tick and the batch-window residency portion of
+	// the delay (0 for unbatched deliveries).
+	Deliver(span int64, proc int32, now, sent, residency int64)
 }
 
 // Ring is a fixed-capacity recording tracer: the last capacity events,
@@ -169,7 +205,11 @@ func (r *Ring) CurrentSpan(proc int32) int64 {
 	return -1
 }
 
-// Events returns the retained events in record order.
+// Events returns the retained events in record order: after the ring has
+// wrapped, the oldest retained event is the one at the write cursor, so
+// the copy starts there and walks the ring modularly — never the raw
+// backing-array order, which would splice the newest events in front of
+// the oldest across the wrap boundary (pinned by TestRingWrapOrder).
 func (r *Ring) Events() []SpanEvent {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -182,15 +222,32 @@ func (r *Ring) Events() []SpanEvent {
 	return out
 }
 
-// Span returns the retained events of one span, in record order.
+// Span returns the retained events of one span, in record order. A span
+// whose oldest events have been overwritten by the wrap comes back
+// truncated; use SpanEvents when the caller must distinguish a complete
+// lifecycle from an evicted head or tail.
 func (r *Ring) Span(span int64) []SpanEvent {
+	evs, _ := r.SpanEvents(span)
+	return evs
+}
+
+// SpanEvents returns one span's retained events in record order, plus
+// whether the lifecycle is complete: a partially-evicted span — its
+// StageInvoke (and possibly more) already overwritten, or its
+// StageRespond not yet recorded — reports complete=false, so consumers
+// (latency attribution, tree assembly) can skip it instead of
+// misreading a truncated sequence as a whole operation.
+func (r *Ring) SpanEvents(span int64) ([]SpanEvent, bool) {
 	var out []SpanEvent
 	for _, ev := range r.Events() {
 		if ev.Span == span {
 			out = append(out, ev)
 		}
 	}
-	return out
+	complete := len(out) > 0 &&
+		out[0].Stage == StageInvoke &&
+		out[len(out)-1].Stage == StageRespond
+	return out, complete
 }
 
 // Dropped returns how many events the ring has overwritten.

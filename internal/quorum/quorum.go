@@ -135,6 +135,45 @@ func (c Config) less(a, b Tag) bool {
 // retransmitTag re-arms a phase's request broadcast.
 type retransmitTag struct{ seq int64 }
 
+// traceSource is the optional Context extension both substrates
+// implement: it exposes the installed tracer so the replica can record
+// its quorum phases as child spans of the operation. Asserting here —
+// instead of widening sim.Context — keeps the Node/Context contract
+// substrate-neutral and other backends tracer-oblivious.
+type traceSource interface{ Tracer() obs.Tracer }
+
+// tracerFor returns the causal tracer reachable through ctx, or nil when
+// tracing is off or the tracer records flat spans only.
+func tracerFor(ctx sim.Context) obs.CausalTracer {
+	ts, ok := ctx.(traceSource)
+	if !ok {
+		return nil
+	}
+	t := ts.Tracer()
+	if obs.IsNop(t) {
+		return nil
+	}
+	ct, _ := t.(obs.CausalTracer)
+	return ct
+}
+
+// phaseSpan derives the deterministic child-span id of one phase of one
+// operation: bitwise NOT of (seqID·2 + phase−1). Operation SeqIDs are
+// non-negative on both substrates, so phase spans are unique negative
+// values that can never collide with a root span.
+func phaseSpan(seqID int64, phase int) int64 {
+	return ^(seqID*2 + int64(phase-1))
+}
+
+// phaseName names a phase in trace output: both operations query first
+// (phase 1); phase 2 is a write's propagate or a read's write-back.
+func phaseName(phase int) string {
+	if phase == 1 {
+		return "query"
+	}
+	return "write_back"
+}
+
 // opState tracks the replica's own operation in flight.
 type opState struct {
 	seqID int64 // invocation to respond to
@@ -227,6 +266,10 @@ func (r *Replica) startPhase(ctx sim.Context, phase int) {
 	cur.seq = r.seq
 	cur.acked = 1 << uint(ctx.ID())
 	phaseTotal.Inc()
+	if ct := tracerFor(ctx); ct != nil {
+		ct.Child(int32(ctx.ID()), phaseSpan(cur.seqID, phase), cur.seqID,
+			phaseName(phase), int64(ctx.Now()))
+	}
 	if phase == 1 {
 		cur.maxTag, cur.maxVal = r.tag, r.val
 	} else {
@@ -314,6 +357,9 @@ func (r *Replica) maybeComplete(ctx sim.Context) {
 		return
 	}
 	ctx.CancelTimer(cur.timer)
+	if ct := tracerFor(ctx); ct != nil {
+		ct.ChildEnd(int32(ctx.ID()), phaseSpan(cur.seqID, cur.phase), int64(ctx.Now()))
+	}
 	if cur.phase == 1 {
 		if cur.op == OpWrite {
 			// Propagate (maxTS+1, self) with the written value.

@@ -185,3 +185,54 @@ func TestBatchedQueueStillLinearizable(t *testing.T) {
 		t.Errorf("batched history not linearizable: %+v", recorded)
 	}
 }
+
+// TestBatchResidencyTraced drives staggered single broadcasts through a
+// coalescing cluster with the causal collector installed: messages that
+// join an already-open batch waited in the sender's window, and that
+// wait must surface as a positive Residency (with the send tick) on the
+// delivery waypoint — the raw material of the batch_residency
+// attribution term.
+func TestBatchResidencyTraced(t *testing.T) {
+	p := rtParams(2)
+	sender := &fanNode{burst: 1}
+	receiver := &fanNode{burst: 1}
+	c, err := NewCluster(Params{Params: p, BatchWindow: p.U / 2}, tick,
+		sim.ZeroOffsets(2), []sim.Node{sender, receiver}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := obs.NewCollector(64)
+	c.SetTracer(coll)
+	c.Start()
+	defer c.Stop()
+
+	// Stagger sends inside the u/2-tick window so later broadcasts join
+	// the batch the first one opened at a different send tick.
+	for i := 0; i < 8; i++ {
+		mustCall(t, c, 0, "fan", nil)
+		time.Sleep(2 * tick)
+	}
+	// The batch flushes w ticks after it opened and delivers another
+	// [d-u, d-u/2-w] later; poll until the resident deliveries land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resident := 0
+		for _, tr := range coll.Trees() {
+			for _, ev := range tr.Events {
+				if ev.Stage == obs.StageDeliver && ev.Residency > 0 {
+					if ev.Sent == 0 && ev.Time == 0 {
+						t.Fatalf("resident delivery lost its timeline: %+v", ev)
+					}
+					resident++
+				}
+			}
+		}
+		if resident > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery recorded positive batch-window residency")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -156,6 +156,16 @@ type Cluster struct {
 	metrics *Metrics
 	tracer  obs.Tracer
 	tracing bool
+	// causal is tracer's CausalTracer extension when present. handling[p]
+	// is the span of the event p's loop is dispatching right now (-1
+	// outside a handler); it is confined to p's loop goroutine (written
+	// around handler calls, read by Send/SetTimer, which only run inside
+	// handlers or before Start), so no lock is needed. While a handler for
+	// span S runs, sends and timer registrations inherit S — attributing a
+	// quorum replica's ack to the coordinator's operation instead of the
+	// replica's own pending span.
+	causal   obs.CausalTracer
+	handling []int64
 
 	// batchers[from][to] coalesces from→to messages when batchWindow > 0;
 	// nil slots on the diagonal (no self-sends). Each batcher carries its
@@ -256,6 +266,21 @@ func (c *Cluster) SetMetrics(m *Metrics) { c.metrics = m }
 func (c *Cluster) SetTracer(t obs.Tracer) {
 	c.tracer = t
 	c.tracing = !obs.IsNop(t)
+	c.causal = nil
+	if c.tracing {
+		c.causal, _ = t.(obs.CausalTracer)
+	}
+}
+
+// spanFor resolves the span a send or timer registration belongs to: the
+// span being handled on proc's loop right now, falling back to the
+// process's pending operation. Only called while tracing, from proc's
+// own goroutine.
+func (c *Cluster) spanFor(proc sim.ProcID) int64 {
+	if s := c.handling[proc]; s >= 0 {
+		return s
+	}
+	return c.tracer.CurrentSpan(int32(proc))
 }
 
 type pendingCall struct {
@@ -306,12 +331,14 @@ func NewCluster(p Params, tick time.Duration, offsets []simtime.Duration, nodes 
 		inboxes:      make([]chan *event, p.N),
 		stopped:      make(chan struct{}),
 		sendRngs:     make([]*rand.Rand, p.N),
+		handling:     make([]int64, p.N),
 		crashed:      make([]atomic.Bool, p.N),
 		crashCh:      make([]chan struct{}, p.N),
 		pending:      map[int64]*pendingCall{},
 		timers:       map[sim.TimerID]procTimer{},
 	}
 	for i := range c.inboxes {
+		c.handling[i] = -1
 		c.inboxes[i] = make(chan *event, depth)
 		c.sendRngs[i] = rand.New(rand.NewSource(
 			harness.DeriveSeed(seed, fmt.Sprintf("rtnet/send/p%d", i))))
@@ -474,7 +501,12 @@ func (c *Cluster) loop(proc sim.ProcID) {
 			switch ev.kind {
 			case 0:
 				if c.tracing {
-					c.tracer.OpStart(int32(proc), ev.inv.SeqID, ev.inv.Op, int64(c.now()))
+					c.handling[proc] = ev.inv.SeqID
+					if c.causal != nil {
+						c.causal.OpStartCtx(int32(proc), ev.inv.SeqID, ev.span, ev.inv.Op, int64(c.now()))
+					} else {
+						c.tracer.OpStart(int32(proc), ev.inv.SeqID, ev.inv.Op, int64(c.now()))
+					}
 				}
 				c.nodes[proc].OnInvoke(ctx, ev.inv)
 			case 1:
@@ -483,7 +515,12 @@ func (c *Cluster) loop(proc sim.ProcID) {
 					c.metrics.MsgLatency.Add(int64(c.now().Sub(ev.sent)))
 				}
 				if c.tracing {
-					c.tracer.Event(ev.span, obs.StageDeliver, int32(proc), int64(c.now()))
+					c.handling[proc] = ev.span
+					if c.causal != nil {
+						c.causal.Deliver(ev.span, int32(proc), int64(c.now()), int64(ev.sent), 0)
+					} else {
+						c.tracer.Event(ev.span, obs.StageDeliver, int32(proc), int64(c.now()))
+					}
 				}
 				c.nodes[proc].OnMessage(ctx, ev.from, ev.payload)
 			case 2:
@@ -496,6 +533,7 @@ func (c *Cluster) loop(proc sim.ProcID) {
 						c.metrics.TimerFires.Inc()
 					}
 					if c.tracing {
+						c.handling[proc] = ev.span
 						c.tracer.Event(ev.span, obs.StageTimer, int32(proc), int64(c.now()))
 					}
 					c.nodes[proc].OnTimer(ctx, ev.tag)
@@ -505,16 +543,36 @@ func (c *Cluster) loop(proc sim.ProcID) {
 				close(ev.done)
 			case 4:
 				now := c.now()
+				// Batch-window residency: the batch's effective send instant
+				// is its last joiner's — earlier members spent (maxSent −
+				// sent_i) ticks parked in the window, not in flight.
+				var maxSent simtime.Time
+				if c.causal != nil {
+					for _, s := range ev.batchSents {
+						if s > maxSent {
+							maxSent = s
+						}
+					}
+				}
 				for i, payload := range ev.batch {
 					if c.metrics != nil {
 						c.metrics.Delivered.Inc()
 						c.metrics.MsgLatency.Add(int64(now.Sub(ev.batchSents[i])))
 					}
 					if c.tracing {
-						c.tracer.Event(ev.batchSpans[i], obs.StageDeliver, int32(proc), int64(now))
+						c.handling[proc] = ev.batchSpans[i]
+						if c.causal != nil {
+							c.causal.Deliver(ev.batchSpans[i], int32(proc), int64(now),
+								int64(ev.batchSents[i]), int64(maxSent.Sub(ev.batchSents[i])))
+						} else {
+							c.tracer.Event(ev.batchSpans[i], obs.StageDeliver, int32(proc), int64(now))
+						}
 					}
 					c.nodes[proc].OnMessage(ctx, ev.from, payload)
 				}
+			}
+			if c.tracing {
+				c.handling[proc] = -1
 			}
 			putEvent(ev)
 		}
@@ -649,6 +707,14 @@ func (c *Cluster) now() simtime.Time {
 // rule of the model. A non-nil error means the invocation was not
 // submitted: the cluster has stopped (ErrStopped) or failed.
 func (c *Cluster) Invoke(proc sim.ProcID, op string, arg any) (<-chan Response, error) {
+	return c.InvokeTraced(proc, op, arg, -1)
+}
+
+// InvokeTraced is Invoke carrying a causal parent span: the client-side
+// span (propagated over the wire protocols) the new operation's root
+// span should point back to. Ignored unless the installed tracer is an
+// obs.CausalTracer; pass -1 for a local root.
+func (c *Cluster) InvokeTraced(proc sim.ProcID, op string, arg any, parent int64) (<-chan Response, error) {
 	done := make(chan Response, 1)
 	c.mu.Lock()
 	// Checked under mu so a concurrent Crash either sees this entry in
@@ -665,6 +731,7 @@ func (c *Cluster) Invoke(proc sim.ProcID, op string, arg any) (<-chan Response, 
 	ev := getEvent()
 	ev.kind = 0
 	ev.inv = sim.Invocation{SeqID: seqID, Op: op, Arg: arg}
+	ev.span = parent // kind-0 events carry the causal parent in span
 	if err := c.post(proc, ev); err != nil {
 		c.mu.Lock()
 		delete(c.pending, seqID)
@@ -678,7 +745,12 @@ func (c *Cluster) Invoke(proc sim.ProcID, op string, arg any) (<-chan Response, 
 // recorded failure (or ErrStopped) if the cluster stops before the
 // response arrives.
 func (c *Cluster) Call(proc sim.ProcID, op string, arg any) (Response, error) {
-	ch, err := c.Invoke(proc, op, arg)
+	return c.CallTraced(proc, op, arg, -1)
+}
+
+// CallTraced is Call carrying a causal parent span (see InvokeTraced).
+func (c *Cluster) CallTraced(proc sim.ProcID, op string, arg any, parent int64) (Response, error) {
+	ch, err := c.InvokeTraced(proc, op, arg, parent)
 	if err != nil {
 		return Response{}, err
 	}
@@ -803,9 +875,10 @@ func (x *rtCtx) SetTimer(after simtime.Duration, tag any) sim.TimerID {
 	// entry, since the fire-side delete had already run.
 	span := int64(-1)
 	if x.c.tracing {
-		// The registering process is handling its pending operation's
-		// invoke or messages right now, so the timer belongs to that span.
-		span = x.c.tracer.CurrentSpan(int32(proc))
+		// The registering process is handling an event right now; the
+		// timer belongs to that event's span (falling back to the
+		// process's pending operation).
+		span = x.c.spanFor(proc)
 	}
 	x.c.mu.Lock()
 	x.c.timerID++
@@ -864,7 +937,7 @@ func (x *rtCtx) Send(to sim.ProcID, payload any) {
 		sent := x.c.now()
 		span := int64(-1)
 		if x.c.tracing {
-			span = x.c.tracer.CurrentSpan(int32(from))
+			span = x.c.spanFor(from)
 			x.c.tracer.Event(span, obs.StageBroadcast, int32(from), int64(sent))
 		}
 		x.c.batchAdd(from, to, payload, span, sent)
@@ -898,7 +971,7 @@ func (x *rtCtx) Send(to sim.ProcID, payload any) {
 	sent := x.c.now()
 	span := int64(-1)
 	if x.c.tracing {
-		span = x.c.tracer.CurrentSpan(int32(from))
+		span = x.c.spanFor(from)
 		x.c.tracer.Event(span, obs.StageBroadcast, int32(from), int64(sent))
 	}
 	time.AfterFunc(time.Duration(delay)*x.c.tick, func() {
@@ -918,6 +991,15 @@ func (x *rtCtx) Broadcast(payload any) {
 			x.Send(sim.ProcID(p), payload)
 		}
 	}
+}
+
+// Tracer exposes the cluster's installed tracer (obs.Nop when tracing is
+// off), for algorithms that record protocol-phase child spans.
+func (x *rtCtx) Tracer() obs.Tracer {
+	if x.c.tracer == nil {
+		return obs.Nop
+	}
+	return x.c.tracer
 }
 
 func (x *rtCtx) Respond(seqID int64, ret any) {

@@ -49,7 +49,7 @@ func FuzzFrame(f *testing.F) {
 			f.Add(b)
 		}
 	}
-	if b, err := appendRequest(make([]byte, 4), 1, 0, "user:42", 7); err == nil {
+	if b, err := appendRequest(make([]byte, 4), 1, 0, "user:42", 7, 0); err == nil {
 		f.Add(b[4:])
 	}
 	if b, err := appendResponse(make([]byte, 4), response{id: 1, ret: "x", invoke: 812, respond: 844}); err == nil {
@@ -67,7 +67,7 @@ func FuzzFrame(f *testing.F) {
 					opcode = uint64(i)
 				}
 			}
-			b, err := appendRequest(make([]byte, 4), req.id, opcode, req.key, req.arg)
+			b, err := appendRequest(make([]byte, 4), req.id, opcode, req.key, req.arg, req.trace)
 			if err != nil {
 				t.Fatalf("re-encode accepted request %+v: %v", req, err)
 			}
@@ -97,9 +97,9 @@ func FuzzFrame(f *testing.F) {
 			}
 			checkJSONReference(t, resp.ret)
 		}
-		if names, err := parseHello(body); err == nil {
+		if names, _, err := parseHello(body); err == nil {
 			b := appendHello(make([]byte, 4), names)
-			names2, err := parseHello(b[4:])
+			names2, _, err := parseHello(b[4:])
 			if err != nil || len(names2) != len(names) {
 				t.Fatalf("hello round-trip drifted: %v vs %v (%v)", names, names2, err)
 			}

@@ -22,6 +22,11 @@ type serveMetrics struct {
 	// 2 drained.
 	drainState *obs.Gauge
 	perClass   map[classify.Class]*obs.Hist
+	// terms[class][term] receives the per-term latency attribution of
+	// every completed operation when a causal tracer is installed
+	// (trace_term_ticks{class=...,term=...}); nil maps when tracing is off
+	// keep /metrics output unchanged.
+	terms map[classify.Class][]*obs.Hist
 }
 
 // latency-histogram classes instrumented up front: one series per class
@@ -104,6 +109,27 @@ func (m *serveMetrics) observe(class classify.Class, latencyTicks int64) {
 	h.Add(latencyTicks)
 }
 
+// observeTerms streams one operation's latency attribution into the
+// per-class term histograms.
+func (m *serveMetrics) observeTerms(class classify.Class, a obs.Attribution) {
+	hs := m.terms[class]
+	if hs == nil {
+		hs = m.terms[classify.Mixed]
+	}
+	if hs == nil {
+		return
+	}
+	for term, v := range a {
+		// skew_adjust is signed; histograms are non-negative. Clamp for
+		// the metric view only — the exact decomposition lives in the
+		// collector's trees.
+		if v < 0 {
+			v = 0
+		}
+		hs[term].Add(v)
+	}
+}
+
 // Registry returns the server's private metric registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
@@ -115,5 +141,41 @@ func (s *Server) ObsHandler() http.Handler {
 }
 
 // SetTracer installs a span tracer on the underlying cluster. Must be
-// called before Start.
-func (s *Server) SetTracer(t obs.Tracer) { s.cluster.SetTracer(t) }
+// called before Start. Installing an *obs.Collector additionally turns
+// on latency attribution: every completed operation's per-term
+// decomposition streams into trace_term_ticks{class=...,term=...}
+// histograms on the server's registry, and TraceCollector exposes the
+// retained causal trees (the flight recorder).
+func (s *Server) SetTracer(t obs.Tracer) {
+	s.cluster.SetTracer(t)
+	coll, ok := t.(*obs.Collector)
+	if !ok {
+		s.traceColl = nil
+		return
+	}
+	s.traceColl = coll
+	p := s.cfg.Params
+	s.attrP = obs.AttrParams{D: int64(p.D), U: int64(p.U), Epsilon: int64(p.Epsilon), X: int64(p.X)}
+	name := func(n string) string { return n }
+	if s.cfg.ShardLabel != "" {
+		name = func(n string) string { return obs.WithLabel(n, "shard", s.cfg.ShardLabel) }
+	}
+	limit := 4 * int(p.D+p.Epsilon)
+	if limit < 16 {
+		limit = 16
+	}
+	s.obsm.terms = map[classify.Class][]*obs.Hist{}
+	for _, class := range metricClasses {
+		hs := make([]*obs.Hist, obs.NumTerms)
+		for term := obs.Term(0); term < obs.NumTerms; term++ {
+			n := obs.WithLabel("trace_term_ticks", "class", class.String())
+			n = obs.WithLabel(n, "term", term.String())
+			hs[term] = s.reg.Hist(name(n), limit)
+		}
+		s.obsm.terms[class] = hs
+	}
+}
+
+// TraceCollector returns the installed causal collector, or nil when
+// tracing is off or the tracer is not an *obs.Collector.
+func (s *Server) TraceCollector() *obs.Collector { return s.traceColl }

@@ -85,6 +85,18 @@ type request struct {
 	key string // served object (sharded mode); empty on single-object servers
 	op  string
 	arg spec.Value
+	// trace is the client-side span id carried in the wire trace context;
+	// 0 (the wire encoding's absent value) means the request is untraced.
+	trace int64
+}
+
+// traceParent maps the wire trace-context value onto the substrate's
+// parent-span convention: 0 on the wire means "no trace" (-1 inside).
+func traceParent(trace int64) int64 {
+	if trace == 0 {
+		return -1
+	}
+	return trace
 }
 
 // response is one decoded protocol response. A non-empty err carries a
@@ -106,6 +118,10 @@ type wireRequest struct {
 	Key string          `json:"key,omitempty"` // served object (sharded mode)
 	Op  string          `json:"op"`
 	Arg json.RawMessage `json:"arg,omitempty"`
+	// Trace is the optional trace context: the client-side span id the
+	// server records as the operation's causal parent. omitempty keeps
+	// untraced request bodies byte-identical to the pre-tracing protocol.
+	Trace int64 `json:"trace,omitempty"`
 }
 
 type wireResponse struct {
@@ -284,7 +300,7 @@ func (f *frontend) serveJSONConn(conn net.Conn, br *bufio.Reader, reqs *sync.Wai
 			if arg, err := histio.DecodeValue(wreq.Arg); err != nil {
 				resp = errResponse(wreq.ID, err.Error())
 			} else {
-				resp = f.dispatch(request{id: wreq.ID, key: wreq.Key, op: wreq.Op, arg: arg})
+				resp = f.dispatch(request{id: wreq.ID, key: wreq.Key, op: wreq.Op, arg: arg, trace: wreq.Trace})
 			}
 			wmu.Lock()
 			defer wmu.Unlock()
@@ -449,7 +465,7 @@ func (s *Server) handleRequest(req request) response {
 		return errResponse(req.id,
 			"serve: single-object server: request has an object key (connect to a shard router, or drop the key)")
 	}
-	r, err := s.Call(req.op, req.arg)
+	r, err := s.CallTraced(req.op, req.arg, traceParent(req.trace))
 	if err != nil {
 		return errResponse(req.id, err.Error())
 	}
@@ -472,6 +488,8 @@ type Client struct {
 	br      *bufio.Reader
 	codec   string
 	opCodes map[string]uint64 // binary codec: negotiated op table
+	caps    byte              // binary codec: server capabilities from the hello
+	traced  atomic.Bool
 	wmu     sync.Mutex
 	nextID  atomic.Int64
 
@@ -521,6 +539,19 @@ func DialCodec(addr, codec string) (*Client, error) {
 // Codec reports the negotiated codec name.
 func (c *Client) Codec() string { return c.codec }
 
+// SetTraced toggles the client's trace context: when on, every request
+// carries the request id as its client-side span, so the server records
+// it as the operation's causal parent (an *obs.Collector on the server
+// then ties its whole replica-level tree back to this client call). Off
+// by default; untraced requests are byte-identical to the pre-tracing
+// protocol on both codecs.
+func (c *Client) SetTraced(on bool) { c.traced.Store(on) }
+
+// ServerCaps reports the capability bits the server's binary hello
+// announced (wireCapTracing = trace-context support); 0 on the JSON
+// codec, whose trace field needs no negotiation.
+func (c *Client) ServerCaps() byte { return c.caps }
+
 // helloBinary sends the magic + version and consumes the server's hello
 // frame carrying the negotiated op table.
 func (c *Client) helloBinary() error {
@@ -547,10 +578,11 @@ func (c *Client) helloBinary() error {
 		}
 		return fmt.Errorf("serve: remote: %s", resp.err)
 	}
-	names, err := parseHello(body)
+	names, caps, err := parseHello(body)
 	if err != nil {
 		return err
 	}
+	c.caps = caps
 	c.opCodes = make(map[string]uint64, len(names))
 	for i, name := range names {
 		c.opCodes[name] = uint64(i)
@@ -652,18 +684,25 @@ func (c *Client) CallKey(key, op string, arg any) (rtnet.Response, error) {
 
 func (c *Client) call(key, op string, arg any) (rtnet.Response, error) {
 	id := c.nextID.Add(1)
+	// The request id doubles as the client-side span when tracing is on:
+	// ids are positive and connection-unique, and 0 stays the wire's
+	// "untraced" value.
+	var trace int64
+	if c.traced.Load() {
+		trace = id
+	}
 	ch := make(chan clientResp, 1)
 	c.mu.Lock()
 	c.pending[id] = ch
 	c.mu.Unlock()
 	var err error
 	if c.codec == CodecBinary {
-		err = c.writeBinaryRequest(id, key, op, arg)
+		err = c.writeBinaryRequest(id, key, op, arg, trace)
 	} else {
 		var raw json.RawMessage
 		if raw, err = histio.EncodeValue(arg); err == nil {
 			c.wmu.Lock()
-			err = writeFrame(c.conn, wireRequest{ID: id, Key: key, Op: op, Arg: raw})
+			err = writeFrame(c.conn, wireRequest{ID: id, Key: key, Op: op, Arg: raw, Trace: trace})
 			c.wmu.Unlock()
 		}
 	}
@@ -711,14 +750,14 @@ func (c *Client) call(key, op string, arg any) (rtnet.Response, error) {
 // writeBinaryRequest encodes and writes one request frame from a pooled
 // buffer. Unknown operations fail locally: the negotiated table is the
 // server's own op list, so a miss cannot succeed remotely either.
-func (c *Client) writeBinaryRequest(id int64, key, op string, arg any) error {
+func (c *Client) writeBinaryRequest(id int64, key, op string, arg any, trace int64) error {
 	opcode, ok := c.opCodes[op]
 	if !ok {
 		return fmt.Errorf("serve: remote type has no operation %q in the negotiated table", op)
 	}
 	bp := frameOut()
 	defer frameIn(bp)
-	b, err := appendRequest(*bp, id, opcode, key, arg)
+	b, err := appendRequest(*bp, id, opcode, key, arg, trace)
 	if err != nil {
 		return err
 	}

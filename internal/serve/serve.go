@@ -90,9 +90,10 @@ type result struct {
 }
 
 type call struct {
-	op  string
-	arg any
-	out chan result
+	op     string
+	arg    any
+	parent int64 // causal parent span (wire trace context), -1 for none
+	out    chan result
 }
 
 // Server is a running serving layer over one rtnet cluster.
@@ -120,6 +121,13 @@ type Server struct {
 	rec  *recorder
 	reg  *obs.Registry
 	obsm *serveMetrics
+
+	// traceColl is set when SetTracer installed an *obs.Collector: the
+	// worker loop then attributes every completed operation's latency into
+	// the per-class term histograms, and the flight recorder can dump the
+	// collector's retained trees.
+	traceColl *obs.Collector
+	attrP     obs.AttrParams
 
 	fe frontend // TCP front half (listeners, connections, teardown)
 }
@@ -251,10 +259,16 @@ func (s *Server) Start() {
 		go func() {
 			defer s.workers.Done()
 			for c := range q {
-				resp, err := s.cluster.Call(proc, c.op, c.arg)
+				resp, err := s.cluster.CallTraced(proc, c.op, c.arg, c.parent)
 				if err == nil {
 					s.rec.record(resp)
 					s.obsm.observe(resp.Class, int64(resp.Latency()))
+					if s.traceColl != nil {
+						if a, ok := s.traceColl.Attribute(resp.Seq, resp.Class.String(),
+							int64(resp.Invoke), s.attrP); ok {
+							s.obsm.observeTerms(resp.Class, a)
+						}
+					}
 				} else {
 					s.obsm.errors.Inc()
 				}
@@ -269,6 +283,13 @@ func (s *Server) Start() {
 // occupies one replica slot, so at most n operations are in flight at
 // once and each process has at most one pending operation.
 func (s *Server) Call(op string, arg any) (rtnet.Response, error) {
+	return s.CallTraced(op, arg, -1)
+}
+
+// CallTraced is Call carrying a causal parent span — the client-side
+// span propagated through the wire protocols' trace context — recorded
+// as the operation's parent edge when a causal tracer is installed.
+func (s *Server) CallTraced(op string, arg any, parent int64) (rtnet.Response, error) {
 	if _, ok := spec.FindOp(s.dt, op); !ok {
 		return rtnet.Response{}, fmt.Errorf("serve: type %s has no operation %q", s.dt.Name(), op)
 	}
@@ -302,7 +323,7 @@ func (s *Server) Call(op string, arg any) (rtnet.Response, error) {
 		return rtnet.Response{}, ErrAllCrashed
 	}
 	out := make(chan result, 1)
-	s.queues[proc] <- call{op: op, arg: arg, out: out}
+	s.queues[proc] <- call{op: op, arg: arg, parent: parent, out: out}
 	r := <-out
 	return r.resp, r.err
 }

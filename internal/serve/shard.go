@@ -204,9 +204,25 @@ func (ss *ShardSet) Call(op string, arg any) (rtnet.Response, error) {
 	return rtnet.Response{}, fmt.Errorf("serve: sharded deployment (%d shards) needs an object key (use CallKey)", len(ss.shards))
 }
 
+// SetTracers installs one span tracer per shard cluster, built by make
+// (typically one obs.Collector each: shard clusters number their
+// processes and operations independently, so sharing one tracer would
+// collide span ids across shards). Must be called before Start.
+func (ss *ShardSet) SetTracers(make func(shard int) obs.Tracer) {
+	for i, s := range ss.shards {
+		s.SetTracer(make(i))
+	}
+}
+
 // CallKey executes one operation against the named object, routing it to
 // the key's home shard. Blocks until the response, like Server.Call.
 func (ss *ShardSet) CallKey(key, op string, arg any) (rtnet.Response, error) {
+	return ss.CallKeyTraced(key, op, arg, -1)
+}
+
+// CallKeyTraced is CallKey carrying a causal parent span (the wire trace
+// context) down to the shard's cluster.
+func (ss *ShardSet) CallKeyTraced(key, op string, arg any, parent int64) (rtnet.Response, error) {
 	if key == "" {
 		return rtnet.Response{}, fmt.Errorf("serve: sharded call needs a non-empty object key")
 	}
@@ -231,7 +247,7 @@ func (ss *ShardSet) CallKey(key, op string, arg any) (rtnet.Response, error) {
 		return rtnet.Response{}, err
 	}
 	ss.routed[shard].Inc()
-	return ss.shards[shard].Call(op, karg)
+	return ss.shards[shard].CallTraced(op, karg, parent)
 }
 
 // keyedArg packs (key, base arg) into the keyed argument convention.
@@ -246,7 +262,7 @@ func (ss *ShardSet) handleRequest(req request) response {
 		return errResponse(req.id,
 			fmt.Sprintf("serve: shard router (%d shards): request needs an object key", len(ss.shards)))
 	}
-	r, err := ss.CallKey(req.key, req.op, req.arg)
+	r, err := ss.CallKeyTraced(req.key, req.op, req.arg, traceParent(req.trace))
 	if err != nil {
 		return errResponse(req.id, err.Error())
 	}

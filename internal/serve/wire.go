@@ -12,14 +12,23 @@
 // frames:
 //
 //	frame     := len(4, big-endian) body        body ≤ maxFrame
-//	hello     := 0x04 version opCount (nameLen name)*
+//	hello     := 0x04 version opCount (nameLen name)* [caps]
 //	request   := 0x01 flags id(zigzag) opcode(uvarint) keyLen key value
+//	             [trace(zigzag)]
 //	response  := 0x02 flags id(zigzag) class(1) shard(uvarint)
 //	             invoke(zigzag) respond(zigzag) value
 //	error     := 0x03 flags id(zigzag) msgLen msg
 //
-// All integers are varints (zigzag for signed); the flags byte is
-// reserved (zero). An error frame with id −1 is protocol-fatal: the
+// All integers are varints (zigzag for signed). The flags byte was
+// reserved (zero) in the original protocol; bit 0x01 (flagTrace) now
+// marks a request carrying a trailing trace-context varint — the
+// client-side span id the server records as the operation's causal
+// parent. The server's hello frame grew a trailing capabilities byte
+// (wireCapTracing announces trace-context support); parsers that predate
+// it ignored trailing bytes, and parseHello accepts its absence, so both
+// directions interoperate with version-1 peers. Untraced requests set no
+// flag and append no varint: byte-identical to the original encoding.
+// An error frame with id −1 is protocol-fatal: the
 // sender closes the connection after writing it (see the oversized-frame
 // handling in proto.go). Values use a tagged compact encoding of the
 // histio interchange kinds — the JSON reference encoding is the oracle
@@ -61,6 +70,14 @@ const (
 	frameError    = 0x03
 	frameHello    = 0x04
 )
+
+// flagTrace marks a request frame carrying a trailing trace-context
+// varint (the client-side parent span id) after the value.
+const flagTrace = 0x01
+
+// wireCapTracing is the hello capabilities bit announcing that the
+// server understands request trace contexts.
+const wireCapTracing = 0x01
 
 // Value encoding tags.
 const (
@@ -238,24 +255,27 @@ func (r *wireReader) value() spec.Value {
 	}
 }
 
-// appendHello appends a hello frame body announcing the op table.
+// appendHello appends a hello frame body announcing the op table and the
+// server's capability bits.
 func appendHello(b []byte, opNames []string) []byte {
 	b = append(b, frameHello, wireVersion)
 	b = appendUvarint(b, uint64(len(opNames)))
 	for _, name := range opNames {
 		b = appendBytes(b, name)
 	}
-	return b
+	return append(b, wireCapTracing)
 }
 
-// parseHello decodes a hello frame body into the op table.
-func parseHello(body []byte) ([]string, error) {
+// parseHello decodes a hello frame body into the op table and capability
+// bits. A hello without the trailing capabilities byte (a pre-tracing
+// server) parses with caps 0.
+func parseHello(body []byte) ([]string, byte, error) {
 	r := &wireReader{b: body}
 	if t := r.byte("frame type"); r.err == nil && t != frameHello {
-		return nil, fmt.Errorf("serve: binary codec: expected hello frame, got type 0x%02x", t)
+		return nil, 0, fmt.Errorf("serve: binary codec: expected hello frame, got type 0x%02x", t)
 	}
 	if v := r.byte("version"); r.err == nil && v != wireVersion {
-		return nil, fmt.Errorf("serve: binary protocol version %d not supported (have %d)", v, wireVersion)
+		return nil, 0, fmt.Errorf("serve: binary protocol version %d not supported (have %d)", v, wireVersion)
 	}
 	n := r.uvarint("op count")
 	if r.err == nil && n > uint64(len(r.b)) {
@@ -264,26 +284,43 @@ func parseHello(body []byte) ([]string, error) {
 		r.fail("op count")
 	}
 	if r.err != nil {
-		return nil, r.err
+		return nil, 0, r.err
 	}
 	names := make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {
 		names = append(names, r.bytes("op name"))
 	}
 	if r.err != nil {
-		return nil, r.err
+		return nil, 0, r.err
 	}
-	return names, nil
+	var caps byte
+	if len(r.b) > 0 {
+		caps = r.byte("capabilities")
+	}
+	return names, caps, nil
 }
 
 // appendRequest appends a request frame body. The opcode indexes the
-// negotiated op table.
-func appendRequest(b []byte, id int64, opcode uint64, key string, arg spec.Value) ([]byte, error) {
-	b = append(b, frameRequest, 0) // type, flags
+// negotiated op table. A nonzero trace sets flagTrace and appends the
+// trace-context varint; zero (untraced) emits the original encoding
+// byte for byte.
+func appendRequest(b []byte, id int64, opcode uint64, key string, arg spec.Value, trace int64) ([]byte, error) {
+	flags := byte(0)
+	if trace != 0 {
+		flags |= flagTrace
+	}
+	b = append(b, frameRequest, flags)
 	b = appendVarint(b, id)
 	b = appendUvarint(b, opcode)
 	b = appendBytes(b, key)
-	return appendWireValue(b, arg)
+	b, err := appendWireValue(b, arg)
+	if err != nil {
+		return b, err
+	}
+	if trace != 0 {
+		b = appendVarint(b, trace)
+	}
+	return b, nil
 }
 
 // parseRequest decodes a request frame body against the op table.
@@ -292,18 +329,22 @@ func parseRequest(body []byte, opNames []string) (request, error) {
 	if t := r.byte("frame type"); r.err == nil && t != frameRequest {
 		return request{}, fmt.Errorf("serve: binary codec: expected request frame, got type 0x%02x", t)
 	}
-	r.byte("flags")
+	flags := r.byte("flags")
 	id := r.varint("request id")
 	opcode := r.uvarint("opcode")
 	key := r.bytes("key")
 	arg := r.value()
+	var trace int64
+	if r.err == nil && flags&flagTrace != 0 {
+		trace = r.varint("trace context")
+	}
 	if r.err != nil {
 		return request{id: id}, r.err
 	}
 	if opcode >= uint64(len(opNames)) {
 		return request{id: id}, fmt.Errorf("serve: binary codec: opcode %d outside the negotiated table (%d ops)", opcode, len(opNames))
 	}
-	return request{id: id, key: key, op: opNames[opcode], arg: arg}, nil
+	return request{id: id, key: key, op: opNames[opcode], arg: arg, trace: trace}, nil
 }
 
 // appendResponse appends a response or error frame body for the decoded

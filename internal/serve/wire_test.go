@@ -81,7 +81,7 @@ func TestWireValueRejectsUnsupported(t *testing.T) {
 func TestWireRequestRoundTrip(t *testing.T) {
 	opNames := []string{"enqueue", "dequeue", "peek"}
 	for _, v := range wireValues {
-		b, err := appendRequest(make([]byte, 4), 77, 1, "user:9", v)
+		b, err := appendRequest(make([]byte, 4), 77, 1, "user:9", v, 0)
 		if err != nil {
 			t.Fatalf("appendRequest(%v): %v", v, err)
 		}
@@ -95,7 +95,7 @@ func TestWireRequestRoundTrip(t *testing.T) {
 	}
 	// An opcode outside the table is rejected with the request's id intact
 	// (so the error response can be matched to the call).
-	b, _ := appendRequest(make([]byte, 4), 5, 9, "", nil)
+	b, _ := appendRequest(make([]byte, 4), 5, 9, "", nil, 0)
 	req, err := parseRequest(b[4:], opNames)
 	if err == nil || !strings.Contains(err.Error(), "negotiated table") {
 		t.Errorf("out-of-table opcode: err = %v", err)
@@ -138,7 +138,7 @@ func TestWireResponseRoundTrip(t *testing.T) {
 func TestWireHelloRoundTrip(t *testing.T) {
 	names := []string{"enqueue", "dequeue", "peek", "size"}
 	b := appendHello(make([]byte, 4), names)
-	got, err := parseHello(b[4:])
+	got, _, err := parseHello(b[4:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestWireHelloRoundTrip(t *testing.T) {
 	}
 	// A count announcing more ops than the body could hold is malformed.
 	bad := appendUvarint([]byte{frameHello, wireVersion}, 1<<40)
-	if _, err := parseHello(bad); err == nil {
+	if _, _, err := parseHello(bad); err == nil {
 		t.Error("huge op count should be rejected")
 	}
 }
@@ -161,7 +161,7 @@ func TestWireHelloRoundTrip(t *testing.T) {
 // bodies: none may panic, all must fail cleanly.
 func TestWireTruncatedInputs(t *testing.T) {
 	opNames := []string{"enqueue"}
-	reqB, _ := appendRequest(make([]byte, 4), 123456, 0, "some-key", adt.Edge{P: 9, C: -9})
+	reqB, _ := appendRequest(make([]byte, 4), 123456, 0, "some-key", adt.Edge{P: 9, C: -9}, 0)
 	respB, _ := appendResponse(make([]byte, 4), response{id: 1, ret: "payload", invoke: 5, respond: 9})
 	helloB := appendHello(make([]byte, 4), opNames)
 	for _, body := range [][]byte{reqB[4:], respB[4:], helloB[4:]} {
@@ -370,7 +370,7 @@ func TestOversizedRequestBinary(t *testing.T) {
 	if _, err := io.ReadFull(br, hello); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := parseHello(hello); err != nil {
+	if _, _, err := parseHello(hello); err != nil {
 		t.Fatalf("hello: %v", err)
 	}
 	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
@@ -451,7 +451,7 @@ func BenchmarkWireBinaryRequest(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bp := frameOut()
-		buf, err := appendRequest(*bp, int64(i), 0, "user:42", 12345)
+		buf, err := appendRequest(*bp, int64(i), 0, "user:42", 12345, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -39,8 +39,10 @@ type event struct {
 	// to: the sender's pending operation for deliveries, the registering
 	// process's pending operation for timers. Only stamped while a tracer
 	// is installed; -1 (or the zero value on untraced runs) means
-	// unattributed.
+	// unattributed. sent is the send tick of a traced delivery, for
+	// causal delivery accounting.
 	span int64
+	sent simtime.Time
 }
 
 // rank orders simultaneous events: message deliveries before timer
@@ -215,6 +217,14 @@ type Engine struct {
 	metrics *EngineMetrics
 	tracer  obs.Tracer
 	tracing bool
+	// causal is tracer's CausalTracer extension when it has one; handling
+	// is the span of the event currently being dispatched (-1 outside a
+	// handler). While a handler for span S runs, sends and timer
+	// registrations it makes inherit S — this is what attributes a quorum
+	// replica's ack to the coordinator's operation rather than to the
+	// replica's own (unrelated) pending span.
+	causal   obs.CausalTracer
+	handling int64
 
 	// OnRespond, if non-nil, is called after every operation response with
 	// the completed record. Handlers may schedule further invocations (at
@@ -299,6 +309,8 @@ func (e *Engine) Reset(params simtime.Params, offsets []simtime.Duration, net Ne
 	e.metrics = nil
 	e.tracer = nil
 	e.tracing = false
+	e.causal = nil
+	e.handling = -1
 	if e.MaxSteps == 0 {
 		e.MaxSteps = 10_000_000
 	}
@@ -334,6 +346,10 @@ func (e *Engine) SetMetrics(m *EngineMetrics) { e.metrics = m }
 func (e *Engine) SetTracer(t obs.Tracer) {
 	e.tracer = t
 	e.tracing = !obs.IsNop(t)
+	e.causal = nil
+	if e.tracing {
+		e.causal, _ = t.(obs.CausalTracer)
+	}
 }
 
 // Params returns the engine's model parameters.
@@ -387,10 +403,21 @@ func (e *Engine) setTimer(p ProcID, at simtime.Time, tag any) TimerID {
 	e.timerSeq++
 	span := int64(-1)
 	if e.tracing {
-		span = e.tracer.CurrentSpan(int32(p))
+		span = e.spanFor(p)
 	}
 	e.push(event{time: at, kind: evTimer, proc: p, timerID: id, tag: tag, span: span})
 	return id
+}
+
+// spanFor resolves the span a send or timer registration should be
+// attributed to: the span being handled right now (quorum acks, relayed
+// messages), falling back to the process's pending operation. Only
+// called while tracing.
+func (e *Engine) spanFor(p ProcID) int64 {
+	if e.handling >= 0 {
+		return e.handling
+	}
+	return e.tracer.CurrentSpan(int32(p))
 }
 
 func (e *Engine) cancelTimer(id TimerID) { e.canceled[id] = true }
@@ -437,11 +464,11 @@ func (e *Engine) send(from, to ProcID, payload any) {
 	}
 	span := int64(-1)
 	if e.tracing {
-		span = e.tracer.CurrentSpan(int32(from))
+		span = e.spanFor(from)
 		e.tracer.Event(span, obs.StageBroadcast, int32(from), int64(e.now))
 	}
 	e.push(event{time: recv, kind: evDeliver, proc: to, from: from, payload: payload,
-		msgIndex: msgIndex, span: span})
+		msgIndex: msgIndex, span: span, sent: e.now})
 }
 
 // respond records the response for a pending invocation.
@@ -527,6 +554,7 @@ func (e *Engine) RunUntil(limit simtime.Time) *Trace {
 				e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepInvoke})
 			}
 			if e.tracing {
+				e.handling = ev.inv.SeqID
 				e.tracer.OpStart(int32(ev.proc), ev.inv.SeqID, ev.inv.Op, int64(e.now))
 			}
 			e.nodes[ev.proc].OnInvoke(ctx, ev.inv)
@@ -535,7 +563,12 @@ func (e *Engine) RunUntil(limit simtime.Time) *Trace {
 				e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepDeliver})
 			}
 			if e.tracing {
-				e.tracer.Event(ev.span, obs.StageDeliver, int32(ev.proc), int64(e.now))
+				e.handling = ev.span
+				if e.causal != nil {
+					e.causal.Deliver(ev.span, int32(ev.proc), int64(e.now), int64(ev.sent), 0)
+				} else {
+					e.tracer.Event(ev.span, obs.StageDeliver, int32(ev.proc), int64(e.now))
+				}
 			}
 			e.nodes[ev.proc].OnMessage(ctx, ev.from, ev.payload)
 		case evTimer:
@@ -543,10 +576,12 @@ func (e *Engine) RunUntil(limit simtime.Time) *Trace {
 				e.trace.Steps = append(e.trace.Steps, StepRecord{Proc: ev.proc, Time: e.now, Kind: StepTimer})
 			}
 			if e.tracing {
+				e.handling = ev.span
 				e.tracer.Event(ev.span, obs.StageTimer, int32(ev.proc), int64(e.now))
 			}
 			e.nodes[ev.proc].OnTimer(ctx, ev.tag)
 		}
+		e.handling = -1
 	}
 	return e.trace
 }
